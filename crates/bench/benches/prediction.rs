@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the prediction layer: evaluating stored models over
+//! whole algorithm traces, and generating the traces themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dla_core::algos::{sylv_trace, trinv_trace, SylvVariant, TrinvVariant};
+use dla_core::machine::presets::harpertown_openblas;
+use dla_core::machine::Locality;
+use dla_core::predict::modelset::{build_repository, ModelSetConfig, Workload};
+use dla_core::predict::workloads::predict_trinv;
+use dla_core::predict::Predictor;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.bench_function("trinv_v3_n1024_b96", |bench| {
+        bench.iter(|| trinv_trace(TrinvVariant::V3, 1024, 96, 1024))
+    });
+    group.bench_function("sylv_v1_n1024_b96", |bench| {
+        bench.iter(|| sylv_trace(SylvVariant::new(1).unwrap(), 1024, 1024, 96, 1024))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let machine = harpertown_openblas();
+    let cfg = ModelSetConfig::quick(512);
+    let (repo, _) = build_repository(&machine, Locality::InCache, 1, &cfg, &[Workload::Trinv]);
+    let predictor = Predictor::new(&repo, machine, Locality::InCache);
+    let mut group = c.benchmark_group("predict_trinv");
+    for &n in &[256usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                for variant in TrinvVariant::ALL {
+                    let _ = predict_trinv(&predictor, variant, n, 96).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(prediction, bench_trace_generation, bench_prediction);
+criterion_main!(prediction);

@@ -1,0 +1,4 @@
+//! Regenerates the data of the paper's Figure IV2 (see `dla_bench::figures`).
+fn main() {
+    dla_bench::figures::fig_iv2();
+}

@@ -1,0 +1,622 @@
+//! Regeneration of every figure in the paper.
+//!
+//! Each `fig_*` function reproduces the data series of the corresponding
+//! figure on the simulated machine and prints them as a plain-text table.
+//! Absolute numbers differ from the paper (the substrate is a calibrated
+//! simulator, not the authors' Harpertown/Sandy Bridge testbeds); the *shape*
+//! of every result — which variant wins, how the groups separate, where the
+//! optima and crossovers fall — is what `EXPERIMENTS.md` tracks.
+
+use dla_core::algos::{SylvVariant, TrinvVariant};
+use dla_core::blas::{Call, Diag, Side, Trans, Uplo};
+use dla_core::machine::cost::estimate_ticks;
+use dla_core::machine::presets::{
+    harpertown_all_implementations, harpertown_openblas, sandy_bridge_openblas,
+    sandy_bridge_openblas_threaded,
+};
+use dla_core::machine::{Locality, MachineConfig, SimExecutor};
+use dla_core::model::{Polynomial, Region};
+use dla_core::modeler::{Direction, ExpansionConfig, Modeler, RefinementConfig, SampleOracle, Strategy};
+use dla_core::predict::modelset::Workload;
+use dla_core::predict::ranking::{kendall_tau, top_choice_agrees};
+use dla_core::predict::workloads::{
+    measure_sylv, measure_trinv, predict_sylv, predict_trinv, MeasurementMode,
+};
+use dla_core::predict::Predictor;
+use dla_core::sampler::{Sampler, SamplerConfig};
+
+use crate::support::{cached_repository, print_header, print_labeled_row, print_row};
+
+/// Problem sizes swept by the section-IV figures (multiples of 32 in
+/// `[32, 1024]`; the paper uses multiples of 8, which is equally supported but
+/// slower to print).
+fn size_sweep(max: usize) -> Vec<usize> {
+    (1..=max / 32).map(|i| i * 32).collect()
+}
+
+/// Figure I.1: trinv efficiency as a function of the problem size
+/// (block size 96, one Harpertown core, OpenBLAS-like implementation).
+pub fn fig_i1() {
+    let machine = harpertown_openblas();
+    print_header(
+        "Fig I.1 — trinv efficiency vs matrix size (b = 96, 1 core Harpertown)",
+        &["n", "variant1", "variant2", "variant3", "variant4"],
+    );
+    let mut executor = SimExecutor::new(machine, 1);
+    for n in size_sweep(2048) {
+        let mut row = vec![n as f64];
+        for variant in TrinvVariant::ALL {
+            let m = measure_trinv(&mut executor, variant, n, 96, MeasurementMode::Auto);
+            row.push(m.efficiency);
+        }
+        print_row(&row);
+    }
+}
+
+/// Figure I.2: trinv efficiency as a function of the block size (n = 1000).
+pub fn fig_i2() {
+    let machine = harpertown_openblas();
+    print_header(
+        "Fig I.2 — trinv efficiency vs block size (n = 1000, 1 core Harpertown)",
+        &["b", "variant1", "variant2", "variant3", "variant4"],
+    );
+    let mut executor = SimExecutor::new(machine, 2);
+    for b in (1..=32).map(|i| i * 8) {
+        let mut row = vec![b as f64];
+        for variant in TrinvVariant::ALL {
+            let m = measure_trinv(&mut executor, variant, 1000, b, MeasurementMode::Auto);
+            row.push(m.efficiency);
+        }
+        print_row(&row);
+    }
+}
+
+/// Figure II.1: repeated execution of `dtrsm` with in-cache and out-of-cache
+/// operands for the three implementations.
+pub fn fig_ii1() {
+    print_header(
+        "Fig II.1 — repeated dtrsm(R,L,N,U,512,128,0.37): ticks per execution",
+        &["first", "min", "median", "mean", "max", "std"],
+    );
+    let call = Call::parse("dtrsm R L N U 512 128 0.37 256 512").expect("valid call");
+    for machine in harpertown_all_implementations() {
+        for locality in Locality::ALL {
+            let executor = SimExecutor::new(machine.clone(), 3);
+            let mut sampler = Sampler::new(
+                executor,
+                SamplerConfig {
+                    locality,
+                    repetitions: 1000,
+                    warmup_discard: 1,
+                },
+            );
+            let result = sampler.sample(&call);
+            print_labeled_row(
+                &format!("{} {}", machine.blas.name, locality.name()),
+                &[
+                    result.discarded.first().copied().unwrap_or(0.0),
+                    result.ticks.min,
+                    result.ticks.median,
+                    result.ticks.mean,
+                    result.ticks.max,
+                    result.ticks.std_dev,
+                ],
+            );
+        }
+    }
+}
+
+/// Figure III.1: `dtrsm` ticks for every combination of the flag arguments.
+pub fn fig_iii1() {
+    print_header(
+        "Fig III.1 — dtrsm ticks for all 16 flag combinations (m = n = 256)",
+        &["openblas", "mkl", "atlas"],
+    );
+    let machines = harpertown_all_implementations();
+    for side in Side::VALUES {
+        for uplo in Uplo::VALUES {
+            for trans in Trans::VALUES {
+                for diag in Diag::VALUES {
+                    let call = Call::Trsm {
+                        side,
+                        uplo,
+                        transa: trans,
+                        diag,
+                        m: 256,
+                        n: 256,
+                        alpha: 0.5,
+                        lda: 256,
+                        ldb: 256,
+                    };
+                    let mut cells = Vec::new();
+                    for machine in &machines {
+                        let mut sampler = Sampler::new(
+                            SimExecutor::new(machine.clone(), 4),
+                            SamplerConfig::in_cache(10),
+                        );
+                        cells.push(sampler.sample(&call).ticks.median);
+                    }
+                    print_labeled_row(&format!("{side}{uplo}{trans}{diag}"), &cells);
+                }
+            }
+        }
+    }
+}
+
+/// The square-gemm tick measurements shared by Figures III.2 and III.3.
+fn gemm_sweep() -> (Vec<usize>, Vec<Vec<f64>>) {
+    let machines = harpertown_all_implementations();
+    let sizes: Vec<usize> = (1..=128).map(|i| i * 8).collect();
+    let mut series = vec![Vec::new(); machines.len()];
+    for (mi, machine) in machines.iter().enumerate() {
+        let mut sampler = Sampler::new(
+            SimExecutor::new(machine.clone(), 5),
+            SamplerConfig::in_cache(5),
+        );
+        for &n in &sizes {
+            let call = Call::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, 1.0, 0.0)
+                .with_leading_dims(2500);
+            series[mi].push(sampler.sample(&call).ticks.median);
+        }
+    }
+    (sizes, series)
+}
+
+/// Figure III.2: `dgemm` ticks as a function of the size arguments.
+pub fn fig_iii2() {
+    print_header(
+        "Fig III.2 — dgemm ticks vs n (square, in-cache)",
+        &["n", "openblas", "mkl", "atlas"],
+    );
+    let (sizes, series) = gemm_sweep();
+    for (i, &n) in sizes.iter().enumerate() {
+        print_row(&[n as f64, series[0][i], series[1][i], series[2][i]]);
+    }
+}
+
+/// Figure III.3: residual of a single least-squares polynomial fit of the
+/// Figure III.2 data — the motivation for piecewise models.
+pub fn fig_iii3() {
+    print_header(
+        "Fig III.3 — residual (ticks - quadratic fit) of the Fig III.2 series",
+        &["n", "openblas", "mkl", "atlas"],
+    );
+    let (sizes, series) = gemm_sweep();
+    let points: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![n as f64]).collect();
+    let fits: Vec<Polynomial> = series
+        .iter()
+        .map(|values| Polynomial::fit(&points, values, 2).expect("fit succeeds"))
+        .collect();
+    let mut max_rel = [0.0f64; 3];
+    for (i, &n) in sizes.iter().enumerate() {
+        let mut row = vec![n as f64];
+        for (mi, fit) in fits.iter().enumerate() {
+            let resid = series[mi][i] - fit.eval(&[n as f64]);
+            max_rel[mi] = max_rel[mi].max((resid / series[mi][i]).abs());
+            row.push(resid);
+        }
+        print_row(&row);
+    }
+    println!(
+        "# max relative residual: openblas {:.3}, mkl {:.3}, atlas {:.3} (a single polynomial is not enough)",
+        max_rel[0], max_rel[1], max_rel[2]
+    );
+}
+
+/// Figures III.4 / III.5: the construction sequences of the two modeling
+/// strategies on the dtrsm parameter space (region list in creation order).
+pub fn fig_iii4_iii5() {
+    let machine = harpertown_openblas();
+    let template = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5);
+    let space = Region::new(vec![8, 8], vec![1024, 1024]);
+
+    println!("# Fig III.4 — Model Expansion region construction (eps = 10%, toward origin, s_ini = 256)");
+    let mut sampler = Sampler::new(SimExecutor::new(machine.clone(), 6), SamplerConfig::in_cache(5));
+    let mut oracle = SampleOracle::new(&mut sampler, template.clone(), 8);
+    let expansion = ExpansionConfig {
+        error_bound: 0.10,
+        direction: Direction::TowardOrigin,
+        initial_size: 256,
+        ..Default::default()
+    };
+    let model = expansion.build(&mut oracle, &space);
+    for (i, region) in model.regions.iter().enumerate() {
+        println!(
+            "region {:>3}: {}  error {:.3}  samples {}",
+            i + 1,
+            region.region,
+            region.error,
+            region.samples_used
+        );
+    }
+
+    println!("# Fig III.5 — Adaptive Refinement region construction (eps = 10%, s_min = 128)");
+    let mut sampler = Sampler::new(SimExecutor::new(machine, 7), SamplerConfig::in_cache(5));
+    let mut oracle = SampleOracle::new(&mut sampler, template, 8);
+    let refinement = RefinementConfig {
+        error_bound: 0.10,
+        min_region_size: 128,
+        ..Default::default()
+    };
+    let model = refinement.build(&mut oracle, &space);
+    for (i, region) in model.regions.iter().enumerate() {
+        println!(
+            "region {:>3}: {}  error {:.3}  samples {}",
+            i + 1,
+            region.region,
+            region.error,
+            region.samples_used
+        );
+    }
+}
+
+/// Independent model-quality probe: mean relative error of the model's median
+/// against the noiseless cost model on a dense grid.
+fn probe_error(
+    model: &dla_core::model::PiecewiseModel,
+    machine: &MachineConfig,
+    template: &Call,
+    per_dim: usize,
+) -> f64 {
+    let grid = model.space.sample_grid(per_dim, 8);
+    let mut acc = 0.0;
+    let mut count = 0;
+    for point in grid {
+        let call = template.with_sizes(&point).with_leading_dims(2500);
+        let truth = estimate_ticks(machine, &call, Locality::InCache);
+        if truth <= 0.0 {
+            continue;
+        }
+        let est = match model.eval(&point) {
+            Ok(summary) => summary.median,
+            Err(_) => continue,
+        };
+        acc += ((est - truth) / truth).abs();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+/// Runs one strategy configuration for Figures III.6–III.8 and returns
+/// `(samples, regions, probe error)`.
+fn run_strategy(strategy: Strategy) -> (usize, usize, f64) {
+    let machine = harpertown_openblas();
+    let template = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5);
+    let space = Region::new(vec![8, 8], vec![1024, 1024]);
+    let mut modeler = Modeler::new(
+        SimExecutor::new(machine.clone(), 8),
+        Locality::InCache,
+        5,
+        strategy,
+    );
+    let (model, samples) = modeler.build_submodel(&template, &space);
+    let error = probe_error(&model, &machine, &template, 25);
+    (samples, model.region_count(), error)
+}
+
+/// The four Model Expansion configurations of Figure III.6.
+fn expansion_configs() -> Vec<(&'static str, ExpansionConfig)> {
+    vec![
+        ("(a) eps=10% dir=up s=64", ExpansionConfig::paper_a()),
+        ("(b) eps=10% dir=down s=64", ExpansionConfig::paper_b()),
+        ("(c) eps=5% dir=down s=64", ExpansionConfig::paper_c()),
+        ("(d) eps=5% dir=down s=32", ExpansionConfig::paper_d()),
+    ]
+}
+
+/// The four Adaptive Refinement configurations of Figure III.7.
+fn refinement_configs() -> Vec<(&'static str, RefinementConfig)> {
+    vec![
+        ("(a) eps=10% smin=64", RefinementConfig::paper_a()),
+        ("(b) eps=5% smin=64", RefinementConfig::paper_b()),
+        ("(c) eps=10% smin=32", RefinementConfig::paper_c()),
+        ("(d) eps=5% smin=32", RefinementConfig::paper_d()),
+    ]
+}
+
+/// Figure III.6: Model Expansion for dtrsm under four configurations.
+pub fn fig_iii6() {
+    print_header(
+        "Fig III.6 — Model Expansion for dtrsm (samples, regions, probe error)",
+        &["samples", "regions", "avg_error"],
+    );
+    for (label, config) in expansion_configs() {
+        let (samples, regions, error) = run_strategy(Strategy::Expansion(config));
+        print_labeled_row(label, &[samples as f64, regions as f64, error]);
+    }
+}
+
+/// Figure III.7: Adaptive Refinement for dtrsm under four configurations.
+pub fn fig_iii7() {
+    print_header(
+        "Fig III.7 — Adaptive Refinement for dtrsm (samples, regions, probe error)",
+        &["samples", "regions", "avg_error"],
+    );
+    for (label, config) in refinement_configs() {
+        let (samples, regions, error) = run_strategy(Strategy::Refinement(config));
+        print_labeled_row(label, &[samples as f64, regions as f64, error]);
+    }
+}
+
+/// Figure III.8: number of samples vs average error for both strategies.
+pub fn fig_iii8() {
+    print_header(
+        "Fig III.8 — Model Expansion vs Adaptive Refinement (samples vs error)",
+        &["samples", "avg_error"],
+    );
+    for (label, config) in expansion_configs() {
+        let (samples, _, error) = run_strategy(Strategy::Expansion(config));
+        print_labeled_row(&format!("expansion {label}"), &[samples as f64, error]);
+    }
+    for (label, config) in refinement_configs() {
+        let (samples, _, error) = run_strategy(Strategy::Refinement(config));
+        print_labeled_row(&format!("refinement {label}"), &[samples as f64, error]);
+    }
+}
+
+/// Shared driver for the trinv prediction figures (IV.1, IV.3, IV.4).
+fn trinv_prediction_figure(title: &str, machine: MachineConfig, sizes: &[usize], block: usize) {
+    let repo_ic = cached_repository(&machine, Locality::InCache, &[Workload::Trinv]);
+    let repo_oc = cached_repository(&machine, Locality::OutOfCache, &[Workload::Trinv]);
+    let predictor_ic = Predictor::new(&repo_ic, machine.clone(), Locality::InCache);
+    let predictor_oc = Predictor::new(&repo_oc, machine.clone(), Locality::OutOfCache);
+    print_header(
+        title,
+        &[
+            "n", "v1_meas", "v2_meas", "v3_meas", "v4_meas", "v1_pred", "v2_pred", "v3_pred",
+            "v4_pred", "v1_pred_oc", "v2_pred_oc", "v3_pred_oc", "v4_pred_oc",
+        ],
+    );
+    let mut exact_rank = 0usize;
+    let mut top1 = 0usize;
+    let mut tau_acc = 0.0;
+    let mut executor = SimExecutor::new(machine.clone(), 9);
+    for &n in sizes {
+        let mut measured = Vec::new();
+        let mut pred_ic = Vec::new();
+        let mut pred_oc = Vec::new();
+        for variant in TrinvVariant::ALL {
+            measured.push(
+                measure_trinv(&mut executor, variant, n, block, MeasurementMode::Auto).efficiency,
+            );
+            pred_ic.push(
+                predict_trinv(&predictor_ic, variant, n, block)
+                    .expect("in-cache prediction")
+                    .median,
+            );
+            pred_oc.push(
+                predict_trinv(&predictor_oc, variant, n, block)
+                    .expect("out-of-cache prediction")
+                    .median,
+            );
+        }
+        let tau = kendall_tau(&pred_ic, &measured);
+        tau_acc += tau;
+        if tau == 1.0 {
+            exact_rank += 1;
+        }
+        if top_choice_agrees(&pred_ic, &measured, false) {
+            top1 += 1;
+        }
+        let mut row = vec![n as f64];
+        row.extend(measured);
+        row.extend(pred_ic);
+        row.extend(pred_oc);
+        print_row(&row);
+    }
+    println!(
+        "# ranking summary: exact ranking {}/{} sizes, best-variant agreement {}/{}, mean Kendall tau {:.3}",
+        exact_rank,
+        sizes.len(),
+        top1,
+        sizes.len(),
+        tau_acc / sizes.len() as f64
+    );
+}
+
+/// Figure IV.1: trinv predictions vs observations on Harpertown, plus the
+/// statistical prediction bands of Figure IV.1c.
+pub fn fig_iv1() {
+    let machine = harpertown_openblas();
+    trinv_prediction_figure(
+        "Fig IV.1 — trinv predictions vs observations (Harpertown, b = 96): measured (Auto locality), in-cache and out-of-cache median predictions",
+        machine.clone(),
+        &size_sweep(1024),
+        96,
+    );
+    // Fig IV.1c: statistical quantities for the large-size region.
+    let repo = cached_repository(&machine, Locality::InCache, &[Workload::Trinv]);
+    let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
+    print_header(
+        "Fig IV.1c — statistical prediction (n >= 512): per-variant bands",
+        &["n", "variant", "measured", "pred_min", "pred_median", "pred_mean", "pred_max"],
+    );
+    let mut executor = SimExecutor::new(machine, 10);
+    for &n in &[512usize, 640, 768, 896, 1024] {
+        for variant in TrinvVariant::ALL {
+            let m = measure_trinv(&mut executor, variant, n, 96, MeasurementMode::Auto);
+            let p = predict_trinv(&predictor, variant, n, 96).expect("prediction");
+            print_row(&[
+                n as f64,
+                variant.id() as f64,
+                m.efficiency,
+                p.min,
+                p.median,
+                p.mean,
+                p.max,
+            ]);
+        }
+    }
+}
+
+/// Figure IV.2: block-size optimisation for trinv (n = 1000).
+pub fn fig_iv2() {
+    let machine = harpertown_openblas();
+    let repo = cached_repository(&machine, Locality::InCache, &[Workload::Trinv]);
+    let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
+    print_header(
+        "Fig IV.2 — block-size optimisation for trinv (n = 1000, Harpertown)",
+        &[
+            "b", "v1_meas", "v2_meas", "v3_meas", "v4_meas", "v1_pred", "v2_pred", "v3_pred",
+            "v4_pred",
+        ],
+    );
+    let mut executor = SimExecutor::new(machine.clone(), 11);
+    let mut best_pred = vec![(0usize, 0.0f64); 4];
+    let mut best_meas = vec![(0usize, 0.0f64); 4];
+    for b in (1..=32).map(|i| i * 8) {
+        let mut row = vec![b as f64];
+        let mut meas = Vec::new();
+        let mut pred = Vec::new();
+        for (vi, variant) in TrinvVariant::ALL.iter().enumerate() {
+            let m = measure_trinv(&mut executor, *variant, 1000, b, MeasurementMode::Auto);
+            let p = predict_trinv(&predictor, *variant, 1000, b).expect("prediction");
+            if m.efficiency > best_meas[vi].1 {
+                best_meas[vi] = (b, m.efficiency);
+            }
+            if p.median > best_pred[vi].1 {
+                best_pred[vi] = (b, p.median);
+            }
+            meas.push(m.efficiency);
+            pred.push(p.median);
+        }
+        row.extend(meas);
+        row.extend(pred);
+        print_row(&row);
+    }
+    for (vi, variant) in TrinvVariant::ALL.iter().enumerate() {
+        println!(
+            "# {}: measured optimum b = {} (eff {:.3}), predicted optimum b = {} (eff {:.3})",
+            variant.name(),
+            best_meas[vi].0,
+            best_meas[vi].1,
+            best_pred[vi].0,
+            best_pred[vi].1
+        );
+    }
+}
+
+/// Figure IV.3: trinv predictions vs observations on Sandy Bridge (1 core).
+pub fn fig_iv3() {
+    let machine = sandy_bridge_openblas();
+    let sizes: Vec<usize> = (16..=32).map(|i| i * 32).collect();
+    trinv_prediction_figure(
+        "Fig IV.3 — trinv predictions vs observations (Sandy Bridge, 1 core, b = 96)",
+        machine,
+        &sizes,
+        96,
+    );
+}
+
+/// Figure IV.4: trinv with the multithreaded BLAS on all 8 Sandy Bridge cores.
+pub fn fig_iv4() {
+    let machine = sandy_bridge_openblas_threaded();
+    trinv_prediction_figure(
+        "Fig IV.4 — trinv predictions vs observations (Sandy Bridge, 8 threads, b = 96)",
+        machine.clone(),
+        &size_sweep(1024),
+        96,
+    );
+    // Crossover diagnostics (variants 3 and 4; variants 1/2 vs 3).
+    let mut executor = SimExecutor::new(machine, 12);
+    let mut crossover = None;
+    let mut v12_beat_v3 = 0usize;
+    let sizes = size_sweep(1024);
+    let mut prev: Option<(f64, f64)> = None;
+    for &n in &sizes {
+        let effs: Vec<f64> = TrinvVariant::ALL
+            .iter()
+            .map(|&v| measure_trinv(&mut executor, v, n, 96, MeasurementMode::Auto).efficiency)
+            .collect();
+        if effs[0] > effs[2] && effs[1] > effs[2] {
+            v12_beat_v3 += 1;
+        }
+        if let Some((p3, p4)) = prev {
+            if (p3 - p4).signum() != (effs[2] - effs[3]).signum() && crossover.is_none() {
+                crossover = Some(n);
+            }
+        }
+        prev = Some((effs[2], effs[3]));
+    }
+    match crossover {
+        Some(n) => println!("# variants 3 and 4 cross over near n = {n}"),
+        None => println!("# variants 3 and 4 do not cross over in the measured range"),
+    }
+    println!(
+        "# variants 1 and 2 are both faster than variant 3 at {}/{} sizes",
+        v12_beat_v3,
+        sizes.len()
+    );
+}
+
+/// Figure IV.5: the sixteen Sylvester variants, predictions vs observations.
+pub fn fig_iv5() {
+    let machine = harpertown_openblas();
+    let repo = cached_repository(&machine, Locality::InCache, &[Workload::Sylv]);
+    let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
+    let sizes: Vec<usize> = (1..=16).map(|i| i * 64).collect();
+    let variants = SylvVariant::all();
+
+    print_header(
+        "Fig IV.5 — sylv efficiency, measured (simulated execution), 16 variants",
+        &["n"],
+    );
+    println!("# columns: n, then variants 1..16");
+    let mut executor = SimExecutor::new(machine.clone(), 13);
+    let mut measured_at_max = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![n as f64];
+        for v in &variants {
+            let m = measure_sylv(&mut executor, *v, n, 96, MeasurementMode::Auto);
+            if n == *sizes.last().unwrap() {
+                measured_at_max.push(m.efficiency);
+            }
+            row.push(m.efficiency);
+        }
+        print_row(&row);
+    }
+
+    print_header(
+        "Fig IV.5 — sylv efficiency, predicted (in-cache models), 16 variants",
+        &["n"],
+    );
+    println!("# columns: n, then variants 1..16");
+    let mut predicted_at_max = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![n as f64];
+        for v in &variants {
+            let p = predict_sylv(&predictor, *v, n, 96).expect("prediction").median;
+            if n == *sizes.last().unwrap() {
+                predicted_at_max.push(p);
+            }
+            row.push(p);
+        }
+        print_row(&row);
+    }
+
+    // Group separation and top-4 ordering at the largest size.
+    let nmax = *sizes.last().unwrap();
+    let order_by = |scores: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+        idx.iter().map(|&i| i + 1).collect()
+    };
+    let measured_order = order_by(&measured_at_max);
+    let predicted_order = order_by(&predicted_at_max);
+    println!("# at n = {nmax}:");
+    println!("#   measured ranking  (best to worst): {measured_order:?}");
+    println!("#   predicted ranking (best to worst): {predicted_order:?}");
+    println!(
+        "#   measured top-4 {:?} vs predicted top-4 {:?}",
+        &measured_order[..4],
+        &predicted_order[..4]
+    );
+    println!(
+        "#   Kendall tau between predicted and measured scores: {:.3}",
+        kendall_tau(&predicted_at_max, &measured_at_max)
+    );
+}

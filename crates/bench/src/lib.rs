@@ -1,0 +1,16 @@
+//! # dla-bench
+//!
+//! The benchmark and figure-regeneration harness.
+//!
+//! Every figure of the paper has a corresponding binary (`fig_i1`, `fig_ii1`,
+//! ..., `fig_iv5`) that regenerates the figure's data series on the simulated
+//! machine and prints them as plain-text tables; `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison for each of them.  The criterion benches in
+//! `benches/` measure the throughput of the underlying kernels, the model
+//! evaluation and the modeling strategies themselves.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+pub mod support;

@@ -1,0 +1,113 @@
+//! Shared plumbing for the figure binaries: cached model repositories and
+//! table formatting.
+
+use std::path::PathBuf;
+
+use dla_core::machine::{Locality, MachineConfig};
+use dla_core::model::ModelRepository;
+use dla_core::predict::modelset::{build_repository, ModelSetConfig, Workload};
+
+/// Where cached model repositories are stored between figure runs.
+fn cache_dir() -> PathBuf {
+    let dir = std::env::var("DLAPERF_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("dlaperf-model-cache"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// The model-set configuration used by all section-IV figures.
+pub fn figure_model_config() -> ModelSetConfig {
+    ModelSetConfig {
+        max_size: 1024,
+        unblocked_max: 256,
+        gemm_k_max: 1024,
+        repetitions: 5,
+        strategy: dla_core::Strategy::paper_default(),
+    }
+}
+
+/// Builds (or loads from the on-disk cache) the model repository for a machine
+/// configuration, locality and set of workloads.
+///
+/// Building the full repository takes a few seconds; the figures of
+/// Section IV all share the same repository, so caching it keeps the whole
+/// figure suite fast and — more importantly — ensures every figure uses the
+/// *same* models, as in the paper.
+pub fn cached_repository(
+    machine: &MachineConfig,
+    locality: Locality,
+    workloads: &[Workload],
+) -> ModelRepository {
+    let tag: String = workloads
+        .iter()
+        .map(|w| match w {
+            Workload::Trinv => "trinv",
+            Workload::Sylv => "sylv",
+        })
+        .collect::<Vec<_>>()
+        .join("-");
+    let path = cache_dir().join(format!("{}-{}-{}.models", machine.id(), locality.name(), tag));
+    if let Ok(repo) = ModelRepository::load_file(&path) {
+        if !repo.is_empty() {
+            return repo;
+        }
+    }
+    let (repo, _) = build_repository(machine, locality, 0x5eed, &figure_model_config(), workloads);
+    repo.save_file(&path).ok();
+    repo
+}
+
+/// Prints a table header: a title line, a rule and the column names.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("# {title}");
+    let head: Vec<String> = columns.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", head.join(" "));
+}
+
+/// Prints one row of numeric cells (first cell is typically the x value).
+pub fn print_row(cells: &[f64]) {
+    let row: Vec<String> = cells.iter().map(|v| format_cell(*v)).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Prints one row with a leading text label.
+pub fn print_labeled_row(label: &str, cells: &[f64]) {
+    let row: Vec<String> = cells.iter().map(|v| format_cell(*v)).collect();
+    println!("{label:>14} {}", row.join(" "));
+}
+
+fn format_cell(v: f64) -> String {
+    if v == 0.0 {
+        format!("{:>14}", "0")
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:>14.4e}")
+    } else {
+        format!("{v:>14.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_core::machine::presets::harpertown_openblas;
+
+    #[test]
+    fn formatting_helpers_do_not_panic() {
+        print_header("test", &["a", "b"]);
+        print_row(&[1.0, 2.5e9]);
+        print_labeled_row("variant 1", &[0.5, 0.0, 1e-9]);
+    }
+
+    #[test]
+    fn cached_repository_roundtrip() {
+        // Use a private cache dir to avoid clobbering the real cache.
+        std::env::set_var("DLAPERF_CACHE_DIR", std::env::temp_dir().join("dlaperf-test-cache"));
+        let machine = harpertown_openblas();
+        // A tiny configuration would still be slow here, so only exercise the
+        // cache path with an empty workload list.
+        let repo = cached_repository(&machine, Locality::InCache, &[]);
+        assert!(repo.is_empty());
+        std::env::remove_var("DLAPERF_CACHE_DIR");
+    }
+}

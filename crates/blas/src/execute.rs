@@ -1,0 +1,307 @@
+//! Real execution of routine calls on synthetic operands.
+//!
+//! The simulated machine of `dla-machine` predicts ticks analytically; this
+//! module provides the complementary *native* path: given a [`Call`], allocate
+//! operands of the right shapes (triangular operands are well-conditioned so
+//! repeated execution stays numerically sane), and run the corresponding
+//! pure-Rust kernel.  The `NativeExecutor` wraps timing around
+//! [`PreparedCall::run`].
+
+use dla_mat::gen::MatrixGenerator;
+use dla_mat::Matrix;
+
+use crate::{dgemm, dsylv_unb, dsyrk, dtrmm, dtrsm, dtrtri_unb, Call, Side, Trans, Uplo};
+
+/// A routine call together with allocated operands, ready to run repeatedly.
+#[derive(Debug)]
+pub struct PreparedCall {
+    call: Call,
+    /// First operand (A / L).
+    a: Matrix,
+    /// Second operand (B / U), if any.
+    b: Option<Matrix>,
+    /// Output operand (C / X), if distinct from `b`.
+    c: Option<Matrix>,
+    /// Pristine copy of the operand that the routine overwrites, used by
+    /// [`PreparedCall::reset`].
+    pristine: Matrix,
+}
+
+impl PreparedCall {
+    /// Allocates and initialises the operands of `call` deterministically from
+    /// `seed`.
+    pub fn new(call: &Call, seed: u64) -> PreparedCall {
+        let mut g = MatrixGenerator::new(seed);
+        match call {
+            Call::Gemm {
+                transa,
+                transb,
+                m,
+                n,
+                k,
+                ..
+            } => {
+                let a = match transa {
+                    Trans::NoTrans => g.general(*m, *k),
+                    Trans::Trans => g.general(*k, *m),
+                };
+                let b = match transb {
+                    Trans::NoTrans => g.general(*k, *n),
+                    Trans::Trans => g.general(*n, *k),
+                };
+                let c = g.general(*m, *n);
+                PreparedCall {
+                    call: call.clone(),
+                    a,
+                    b: Some(b),
+                    pristine: c.clone(),
+                    c: Some(c),
+                }
+            }
+            Call::Trsm { side, uplo, m, n, .. } | Call::Trmm { side, uplo, m, n, .. } => {
+                let order = match side {
+                    Side::Left => *m,
+                    Side::Right => *n,
+                };
+                let a = match uplo {
+                    Uplo::Lower => g.lower_triangular(order, false),
+                    Uplo::Upper => g.upper_triangular(order, false),
+                };
+                let b = g.general(*m, *n);
+                PreparedCall {
+                    call: call.clone(),
+                    a,
+                    pristine: b.clone(),
+                    b: Some(b),
+                    c: None,
+                }
+            }
+            Call::Syrk { trans, n, k, .. } => {
+                let a = match trans {
+                    Trans::NoTrans => g.general(*n, *k),
+                    Trans::Trans => g.general(*k, *n),
+                };
+                let c = g.general(*n, *n);
+                PreparedCall {
+                    call: call.clone(),
+                    a,
+                    b: None,
+                    pristine: c.clone(),
+                    c: Some(c),
+                }
+            }
+            Call::TrtriUnb { uplo, n, .. } => {
+                let a = match uplo {
+                    Uplo::Lower => g.lower_triangular(*n, false),
+                    Uplo::Upper => g.upper_triangular(*n, false),
+                };
+                PreparedCall {
+                    call: call.clone(),
+                    pristine: a.clone(),
+                    a,
+                    b: None,
+                    c: None,
+                }
+            }
+            Call::SylvUnb { m, n, .. } => {
+                let l = g.lower_triangular(*m, false);
+                let u = g.upper_triangular(*n, false);
+                let x = g.general(*m, *n);
+                PreparedCall {
+                    call: call.clone(),
+                    a: l,
+                    b: Some(u),
+                    pristine: x.clone(),
+                    c: Some(x),
+                }
+            }
+        }
+    }
+
+    /// The call this instance executes.
+    pub fn call(&self) -> &Call {
+        &self.call
+    }
+
+    /// Total size of the allocated operands in bytes.
+    pub fn operand_bytes(&self) -> usize {
+        let mut total = self.a.as_slice().len();
+        if let Some(b) = &self.b {
+            total += b.as_slice().len();
+        }
+        if let Some(c) = &self.c {
+            total += c.as_slice().len();
+        }
+        total * std::mem::size_of::<f64>()
+    }
+
+    /// Restores the overwritten operand to its pristine contents so that
+    /// repeated `run()` calls operate on identical data.
+    pub fn reset(&mut self) {
+        match &self.call {
+            Call::Gemm { .. } | Call::Syrk { .. } | Call::SylvUnb { .. } => {
+                if let Some(c) = &mut self.c {
+                    c.copy_from(&self.pristine).expect("pristine copy matches");
+                }
+            }
+            Call::Trsm { .. } | Call::Trmm { .. } => {
+                if let Some(b) = &mut self.b {
+                    b.copy_from(&self.pristine).expect("pristine copy matches");
+                }
+            }
+            Call::TrtriUnb { .. } => {
+                self.a.copy_from(&self.pristine).expect("pristine copy matches");
+            }
+        }
+    }
+
+    /// Executes the kernel once on the prepared operands.
+    pub fn run(&mut self) {
+        match &self.call {
+            Call::Gemm {
+                transa,
+                transb,
+                alpha,
+                beta,
+                ..
+            } => {
+                let c = self.c.as_mut().expect("gemm has a C operand");
+                dgemm(
+                    *transa,
+                    *transb,
+                    *alpha,
+                    self.a.as_ref(),
+                    self.b.as_ref().expect("gemm has a B operand").as_ref(),
+                    *beta,
+                    c.as_mut(),
+                );
+            }
+            Call::Trsm {
+                side,
+                uplo,
+                transa,
+                diag,
+                alpha,
+                ..
+            } => {
+                let b = self.b.as_mut().expect("trsm has a B operand");
+                dtrsm(*side, *uplo, *transa, *diag, *alpha, self.a.as_ref(), b.as_mut());
+            }
+            Call::Trmm {
+                side,
+                uplo,
+                transa,
+                diag,
+                alpha,
+                ..
+            } => {
+                let b = self.b.as_mut().expect("trmm has a B operand");
+                dtrmm(*side, *uplo, *transa, *diag, *alpha, self.a.as_ref(), b.as_mut());
+            }
+            Call::Syrk {
+                uplo,
+                trans,
+                alpha,
+                beta,
+                ..
+            } => {
+                let c = self.c.as_mut().expect("syrk has a C operand");
+                dsyrk(*uplo, *trans, *alpha, self.a.as_ref(), *beta, c.as_mut());
+            }
+            Call::TrtriUnb { uplo, diag, .. } => {
+                dtrtri_unb(*uplo, *diag, self.a.as_mut());
+            }
+            Call::SylvUnb { .. } => {
+                let x = self.c.as_mut().expect("sylv has an X operand");
+                dsylv_unb(
+                    self.a.as_ref(),
+                    self.b.as_ref().expect("sylv has a U operand").as_ref(),
+                    x.as_mut(),
+                );
+            }
+        }
+    }
+
+    /// Convenience: reset then run.
+    pub fn reset_and_run(&mut self) {
+        self.reset();
+        self.run();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diag;
+
+    #[test]
+    fn prepared_gemm_runs_and_resets() {
+        let call = Call::gemm(Trans::NoTrans, Trans::Trans, 12, 9, 7, 1.0, 0.5);
+        let mut p = PreparedCall::new(&call, 1);
+        assert_eq!(p.call(), &call);
+        let before = p.c.as_ref().unwrap().clone();
+        p.run();
+        let after = p.c.as_ref().unwrap().clone();
+        assert!(!after.approx_eq(&before, 1e-15));
+        p.reset();
+        assert!(p.c.as_ref().unwrap().approx_eq(&before, 0.0));
+    }
+
+    #[test]
+    fn prepared_trsm_is_repeatable_after_reset() {
+        let call = Call::trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            32,
+            16,
+            0.37,
+        );
+        let mut p = PreparedCall::new(&call, 2);
+        p.reset_and_run();
+        let first = p.b.as_ref().unwrap().clone();
+        p.reset_and_run();
+        let second = p.b.as_ref().unwrap().clone();
+        assert!(first.approx_eq(&second, 0.0));
+    }
+
+    #[test]
+    fn prepared_trtri_inverts_in_place() {
+        let call = Call::trtri_unb(Uplo::Lower, Diag::NonUnit, 24);
+        let mut p = PreparedCall::new(&call, 3);
+        let original = p.a.clone();
+        p.run();
+        assert!(!p.a.approx_eq(&original, 1e-15));
+        p.reset();
+        assert!(p.a.approx_eq(&original, 0.0));
+    }
+
+    #[test]
+    fn prepared_sylv_and_syrk_run() {
+        let mut p = PreparedCall::new(&Call::sylv_unb(10, 14), 4);
+        p.reset_and_run();
+        let mut p = PreparedCall::new(&Call::syrk(Uplo::Upper, Trans::Trans, 9, 6, 1.0, 0.0), 5);
+        p.reset_and_run();
+    }
+
+    #[test]
+    fn operand_bytes_accounts_for_all_operands() {
+        let call = Call::gemm(Trans::NoTrans, Trans::NoTrans, 10, 10, 10, 1.0, 0.0);
+        let p = PreparedCall::new(&call, 6);
+        assert_eq!(p.operand_bytes(), 3 * 100 * 8);
+        let call = Call::trtri_unb(Uplo::Lower, Diag::NonUnit, 10);
+        let p = PreparedCall::new(&call, 7);
+        assert_eq!(p.operand_bytes(), 100 * 8);
+    }
+
+    #[test]
+    fn deterministic_operands_for_same_seed() {
+        let call = Call::gemm(Trans::NoTrans, Trans::NoTrans, 5, 5, 5, 1.0, 0.0);
+        let p1 = PreparedCall::new(&call, 42);
+        let p2 = PreparedCall::new(&call, 42);
+        assert!(p1.a.approx_eq(&p2.a, 0.0));
+        let p3 = PreparedCall::new(&call, 43);
+        assert!(!p1.a.approx_eq(&p3.a, 0.0));
+    }
+}

@@ -1,0 +1,228 @@
+//! General matrix-matrix multiplication.
+
+use dla_mat::{MatMut, MatRef};
+
+use crate::Trans;
+
+/// Cache-blocking tile size used along the `k` and `j` dimensions.
+const BLOCK: usize = 64;
+
+/// `C <- alpha * op(A) * op(B) + beta * C`.
+///
+/// `op(A)` is `m x k` and `op(B)` is `k x n`, where `m = C.rows()` and
+/// `n = C.cols()`.  The common dimension `k` is inferred from `A` and must be
+/// consistent with `B`; inconsistent operand shapes panic.
+pub fn dgemm(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match transa {
+        Trans::NoTrans => {
+            assert_eq!(a.rows(), m, "dgemm: op(A) must have {m} rows");
+            a.cols()
+        }
+        Trans::Trans => {
+            assert_eq!(a.cols(), m, "dgemm: op(A) must have {m} rows");
+            a.rows()
+        }
+    };
+    match transb {
+        Trans::NoTrans => {
+            assert_eq!(b.rows(), k, "dgemm: op(B) must have {k} rows");
+            assert_eq!(b.cols(), n, "dgemm: op(B) must have {n} cols");
+        }
+        Trans::Trans => {
+            assert_eq!(b.cols(), k, "dgemm: op(B) must have {k} rows");
+            assert_eq!(b.rows(), n, "dgemm: op(B) must have {n} cols");
+        }
+    }
+
+    // Scale C by beta first.
+    if beta != 1.0 {
+        for j in 0..n {
+            for i in 0..m {
+                let v = if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+                c.set(i, j, v);
+            }
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Element accessors hiding the transposition.
+    let a_at = |i: usize, l: usize| -> f64 {
+        match transa {
+            Trans::NoTrans => a.get(i, l),
+            Trans::Trans => a.get(l, i),
+        }
+    };
+    let b_at = |l: usize, j: usize| -> f64 {
+        match transb {
+            Trans::NoTrans => b.get(l, j),
+            Trans::Trans => b.get(j, l),
+        }
+    };
+
+    // Blocked j/k loops with a stride-1 inner loop over i (column-major C and,
+    // in the NoTrans case, column-major A columns).
+    let mut jb = 0;
+    while jb < n {
+        let jend = (jb + BLOCK).min(n);
+        let mut kb = 0;
+        while kb < k {
+            let kend = (kb + BLOCK).min(k);
+            for j in jb..jend {
+                for l in kb..kend {
+                    let blj = alpha * b_at(l, j);
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    for i in 0..m {
+                        let v = c.get(i, j) + a_at(i, l) * blj;
+                        c.set(i, j, v);
+                    }
+                }
+            }
+            kb = kend;
+        }
+        jb = jend;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::ops::matmul;
+    use dla_mat::Matrix;
+
+    fn reference(
+        transa: Trans,
+        transb: Trans,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c: &Matrix,
+    ) -> Matrix {
+        let opa = match transa {
+            Trans::NoTrans => a.clone(),
+            Trans::Trans => a.transposed(),
+        };
+        let opb = match transb {
+            Trans::NoTrans => b.clone(),
+            Trans::Trans => b.transposed(),
+        };
+        let ab = matmul(alpha, &opa, &opb).unwrap();
+        Matrix::from_fn(c.rows(), c.cols(), |i, j| ab[(i, j)] + beta * c[(i, j)])
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_reference() {
+        let mut g = MatrixGenerator::new(10);
+        let (m, n, k) = (13, 9, 17);
+        for transa in Trans::VALUES {
+            for transb in Trans::VALUES {
+                let a = match transa {
+                    Trans::NoTrans => g.general(m, k),
+                    Trans::Trans => g.general(k, m),
+                };
+                let b = match transb {
+                    Trans::NoTrans => g.general(k, n),
+                    Trans::Trans => g.general(n, k),
+                };
+                let c0 = g.general(m, n);
+                let expected = reference(transa, transb, 1.3, &a, &b, -0.7, &c0);
+                let mut c = c0.clone();
+                dgemm(transa, transb, 1.3, a.as_ref(), b.as_ref(), -0.7, c.as_mut());
+                assert!(
+                    c.approx_eq(&expected, 1e-11),
+                    "mismatch for transa={transa:?}, transb={transb:?}: {}",
+                    c.max_abs_diff(&expected)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        let mut g = MatrixGenerator::new(11);
+        let a = g.general(5, 5);
+        let b = g.general(5, 5);
+        let mut c = Matrix::from_fn(5, 5, |_, _| f64::NAN);
+        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        let expected = matmul(1.0, &a, &b).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let mut g = MatrixGenerator::new(12);
+        let a = g.general(4, 6);
+        let b = g.general(6, 3);
+        let c0 = g.general(4, 3);
+        let mut c = c0.clone();
+        dgemm(Trans::NoTrans, Trans::NoTrans, 0.0, a.as_ref(), b.as_ref(), 2.0, c.as_mut());
+        let mut expected = c0;
+        dla_mat::ops::scale_in_place(&mut expected, 2.0);
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn blocked_path_large_sizes() {
+        // Sizes beyond one cache block exercise the tiling loops.
+        let mut g = MatrixGenerator::new(13);
+        let (m, n, k) = (70, 65, 130);
+        let a = g.general(m, k);
+        let b = g.general(k, n);
+        let c0 = g.general(m, n);
+        let expected = reference(Trans::NoTrans, Trans::NoTrans, 1.0, &a, &b, 1.0, &c0);
+        let mut c = c0;
+        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        assert!(c.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn works_on_submatrix_views() {
+        let mut g = MatrixGenerator::new(14);
+        let big = g.general(20, 20);
+        let mut out = Matrix::zeros(6, 4);
+        let a = big.block(dla_mat::Rect::new(2, 3, 6, 5)).unwrap();
+        let b = big.block(dla_mat::Rect::new(8, 9, 5, 4)).unwrap();
+        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, out.as_mut());
+        let a_owned = a.to_matrix();
+        let b_owned = b.to_matrix();
+        let expected = matmul(1.0, &a_owned, &b_owned).unwrap();
+        assert!(out.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dgemm")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(5, 2);
+        let mut c = Matrix::zeros(3, 2);
+        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        let mut c = Matrix::zeros(0, 0);
+        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::from_fn(3, 2, |_, _| 5.0);
+        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        assert_eq!(c[(0, 0)], 5.0);
+    }
+}

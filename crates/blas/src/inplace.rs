@@ -1,0 +1,196 @@
+//! BLAS calls whose operands are blocks of a single parent matrix.
+//!
+//! The blocked triangular-inversion variants update blocks of one matrix `L`
+//! using other blocks of the same matrix (e.g. `L20 <- L21 * L10 + L20`).
+//! These wrappers carve the operand blocks out of the parent with
+//! [`dla_mat::Matrix::split_one_mut`], which verifies that the written block
+//! does not overlap any read block, and then forward to the regular kernels.
+
+use dla_mat::{Matrix, Rect};
+
+use crate::{dgemm, dtrmm, dtrsm, dtrtri_unb, Diag, Side, Trans, Uplo};
+
+/// `parent[c] <- alpha * op(parent[a]) * op(parent[b]) + beta * parent[c]`.
+///
+/// Panics if the blocks are out of bounds or the output block overlaps an
+/// input block.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_blocks(
+    parent: &mut Matrix,
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: Rect,
+    b: Rect,
+    beta: f64,
+    c: Rect,
+) {
+    let (c_view, refs) = parent
+        .split_one_mut(c, &[a, b])
+        .expect("dgemm_blocks: invalid or aliasing blocks");
+    dgemm(transa, transb, alpha, refs[0], refs[1], beta, c_view);
+}
+
+/// `parent[b] <- alpha * op(parent[a])^-1 * parent[b]` (or right-side variant).
+pub fn dtrsm_blocks(
+    parent: &mut Matrix,
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: Rect,
+    b: Rect,
+) {
+    let (b_view, refs) = parent
+        .split_one_mut(b, &[a])
+        .expect("dtrsm_blocks: invalid or aliasing blocks");
+    dtrsm(side, uplo, transa, diag, alpha, refs[0], b_view);
+}
+
+/// `parent[b] <- alpha * op(parent[a]) * parent[b]` (or right-side variant).
+pub fn dtrmm_blocks(
+    parent: &mut Matrix,
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: Rect,
+    b: Rect,
+) {
+    let (b_view, refs) = parent
+        .split_one_mut(b, &[a])
+        .expect("dtrmm_blocks: invalid or aliasing blocks");
+    dtrmm(side, uplo, transa, diag, alpha, refs[0], b_view);
+}
+
+/// In-place inversion of the triangular block `parent[a]`.
+pub fn dtrtri_block(parent: &mut Matrix, uplo: Uplo, diag: Diag, a: Rect) {
+    let view = parent
+        .block_mut(a)
+        .expect("dtrtri_block: block out of bounds");
+    dtrtri_unb(uplo, diag, view);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::ops::{self, matmul};
+
+    #[test]
+    fn gemm_blocks_updates_only_target_block() {
+        let mut g = MatrixGenerator::new(60);
+        let mut m = g.general(12, 12);
+        let original = m.clone();
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(0, 4, 4, 4);
+        let c = Rect::new(4, 4, 4, 4);
+        dgemm_blocks(&mut m, Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, c);
+        // target block equals product of source blocks
+        let a_m = original.block(a).unwrap().to_matrix();
+        let b_m = original.block(b).unwrap().to_matrix();
+        let expected = matmul(1.0, &a_m, &b_m).unwrap();
+        let got = m.block(c).unwrap().to_matrix();
+        assert!(got.approx_eq(&expected, 1e-12));
+        // everything outside c is untouched
+        for j in 0..12 {
+            for i in 0..12 {
+                if !(4..8).contains(&i) || !(4..8).contains(&j) {
+                    assert_eq!(m[(i, j)], original[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_and_trmm_blocks_match_out_of_place() {
+        let mut g = MatrixGenerator::new(61);
+        let tri = g.lower_triangular(4, false);
+        let rhs = g.general(4, 6);
+        // Assemble a parent holding the triangle at (0,0) and the rhs at (0,4).
+        let mut parent = Matrix::zeros(4, 10);
+        for j in 0..4 {
+            for i in 0..4 {
+                parent.set(i, j, tri[(i, j)]);
+            }
+        }
+        for j in 0..6 {
+            for i in 0..4 {
+                parent.set(i, 4 + j, rhs[(i, j)]);
+            }
+        }
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(0, 4, 4, 6);
+        dtrsm_blocks(
+            &mut parent,
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a,
+            b,
+        );
+        let mut expected = rhs.clone();
+        crate::dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            tri.as_ref(),
+            expected.as_mut(),
+        );
+        assert!(parent.block(b).unwrap().to_matrix().approx_eq(&expected, 1e-12));
+
+        dtrmm_blocks(
+            &mut parent,
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a,
+            b,
+        );
+        // trmm after trsm restores the original rhs
+        assert!(parent.block(b).unwrap().to_matrix().approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn trtri_block_inverts_diagonal_block() {
+        let mut g = MatrixGenerator::new(62);
+        let mut m = Matrix::zeros(8, 8);
+        let tri = g.lower_triangular(3, false);
+        for j in 0..3 {
+            for i in 0..3 {
+                m.set(4 + i, 4 + j, tri[(i, j)]);
+            }
+        }
+        dtrtri_block(&mut m, Uplo::Lower, Diag::NonUnit, Rect::new(4, 4, 3, 3));
+        let inv = m.block(Rect::new(4, 4, 3, 3)).unwrap().to_matrix();
+        let inv = ops::lower_triangular(&inv, false).unwrap();
+        let prod = matmul(1.0, &tri, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing")]
+    fn overlapping_blocks_panic() {
+        let mut m = Matrix::zeros(8, 8);
+        dgemm_blocks(
+            &mut m,
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            Rect::new(0, 0, 4, 4),
+            Rect::new(0, 4, 4, 4),
+            0.0,
+            Rect::new(2, 2, 4, 4),
+        );
+    }
+
+    use dla_mat::Matrix;
+}

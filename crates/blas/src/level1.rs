@@ -1,0 +1,108 @@
+//! Level-1 BLAS: vector-vector operations.
+
+/// `y <- alpha * x + y`.
+///
+/// Panics if the vectors have different lengths.
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "daxpy: length mismatch");
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x <- alpha * x`.
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    if alpha == 1.0 {
+        return;
+    }
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product `x^T y`.
+///
+/// Panics if the vectors have different lengths.
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ddot: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// `y <- x`.
+///
+/// Panics if the vectors have different lengths.
+pub fn dcopy(x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "dcopy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Euclidean norm `||x||_2`, computed with scaling to avoid overflow.
+pub fn dnrm2(x: &[f64]) -> f64 {
+    let mut scale: f64 = 0.0;
+    let mut ssq: f64 = 1.0;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a) * (scale / a);
+                scale = a;
+            } else {
+                ssq += (a / scale) * (a / scale);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        daxpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        daxpy(0.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        daxpy(1.0, &[1.0], &mut [1.0, 2.0]);
+    }
+
+    #[test]
+    fn scal_and_copy() {
+        let mut x = vec![1.0, -2.0, 4.0];
+        dscal(0.5, &mut x);
+        assert_eq!(x, vec![0.5, -1.0, 2.0]);
+        dscal(1.0, &mut x);
+        assert_eq!(x, vec![0.5, -1.0, 2.0]);
+        let mut y = vec![0.0; 3];
+        dcopy(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let x = vec![3.0, 4.0];
+        assert_eq!(ddot(&x, &x), 25.0);
+        assert_eq!(dnrm2(&x), 5.0);
+        assert_eq!(dnrm2(&[]), 0.0);
+        assert_eq!(dnrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norm_is_overflow_safe() {
+        let big = 1e200;
+        let x = vec![big, big];
+        let n = dnrm2(&x);
+        assert!((n - big * 2.0f64.sqrt()).abs() / n < 1e-12);
+    }
+}

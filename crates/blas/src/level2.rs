@@ -1,0 +1,290 @@
+//! Level-2 BLAS: matrix-vector operations.
+//!
+//! These are used by the unblocked kernels (`dtrtri_unb`, `dsylv_unb`) and as
+//! independent references in tests.
+
+use dla_mat::{MatMut, MatRef};
+
+use crate::{Diag, Trans, Uplo};
+
+/// `y <- alpha * op(A) * x + beta * y`.
+///
+/// `op(A)` is `A` or `A^T` depending on `trans`.  Dimensions: `A` is `m x n`,
+/// `x` has `n` (or `m` if transposed) entries and `y` has `m` (or `n`) entries.
+pub fn dgemv(trans: Trans, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    let m = a.rows();
+    let n = a.cols();
+    match trans {
+        Trans::NoTrans => {
+            assert_eq!(x.len(), n, "dgemv: x length");
+            assert_eq!(y.len(), m, "dgemv: y length");
+            for yi in y.iter_mut() {
+                *yi *= beta;
+            }
+            for j in 0..n {
+                let axj = alpha * x[j];
+                if axj == 0.0 {
+                    continue;
+                }
+                for (i, yi) in y.iter_mut().enumerate() {
+                    *yi += a.get(i, j) * axj;
+                }
+            }
+        }
+        Trans::Trans => {
+            assert_eq!(x.len(), m, "dgemv: x length");
+            assert_eq!(y.len(), n, "dgemv: y length");
+            for (j, yj) in y.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, xi) in x.iter().enumerate() {
+                    acc += a.get(i, j) * xi;
+                }
+                *yj = alpha * acc + beta * *yj;
+            }
+        }
+    }
+}
+
+/// Rank-1 update `A <- alpha * x * y^T + A`.
+pub fn dger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
+    assert_eq!(x.len(), a.rows(), "dger: x length");
+    assert_eq!(y.len(), a.cols(), "dger: y length");
+    if alpha == 0.0 {
+        return;
+    }
+    for (j, yj) in y.iter().enumerate() {
+        let ayj = alpha * yj;
+        if ayj == 0.0 {
+            continue;
+        }
+        for (i, xi) in x.iter().enumerate() {
+            let v = a.get(i, j) + xi * ayj;
+            a.set(i, j, v);
+        }
+    }
+}
+
+/// Triangular solve `x <- op(A)^-1 x` with `A` triangular.
+pub fn dtrsv(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_>, x: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "dtrsv: A must be square");
+    assert_eq!(x.len(), n, "dtrsv: x length");
+    let lower = matches!(uplo, Uplo::Lower);
+    let forward = lower ^ matches!(trans, Trans::Trans);
+    let idx: Vec<usize> = if forward {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    };
+    for &i in &idx {
+        let mut acc = x[i];
+        match trans {
+            Trans::NoTrans => {
+                if lower {
+                    for k in 0..i {
+                        acc -= a.get(i, k) * x[k];
+                    }
+                } else {
+                    for k in (i + 1)..n {
+                        acc -= a.get(i, k) * x[k];
+                    }
+                }
+            }
+            Trans::Trans => {
+                if lower {
+                    for k in (i + 1)..n {
+                        acc -= a.get(k, i) * x[k];
+                    }
+                } else {
+                    for k in 0..i {
+                        acc -= a.get(k, i) * x[k];
+                    }
+                }
+            }
+        }
+        let d = match diag {
+            Diag::Unit => 1.0,
+            Diag::NonUnit => a.get(i, i),
+        };
+        x[i] = acc / d;
+    }
+}
+
+/// Triangular matrix-vector product `x <- op(A) * x` with `A` triangular.
+pub fn dtrmv(uplo: Uplo, trans: Trans, diag: Diag, a: MatRef<'_>, x: &mut [f64]) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "dtrmv: A must be square");
+    assert_eq!(x.len(), n, "dtrmv: x length");
+    let lower = matches!(uplo, Uplo::Lower);
+    let out: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut acc = 0.0;
+            for k in 0..n {
+                let aik = match trans {
+                    Trans::NoTrans => {
+                        let stored = if lower { i >= k } else { i <= k };
+                        if !stored {
+                            continue;
+                        }
+                        if i == k && matches!(diag, Diag::Unit) {
+                            1.0
+                        } else {
+                            a.get(i, k)
+                        }
+                    }
+                    Trans::Trans => {
+                        let stored = if lower { k >= i } else { k <= i };
+                        if !stored {
+                            continue;
+                        }
+                        if i == k && matches!(diag, Diag::Unit) {
+                            1.0
+                        } else {
+                            a.get(k, i)
+                        }
+                    }
+                };
+                acc += aik * x[k];
+            }
+            acc
+        })
+        .collect();
+    x.copy_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::ops;
+    use dla_mat::Matrix;
+
+    #[test]
+    fn gemv_matches_reference() {
+        let mut g = MatrixGenerator::new(1);
+        let a = g.general(4, 3);
+        let x = g.vector(3);
+        let mut y = g.vector(4);
+        let y0 = y.clone();
+        dgemv(Trans::NoTrans, 2.0, a.as_ref(), &x, 0.5, &mut y);
+        for i in 0..4 {
+            let mut acc = 0.5 * y0[i];
+            for j in 0..3 {
+                acc += 2.0 * a[(i, j)] * x[j];
+            }
+            assert!((y[i] - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_transposed() {
+        let mut g = MatrixGenerator::new(2);
+        let a = g.general(4, 3);
+        let x = g.vector(4);
+        let mut y = vec![0.0; 3];
+        dgemv(Trans::Trans, 1.0, a.as_ref(), &x, 0.0, &mut y);
+        for j in 0..3 {
+            let mut acc = 0.0;
+            for i in 0..4 {
+                acc += a[(i, j)] * x[i];
+            }
+            assert!((y[j] - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ger_rank_one_update() {
+        let mut a = Matrix::zeros(3, 2);
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![4.0, 5.0];
+        dger(2.0, &x, &y, a.as_mut());
+        assert_eq!(a[(0, 0)], 8.0);
+        assert_eq!(a[(2, 1)], 30.0);
+        let before = a.clone();
+        dger(0.0, &x, &y, a.as_mut());
+        assert!(a.approx_eq(&before, 0.0));
+    }
+
+    #[test]
+    fn trsv_all_flag_combinations() {
+        let mut g = MatrixGenerator::new(3);
+        let n = 12;
+        for uplo in Uplo::VALUES {
+            for trans in Trans::VALUES {
+                for diag in Diag::VALUES {
+                    let tri = match uplo {
+                        Uplo::Lower => g.lower_triangular(n, matches!(diag, Diag::Unit)),
+                        Uplo::Upper => g.upper_triangular(n, matches!(diag, Diag::Unit)),
+                    };
+                    let x_true = g.vector(n);
+                    // b = op(A) * x_true computed with the reference ops
+                    let eff = match (uplo, diag) {
+                        (Uplo::Lower, Diag::Unit) => ops::lower_triangular(&tri, true).unwrap(),
+                        (Uplo::Lower, Diag::NonUnit) => tri.clone(),
+                        (Uplo::Upper, Diag::Unit) => ops::upper_triangular(&tri, true).unwrap(),
+                        (Uplo::Upper, Diag::NonUnit) => tri.clone(),
+                    };
+                    let op_a = match trans {
+                        Trans::NoTrans => eff.clone(),
+                        Trans::Trans => eff.transposed(),
+                    };
+                    let mut b = vec![0.0; n];
+                    for i in 0..n {
+                        for k in 0..n {
+                            b[i] += op_a[(i, k)] * x_true[k];
+                        }
+                    }
+                    let mut x = b.clone();
+                    dtrsv(uplo, trans, diag, tri.as_ref(), &mut x);
+                    for i in 0..n {
+                        assert!(
+                            (x[i] - x_true[i]).abs() < 1e-9,
+                            "uplo={uplo:?} trans={trans:?} diag={diag:?} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trmv_all_flag_combinations() {
+        let mut g = MatrixGenerator::new(4);
+        let n = 9;
+        for uplo in Uplo::VALUES {
+            for trans in Trans::VALUES {
+                for diag in Diag::VALUES {
+                    let tri = match uplo {
+                        Uplo::Lower => g.lower_triangular(n, false),
+                        Uplo::Upper => g.upper_triangular(n, false),
+                    };
+                    let eff = match (uplo, diag) {
+                        (Uplo::Lower, Diag::Unit) => ops::lower_triangular(&tri, true).unwrap(),
+                        (Uplo::Lower, Diag::NonUnit) => tri.clone(),
+                        (Uplo::Upper, Diag::Unit) => ops::upper_triangular(&tri, true).unwrap(),
+                        (Uplo::Upper, Diag::NonUnit) => tri.clone(),
+                    };
+                    let op_a = match trans {
+                        Trans::NoTrans => eff.clone(),
+                        Trans::Trans => eff.transposed(),
+                    };
+                    let x0 = g.vector(n);
+                    let mut expected = vec![0.0; n];
+                    for i in 0..n {
+                        for k in 0..n {
+                            expected[i] += op_a[(i, k)] * x0[k];
+                        }
+                    }
+                    let mut x = x0.clone();
+                    dtrmv(uplo, trans, diag, tri.as_ref(), &mut x);
+                    for i in 0..n {
+                        assert!(
+                            (x[i] - expected[i]).abs() < 1e-10,
+                            "uplo={uplo:?} trans={trans:?} diag={diag:?} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

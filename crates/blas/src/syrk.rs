@@ -1,0 +1,128 @@
+//! Symmetric rank-k update.
+
+use dla_mat::{MatMut, MatRef};
+
+use crate::{Trans, Uplo};
+
+/// `C <- alpha * A * A^T + beta * C` (trans = NoTrans) or
+/// `C <- alpha * A^T * A + beta * C` (trans = Trans), updating only the
+/// triangle of `C` selected by `uplo`.
+///
+/// `C` is `n x n`; `A` is `n x k` (NoTrans) or `k x n` (Trans).
+pub fn dsyrk(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n, "dsyrk: C must be square");
+    let k = match trans {
+        Trans::NoTrans => {
+            assert_eq!(a.rows(), n, "dsyrk: A must have n rows for trans=N");
+            a.cols()
+        }
+        Trans::Trans => {
+            assert_eq!(a.cols(), n, "dsyrk: A must have n cols for trans=T");
+            a.rows()
+        }
+    };
+    let a_at = |i: usize, l: usize| -> f64 {
+        match trans {
+            Trans::NoTrans => a.get(i, l),
+            Trans::Trans => a.get(l, i),
+        }
+    };
+    for j in 0..n {
+        let (i_lo, i_hi) = match uplo {
+            Uplo::Lower => (j, n),
+            Uplo::Upper => (0, j + 1),
+        };
+        for i in i_lo..i_hi {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a_at(i, l) * a_at(j, l);
+            }
+            let prev = if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+            c.set(i, j, alpha * acc + prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::ops::matmul;
+    use dla_mat::Matrix;
+
+    #[test]
+    fn lower_notrans_matches_reference() {
+        let mut g = MatrixGenerator::new(40);
+        let n = 8;
+        let k = 5;
+        let a = g.general(n, k);
+        let c0 = g.general(n, n);
+        let mut c = c0.clone();
+        dsyrk(Uplo::Lower, Trans::NoTrans, 2.0, a.as_ref(), 0.5, c.as_mut());
+        let aat = matmul(2.0, &a, &a.transposed()).unwrap();
+        for j in 0..n {
+            for i in 0..n {
+                if i >= j {
+                    let expected = aat[(i, j)] + 0.5 * c0[(i, j)];
+                    assert!((c[(i, j)] - expected).abs() < 1e-12);
+                } else {
+                    // strictly upper part untouched
+                    assert_eq!(c[(i, j)], c0[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_trans_matches_reference() {
+        let mut g = MatrixGenerator::new(41);
+        let n = 6;
+        let k = 9;
+        let a = g.general(k, n);
+        let c0 = g.general(n, n);
+        let mut c = c0.clone();
+        dsyrk(Uplo::Upper, Trans::Trans, -1.0, a.as_ref(), 0.0, c.as_mut());
+        let ata = matmul(-1.0, &a.transposed(), &a).unwrap();
+        for j in 0..n {
+            for i in 0..n {
+                if i <= j {
+                    assert!((c[(i, j)] - ata[(i, j)]).abs() < 1e-12);
+                } else {
+                    assert_eq!(c[(i, j)], c0[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_triangle_is_symmetric_part() {
+        // Running lower and upper variants on a zero C gives each other's transpose.
+        let mut g = MatrixGenerator::new(42);
+        let a = g.general(7, 4);
+        let mut cl = Matrix::zeros(7, 7);
+        let mut cu = Matrix::zeros(7, 7);
+        dsyrk(Uplo::Lower, Trans::NoTrans, 1.0, a.as_ref(), 0.0, cl.as_mut());
+        dsyrk(Uplo::Upper, Trans::NoTrans, 1.0, a.as_ref(), 0.0, cu.as_mut());
+        for i in 0..7 {
+            for j in 0..=i {
+                assert!((cl[(i, j)] - cu[(j, i)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_c_panics() {
+        let a = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(3, 4);
+        dsyrk(Uplo::Lower, Trans::NoTrans, 1.0, a.as_ref(), 0.0, c.as_mut());
+    }
+}

@@ -1,0 +1,182 @@
+//! Multi-threaded `dgemm` built on `std::thread::scope`.
+//!
+//! The shared-memory experiment of the paper (Figure IV.4) links the blocked
+//! algorithms against a multithreaded BLAS.  This module provides the native
+//! counterpart: the columns of `C` are partitioned into contiguous strips, one
+//! per worker, and each worker runs the sequential [`crate::dgemm`] kernel on
+//! its strip.  Because the strips are disjoint blocks of `C`, the split is
+//! expressed safely with [`dla_mat::MatMut::split_two_mut`].
+
+use dla_mat::{MatMut, MatRef, Rect};
+
+use crate::{dgemm, Trans};
+
+/// `C <- alpha * op(A) * op(B) + beta * C` computed with `threads` workers.
+///
+/// Falls back to the sequential kernel for a single thread or tiny matrices.
+pub fn dgemm_threaded(
+    threads: usize,
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    let n = c.cols();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 2 {
+        dgemm(transa, transb, alpha, a, b, beta, c);
+        return;
+    }
+
+    // Carve C into column strips and pair each with the matching strip of op(B).
+    let mut strips: Vec<(usize, usize, MatMut<'_>)> = Vec::with_capacity(threads);
+    let mut remaining = c;
+    let mut col0 = 0usize;
+    let rows = remaining.rows();
+    for t in 0..threads {
+        let cols_left = n - col0;
+        let width = cols_left / (threads - t) + usize::from(cols_left % (threads - t) != 0);
+        let width = width.min(cols_left);
+        if width == 0 {
+            break;
+        }
+        if col0 + width == n {
+            strips.push((col0, width, remaining));
+            break;
+        }
+        let (head, tail) = remaining.split_two_mut(
+            Rect::new(0, 0, rows, width),
+            Rect::new(0, width, rows, n - col0 - width),
+        );
+        strips.push((col0, width, head));
+        remaining = tail;
+        col0 += width;
+    }
+
+    std::thread::scope(|scope| {
+        for (col0, width, strip) in strips {
+            let b_strip = match transb {
+                Trans::NoTrans => b.submatrix(Rect::new(0, col0, b.rows(), width)),
+                Trans::Trans => b.submatrix(Rect::new(col0, 0, width, b.cols())),
+            };
+            scope.spawn(move || {
+                dgemm(transa, transb, alpha, a, b_strip, beta, strip);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::Matrix;
+
+    fn check_threads(threads: usize, m: usize, n: usize, k: usize) {
+        let mut g = MatrixGenerator::new(70 + threads as u64);
+        let a = g.general(m, k);
+        let b = g.general(k, n);
+        let c0 = g.general(m, n);
+        let mut c_seq = c0.clone();
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.5,
+            a.as_ref(),
+            b.as_ref(),
+            -0.5,
+            c_seq.as_mut(),
+        );
+        let mut c_par = c0;
+        dgemm_threaded(
+            threads,
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.5,
+            a.as_ref(),
+            b.as_ref(),
+            -0.5,
+            c_par.as_mut(),
+        );
+        assert!(
+            c_par.approx_eq(&c_seq, 1e-11),
+            "threads={threads}: diff {}",
+            c_par.max_abs_diff(&c_seq)
+        );
+    }
+
+    #[test]
+    fn matches_sequential_for_various_thread_counts() {
+        for threads in [1usize, 2, 3, 4, 8] {
+            check_threads(threads, 33, 29, 41);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_columns() {
+        check_threads(16, 10, 3, 12);
+    }
+
+    #[test]
+    fn transposed_operands() {
+        let mut g = MatrixGenerator::new(80);
+        let (m, n, k) = (17, 23, 11);
+        let a = g.general(k, m);
+        let b = g.general(n, k);
+        let c0 = g.general(m, n);
+        let mut c_seq = c0.clone();
+        dgemm(
+            Trans::Trans,
+            Trans::Trans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            1.0,
+            c_seq.as_mut(),
+        );
+        let mut c_par = c0;
+        dgemm_threaded(
+            4,
+            Trans::Trans,
+            Trans::Trans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            1.0,
+            c_par.as_mut(),
+        );
+        assert!(c_par.approx_eq(&c_seq, 1e-11));
+    }
+
+    #[test]
+    fn single_column_falls_back() {
+        let mut g = MatrixGenerator::new(81);
+        let a = g.general(5, 5);
+        let b = g.general(5, 1);
+        let mut c = Matrix::zeros(5, 1);
+        dgemm_threaded(
+            8,
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        let mut expected = Matrix::zeros(5, 1);
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            expected.as_mut(),
+        );
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+}

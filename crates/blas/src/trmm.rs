@@ -1,0 +1,202 @@
+//! Triangular matrix-matrix multiplication.
+
+use dla_mat::{MatMut, MatRef};
+
+use crate::level2::dtrmv;
+use crate::{Diag, Side, Trans, Uplo};
+
+/// `B <- alpha * op(A) * B` (side = Left) or `B <- alpha * B * op(A)`
+/// (side = Right), with `A` triangular.
+///
+/// As with [`crate::dtrsm`], the implementation forwards to the level-2
+/// triangular multiply per column (Left) or per row with a toggled
+/// transposition flag (Right).
+pub fn dtrmm(
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: MatRef<'_>,
+    mut b: MatMut<'_>,
+) {
+    let m = b.rows();
+    let n = b.cols();
+    assert_eq!(a.rows(), a.cols(), "dtrmm: A must be square");
+    match side {
+        Side::Left => assert_eq!(a.rows(), m, "dtrmm: A order must equal B rows for side=L"),
+        Side::Right => assert_eq!(a.rows(), n, "dtrmm: A order must equal B cols for side=R"),
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 {
+        b.fill(0.0);
+        return;
+    }
+
+    match side {
+        Side::Left => {
+            let mut col = vec![0.0; m];
+            for j in 0..n {
+                for (i, c) in col.iter_mut().enumerate() {
+                    *c = b.get(i, j);
+                }
+                dtrmv(uplo, transa, diag, a, &mut col);
+                for (i, c) in col.iter().enumerate() {
+                    b.set(i, j, alpha * c);
+                }
+            }
+        }
+        Side::Right => {
+            // B * op(A) = (op(A)^T * B^T)^T: operate on rows with the flag toggled.
+            let flipped = match transa {
+                Trans::NoTrans => Trans::Trans,
+                Trans::Trans => Trans::NoTrans,
+            };
+            let mut row = vec![0.0; n];
+            for i in 0..m {
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r = b.get(i, j);
+                }
+                dtrmv(uplo, flipped, diag, a, &mut row);
+                for (j, r) in row.iter().enumerate() {
+                    b.set(i, j, alpha * r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::ops::{self, matmul};
+    use dla_mat::Matrix;
+
+    fn effective(a: &Matrix, uplo: Uplo, diag: Diag, trans: Trans) -> Matrix {
+        let tri = match uplo {
+            Uplo::Lower => ops::lower_triangular(a, matches!(diag, Diag::Unit)).unwrap(),
+            Uplo::Upper => ops::upper_triangular(a, matches!(diag, Diag::Unit)).unwrap(),
+        };
+        match trans {
+            Trans::NoTrans => tri,
+            Trans::Trans => tri.transposed(),
+        }
+    }
+
+    #[test]
+    fn all_sixteen_flag_combinations() {
+        let mut g = MatrixGenerator::new(30);
+        let (m, n) = (9, 12);
+        let alpha = -1.5;
+        for side in Side::VALUES {
+            for uplo in Uplo::VALUES {
+                for transa in Trans::VALUES {
+                    for diag in Diag::VALUES {
+                        let order = match side {
+                            Side::Left => m,
+                            Side::Right => n,
+                        };
+                        let a = match uplo {
+                            Uplo::Lower => g.lower_triangular(order, false),
+                            Uplo::Upper => g.upper_triangular(order, false),
+                        };
+                        let b0 = g.general(m, n);
+                        let mut b = b0.clone();
+                        dtrmm(side, uplo, transa, diag, alpha, a.as_ref(), b.as_mut());
+                        let opa = effective(&a, uplo, diag, transa);
+                        let expected = match side {
+                            Side::Left => matmul(alpha, &opa, &b0).unwrap(),
+                            Side::Right => matmul(alpha, &b0, &opa).unwrap(),
+                        };
+                        assert!(
+                            b.approx_eq(&expected, 1e-10),
+                            "side={side:?} uplo={uplo:?} trans={transa:?} diag={diag:?}: diff {}",
+                            b.max_abs_diff(&expected)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_then_trsm_roundtrip() {
+        let mut g = MatrixGenerator::new(31);
+        let a = g.upper_triangular(14, false);
+        let b0 = g.general(10, 14);
+        let mut b = b0.clone();
+        dtrmm(
+            Side::Right,
+            Uplo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        crate::dtrsm(
+            Side::Right,
+            Uplo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        assert!(b.approx_eq(&b0, 1e-9));
+    }
+
+    #[test]
+    fn alpha_zero_clears_b() {
+        let mut g = MatrixGenerator::new(32);
+        let a = g.lower_triangular(4, false);
+        let mut b = g.general(4, 4);
+        dtrmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            0.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        assert_eq!(b.max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn mismatched_order_panics() {
+        let a = Matrix::identity(5);
+        let mut b = Matrix::zeros(4, 4);
+        dtrmm(
+            Side::Right,
+            Uplo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+    }
+
+    #[test]
+    fn zero_size_block_is_noop() {
+        // trinv traces contain trmm calls with a zero dimension in the first
+        // iteration (e.g. n = 0); these must be accepted silently.
+        let a = Matrix::identity(5);
+        let mut b = Matrix::zeros(0, 5);
+        dtrmm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        assert!(b.is_empty());
+    }
+}

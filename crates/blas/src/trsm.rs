@@ -1,0 +1,239 @@
+//! Triangular solve with multiple right-hand sides.
+
+use dla_mat::{MatMut, MatRef};
+
+use crate::level2::dtrsv;
+use crate::{Diag, Side, Trans, Uplo};
+
+/// `B <- alpha * op(A)^-1 * B` (side = Left) or `B <- alpha * B * op(A)^-1`
+/// (side = Right), with `A` triangular.
+///
+/// `A` must be square with order `m = B.rows()` (Left) or `n = B.cols()`
+/// (Right).  The implementation forwards to the level-2 triangular solver
+/// column by column (Left) or row by row (Right); for the right-side case the
+/// identity `X * op(A) = B  ⇔  op(A)^T * X^T = B^T` is used, i.e. the
+/// transposition flag is toggled and the solve runs over the rows of `B`.
+pub fn dtrsm(
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: MatRef<'_>,
+    mut b: MatMut<'_>,
+) {
+    let m = b.rows();
+    let n = b.cols();
+    assert_eq!(a.rows(), a.cols(), "dtrsm: A must be square");
+    match side {
+        Side::Left => assert_eq!(a.rows(), m, "dtrsm: A order must equal B rows for side=L"),
+        Side::Right => assert_eq!(a.rows(), n, "dtrsm: A order must equal B cols for side=R"),
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 {
+        b.fill(0.0);
+        return;
+    }
+
+    match side {
+        Side::Left => {
+            let mut col = vec![0.0; m];
+            for j in 0..n {
+                for (i, c) in col.iter_mut().enumerate() {
+                    *c = alpha * b.get(i, j);
+                }
+                dtrsv(uplo, transa, diag, a, &mut col);
+                for (i, c) in col.iter().enumerate() {
+                    b.set(i, j, *c);
+                }
+            }
+        }
+        Side::Right => {
+            let flipped = match transa {
+                Trans::NoTrans => Trans::Trans,
+                Trans::Trans => Trans::NoTrans,
+            };
+            let mut row = vec![0.0; n];
+            for i in 0..m {
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r = alpha * b.get(i, j);
+                }
+                dtrsv(uplo, flipped, diag, a, &mut row);
+                for (j, r) in row.iter().enumerate() {
+                    b.set(i, j, *r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::ops::{self, matmul};
+    use dla_mat::Matrix;
+
+    /// Effective dense triangular operand taking `uplo`, `diag` and `trans`
+    /// into account.
+    fn effective(a: &Matrix, uplo: Uplo, diag: Diag, trans: Trans) -> Matrix {
+        let tri = match uplo {
+            Uplo::Lower => ops::lower_triangular(a, matches!(diag, Diag::Unit)).unwrap(),
+            Uplo::Upper => ops::upper_triangular(a, matches!(diag, Diag::Unit)).unwrap(),
+        };
+        match trans {
+            Trans::NoTrans => tri,
+            Trans::Trans => tri.transposed(),
+        }
+    }
+
+    #[test]
+    fn all_sixteen_flag_combinations() {
+        let mut g = MatrixGenerator::new(20);
+        let (m, n) = (11, 7);
+        let alpha = 0.37;
+        for side in Side::VALUES {
+            for uplo in Uplo::VALUES {
+                for transa in Trans::VALUES {
+                    for diag in Diag::VALUES {
+                        let order = match side {
+                            Side::Left => m,
+                            Side::Right => n,
+                        };
+                        let a = match uplo {
+                            Uplo::Lower => g.lower_triangular(order, false),
+                            Uplo::Upper => g.upper_triangular(order, false),
+                        };
+                        let b0 = g.general(m, n);
+                        let mut b = b0.clone();
+                        dtrsm(side, uplo, transa, diag, alpha, a.as_ref(), b.as_mut());
+                        // Verify op(A) * X == alpha * B0 (left) or X * op(A) == alpha * B0.
+                        let opa = effective(&a, uplo, diag, transa);
+                        let product = match side {
+                            Side::Left => matmul(1.0, &opa, &b).unwrap(),
+                            Side::Right => matmul(1.0, &b, &opa).unwrap(),
+                        };
+                        let mut target = b0.clone();
+                        ops::scale_in_place(&mut target, alpha);
+                        assert!(
+                            product.approx_eq(&target, 1e-8),
+                            "side={side:?} uplo={uplo:?} trans={transa:?} diag={diag:?}: diff {}",
+                            product.max_abs_diff(&target)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_dimensions() {
+        // dtrsm(R, L, N, U, 512, 128, 0.37, A, B): B is 512x128, A is 128x128.
+        let mut g = MatrixGenerator::new(21);
+        let a = g.lower_triangular(32, false);
+        let b0 = g.general(64, 32);
+        let mut b = b0.clone();
+        dtrsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            0.37,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        let opa = effective(&a, Uplo::Lower, Diag::Unit, Trans::NoTrans);
+        let product = matmul(1.0, &b, &opa).unwrap();
+        let mut target = b0;
+        ops::scale_in_place(&mut target, 0.37);
+        assert!(product.approx_eq(&target, 1e-9));
+    }
+
+    #[test]
+    fn alpha_zero_clears_b() {
+        let mut g = MatrixGenerator::new(22);
+        let a = g.lower_triangular(5, false);
+        let mut b = g.general(5, 4);
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            0.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        assert_eq!(b.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        // trsm followed by trmm-like multiplication restores the original B.
+        let mut g = MatrixGenerator::new(23);
+        let a = g.lower_triangular(16, false);
+        let b0 = g.general(16, 10);
+        let mut b = b0.clone();
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        let l = ops::lower_triangular(&a, false).unwrap();
+        let restored = matmul(1.0, &l, &b).unwrap();
+        assert!(restored.approx_eq(&b0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_a_panics() {
+        let a = Matrix::zeros(3, 4);
+        let mut b = Matrix::zeros(3, 2);
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn wrong_order_panics() {
+        let a = Matrix::identity(4);
+        let mut b = Matrix::zeros(3, 2);
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+    }
+
+    #[test]
+    fn empty_b_is_noop() {
+        let a = Matrix::identity(4);
+        let mut b = Matrix::zeros(4, 0);
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            2.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Unblocked LAPACK-style kernels.
+//!
+//! These are the recursion bottoms of the blocked algorithms in `dla-algos`:
+//! the blocked triangular-inversion variants call `dtrtri_unb` on their
+//! diagonal blocks, and the blocked Sylvester variants call `dsylv_unb` on
+//! theirs.  The paper models these unblocked routines alongside the BLAS
+//! kernels ("the unblocked versions of the blocked algorithms", Section IV-A).
+
+use dla_mat::{MatMut, MatRef};
+
+use crate::{Diag, Uplo};
+
+/// In-place inversion of a triangular matrix (unblocked).
+///
+/// On exit the selected triangle of `a` holds the corresponding triangle of
+/// `A^-1`.  For `Diag::Unit` the diagonal is implicitly 1 before *and* after
+/// the inversion and is never referenced.
+///
+/// Panics if `a` is not square or a diagonal entry is zero (singular matrix)
+/// for the non-unit case.
+pub fn dtrtri_unb(uplo: Uplo, diag: Diag, mut a: MatMut<'_>) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "dtrtri_unb: A must be square");
+    let unit = matches!(diag, Diag::Unit);
+    match uplo {
+        Uplo::Lower => {
+            for j in 0..n {
+                let djj = if unit { 1.0 } else { a.get(j, j) };
+                assert!(djj != 0.0, "dtrtri_unb: singular matrix (zero diagonal at {j})");
+                let inv_jj = 1.0 / djj;
+                if !unit {
+                    a.set(j, j, inv_jj);
+                }
+                // Column j of the inverse below the diagonal, in increasing i,
+                // using already-computed entries X[k, j] for k < i.
+                for i in (j + 1)..n {
+                    let mut acc = a.get(i, j) * inv_jj;
+                    for k in (j + 1)..i {
+                        acc += a.get(i, k) * a.get(k, j);
+                    }
+                    a.set(i, j, -acc / if unit { 1.0 } else { original_diag(&a, i) });
+                }
+            }
+        }
+        Uplo::Upper => {
+            for j in (0..n).rev() {
+                let djj = if unit { 1.0 } else { a.get(j, j) };
+                assert!(djj != 0.0, "dtrtri_unb: singular matrix (zero diagonal at {j})");
+                let inv_jj = 1.0 / djj;
+                if !unit {
+                    a.set(j, j, inv_jj);
+                }
+                // Column j of the inverse above the diagonal, in decreasing i.
+                for i in (0..j).rev() {
+                    let mut acc = a.get(i, j) * inv_jj;
+                    for k in (i + 1)..j {
+                        acc += a.get(i, k) * a.get(k, j);
+                    }
+                    a.set(i, j, -acc / if unit { 1.0 } else { original_diag(&a, i) });
+                }
+            }
+        }
+    }
+}
+
+/// Reads the *original* diagonal entry `d_ii` of the matrix being inverted.
+///
+/// During the lower-triangular sweep, columns are processed left to right, so
+/// when column `j` is being formed the diagonal entries `a[i][i]` for `i > j`
+/// still hold their original (not yet inverted) values; for the upper sweep
+/// (right to left) entries `i < j` are likewise untouched.  This helper exists
+/// to make that invariant explicit at the call sites.
+fn original_diag(a: &MatMut<'_>, i: usize) -> f64 {
+    a.get(i, i)
+}
+
+/// Unblocked solve of the triangular Sylvester equation `L X + X U = C`.
+///
+/// `l` is lower triangular `m x m`, `u` is upper triangular `n x n`, and `x`
+/// is `m x n`, holding `C` on entry and the solution `X` on exit.  The solve
+/// proceeds elementwise: entry `(i, j)` only depends on entries above it in
+/// its column and to its left in its row.
+///
+/// Panics if a pivot `L[i][i] + U[j][j]` is zero.
+pub fn dsylv_unb(l: MatRef<'_>, u: MatRef<'_>, mut x: MatMut<'_>) {
+    let m = x.rows();
+    let n = x.cols();
+    assert_eq!(l.rows(), m, "dsylv_unb: L order must equal X rows");
+    assert_eq!(l.cols(), m, "dsylv_unb: L must be square");
+    assert_eq!(u.rows(), n, "dsylv_unb: U order must equal X cols");
+    assert_eq!(u.cols(), n, "dsylv_unb: U must be square");
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = x.get(i, j);
+            for k in 0..i {
+                acc -= l.get(i, k) * x.get(k, j);
+            }
+            for k in 0..j {
+                acc -= x.get(i, k) * u.get(k, j);
+            }
+            let pivot = l.get(i, i) + u.get(j, j);
+            assert!(
+                pivot.abs() > 0.0,
+                "dsylv_unb: zero pivot L[{i}][{i}] + U[{j}][{j}]"
+            );
+            x.set(i, j, acc / pivot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::gen::MatrixGenerator;
+    use dla_mat::ops::{self, matmul};
+    use dla_mat::Matrix;
+
+    #[test]
+    fn lower_inverse_matches_reference() {
+        let mut g = MatrixGenerator::new(50);
+        for n in [1usize, 2, 3, 5, 16, 33] {
+            let l = g.lower_triangular(n, false);
+            let mut a = l.clone();
+            dtrtri_unb(Uplo::Lower, Diag::NonUnit, a.as_mut());
+            let inv_ref = ops::invert_lower_triangular(&l, false).unwrap();
+            let a_tri = ops::lower_triangular(&a, false).unwrap();
+            assert!(
+                a_tri.approx_eq(&inv_ref, 1e-9),
+                "n={n}: diff {}",
+                a_tri.max_abs_diff(&inv_ref)
+            );
+        }
+    }
+
+    #[test]
+    fn upper_inverse_via_product() {
+        let mut g = MatrixGenerator::new(51);
+        let n = 20;
+        let u = g.upper_triangular(n, false);
+        let mut a = u.clone();
+        dtrtri_unb(Uplo::Upper, Diag::NonUnit, a.as_mut());
+        let inv = ops::upper_triangular(&a, false).unwrap();
+        let u_tri = ops::upper_triangular(&u, false).unwrap();
+        let prod = matmul(1.0, &u_tri, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(n), 1e-9));
+    }
+
+    #[test]
+    fn unit_diagonal_inverse() {
+        let mut g = MatrixGenerator::new(52);
+        let n = 12;
+        let l = g.lower_triangular(n, true);
+        let mut a = l.clone();
+        dtrtri_unb(Uplo::Lower, Diag::Unit, a.as_mut());
+        let inv = ops::lower_triangular(&a, true).unwrap();
+        let l_unit = ops::lower_triangular(&l, true).unwrap();
+        let prod = matmul(1.0, &l_unit, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(n), 1e-10));
+        // diagonal of the stored matrix must be untouched
+        for i in 0..n {
+            assert_eq!(a[(i, i)], l[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let mut a = Matrix::identity(6);
+        dtrtri_unb(Uplo::Lower, Diag::NonUnit, a.as_mut());
+        assert!(a.approx_eq(&Matrix::identity(6), 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        let mut a = Matrix::identity(3);
+        a.set(1, 1, 0.0);
+        dtrtri_unb(Uplo::Lower, Diag::NonUnit, a.as_mut());
+    }
+
+    #[test]
+    fn sylvester_residual_is_small() {
+        let mut g = MatrixGenerator::new(53);
+        for (m, n) in [(1usize, 1usize), (4, 7), (13, 5), (24, 24)] {
+            let l = g.lower_triangular(m, false);
+            let u = g.upper_triangular(n, false);
+            let c = g.general(m, n);
+            let mut x = c.clone();
+            dsylv_unb(l.as_ref(), u.as_ref(), x.as_mut());
+            // residual L X + X U - C
+            let lx = matmul(1.0, &l, &x).unwrap();
+            let xu = matmul(1.0, &x, &u).unwrap();
+            let mut resid = ops::add(&lx, &xu).unwrap();
+            resid = ops::sub(&resid, &c).unwrap();
+            assert!(
+                resid.max_abs() < 1e-9,
+                "m={m} n={n}: residual {}",
+                resid.max_abs()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn sylvester_zero_pivot_panics() {
+        let mut l = Matrix::identity(2);
+        l.set(0, 0, 1.0);
+        let mut u = Matrix::identity(2);
+        u.set(0, 0, -1.0); // L[0][0] + U[0][0] == 0
+        let mut x = Matrix::zeros(2, 2);
+        dsylv_unb(l.as_ref(), u.as_ref(), x.as_mut());
+    }
+
+    #[test]
+    #[should_panic(expected = "dsylv_unb")]
+    fn sylvester_shape_mismatch_panics() {
+        let l = Matrix::identity(3);
+        let u = Matrix::identity(4);
+        let mut x = Matrix::zeros(3, 3);
+        dsylv_unb(l.as_ref(), u.as_ref(), x.as_mut());
+    }
+}

@@ -1,0 +1,253 @@
+//! The high-level modeling → prediction → ranking pipeline.
+
+use std::path::Path;
+
+use dla_algos::{SylvVariant, TrinvVariant};
+use dla_machine::{Locality, MachineConfig, SimExecutor};
+use dla_model::{ModelRepository, Result};
+use dla_modeler::ModelingReport;
+use dla_predict::blocksize::{optimize_block_size_trinv, BlockSizeSweep};
+use dla_predict::modelset::{build_repository, ModelSetConfig, Workload};
+use dla_predict::workloads::{
+    measure_sylv, measure_trinv, predict_sylv, predict_trinv, MeasurementMode, TraceMeasurement,
+};
+use dla_predict::{EfficiencyPrediction, Predictor};
+
+/// End-to-end driver: builds models once, then answers prediction, ranking,
+/// tuning and validation queries against them.
+///
+/// This is the programmatic equivalent of the paper's workflow: run the
+/// Modeler over the routines an algorithm needs, store the models in the
+/// repository, then evaluate and combine them to rank algorithms without
+/// executing them.
+pub struct Pipeline {
+    machine: MachineConfig,
+    locality: Locality,
+    model_config: ModelSetConfig,
+    seed: u64,
+    repository: ModelRepository,
+    reports: Vec<ModelingReport>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for a machine configuration with default settings
+    /// (in-cache models, paper-default Adaptive Refinement, full 1024-sized
+    /// parameter spaces).
+    pub fn new(machine: MachineConfig) -> Pipeline {
+        Pipeline {
+            machine,
+            locality: Locality::InCache,
+            model_config: ModelSetConfig::default(),
+            seed: 0x5eed,
+            repository: ModelRepository::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Selects the memory-locality scenario the models describe.
+    pub fn with_locality(mut self, locality: Locality) -> Pipeline {
+        self.locality = locality;
+        self
+    }
+
+    /// Replaces the model-building configuration.
+    pub fn with_model_config(mut self, config: ModelSetConfig) -> Pipeline {
+        self.model_config = config;
+        self
+    }
+
+    /// Sets the seed of the simulated measurement noise.
+    pub fn with_seed(mut self, seed: u64) -> Pipeline {
+        self.seed = seed;
+        self
+    }
+
+    /// The machine configuration being modelled.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The locality scenario of the stored models.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// The model repository (possibly empty before [`Pipeline::build_models`]).
+    pub fn repository(&self) -> &ModelRepository {
+        &self.repository
+    }
+
+    /// The per-routine modeling reports of the last build.
+    pub fn reports(&self) -> &[ModelingReport] {
+        &self.reports
+    }
+
+    /// Builds (or extends) the model repository for the given workloads by
+    /// running the Modeler on the simulated machine.
+    pub fn build_models(&mut self, workloads: &[Workload]) {
+        let (repo, reports) = build_repository(
+            &self.machine,
+            self.locality,
+            self.seed,
+            &self.model_config,
+            workloads,
+        );
+        for (_, model) in repo.iter() {
+            self.repository.insert(model.clone());
+        }
+        self.reports.extend(reports);
+    }
+
+    /// Loads a previously saved repository instead of rebuilding models.
+    pub fn load_repository(&mut self, path: &Path) -> Result<()> {
+        self.repository = ModelRepository::load_file(path)?;
+        Ok(())
+    }
+
+    /// Saves the current repository to a file.
+    pub fn save_repository(&self, path: &Path) -> Result<()> {
+        self.repository.save_file(path)
+    }
+
+    /// A predictor over the current repository.
+    pub fn predictor(&self) -> Predictor<'_> {
+        Predictor::new(&self.repository, self.machine.clone(), self.locality)
+    }
+
+    /// A fresh simulated executor for "measurements" on this machine.
+    pub fn executor(&self) -> SimExecutor {
+        SimExecutor::new(self.machine.clone(), self.seed.wrapping_add(1))
+    }
+
+    /// Predicts the efficiency of every triangular-inversion variant and
+    /// returns them ranked best first (by predicted median efficiency).
+    pub fn rank_trinv(
+        &self,
+        n: usize,
+        block_size: usize,
+    ) -> Result<Vec<(TrinvVariant, EfficiencyPrediction)>> {
+        let predictor = self.predictor();
+        let mut ranked = Vec::new();
+        for variant in TrinvVariant::ALL {
+            let prediction = predict_trinv(&predictor, variant, n, block_size)?;
+            ranked.push((variant, prediction));
+        }
+        ranked.sort_by(|a, b| b.1.median.partial_cmp(&a.1.median).expect("finite"));
+        Ok(ranked)
+    }
+
+    /// Predicts the efficiency of every Sylvester variant and returns them
+    /// ranked best first.
+    pub fn rank_sylv(
+        &self,
+        n: usize,
+        block_size: usize,
+    ) -> Result<Vec<(SylvVariant, EfficiencyPrediction)>> {
+        let predictor = self.predictor();
+        let mut ranked = Vec::new();
+        for variant in SylvVariant::all() {
+            let prediction = predict_sylv(&predictor, variant, n, block_size)?;
+            ranked.push((variant, prediction));
+        }
+        ranked.sort_by(|a, b| b.1.median.partial_cmp(&a.1.median).expect("finite"));
+        Ok(ranked)
+    }
+
+    /// Sweeps block sizes for a triangular-inversion variant.
+    pub fn tune_trinv_block_size(
+        &self,
+        variant: TrinvVariant,
+        n: usize,
+        candidates: &[usize],
+    ) -> Result<BlockSizeSweep> {
+        optimize_block_size_trinv(&self.predictor(), variant, n, candidates)
+    }
+
+    /// "Measures" a triangular-inversion variant by simulated execution.
+    pub fn measure_trinv(
+        &self,
+        variant: TrinvVariant,
+        n: usize,
+        block_size: usize,
+        mode: MeasurementMode,
+    ) -> TraceMeasurement {
+        let mut executor = self.executor();
+        measure_trinv(&mut executor, variant, n, block_size, mode)
+    }
+
+    /// "Measures" a Sylvester variant by simulated execution.
+    pub fn measure_sylv(
+        &self,
+        variant: SylvVariant,
+        n: usize,
+        block_size: usize,
+        mode: MeasurementMode,
+    ) -> TraceMeasurement {
+        let mut executor = self.executor();
+        measure_sylv(&mut executor, variant, n, block_size, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_machine::presets::harpertown_openblas;
+
+    fn quick_pipeline() -> Pipeline {
+        let mut p = Pipeline::new(harpertown_openblas())
+            .with_model_config(ModelSetConfig::quick(256))
+            .with_seed(3);
+        p.build_models(&[Workload::Trinv]);
+        p
+    }
+
+    #[test]
+    fn pipeline_builds_models_and_ranks_variants() {
+        let p = quick_pipeline();
+        assert!(!p.repository().is_empty());
+        assert!(!p.reports().is_empty());
+        let ranking = p.rank_trinv(224, 32).unwrap();
+        assert_eq!(ranking.len(), 4);
+        // best-first ordering
+        for w in ranking.windows(2) {
+            assert!(w[0].1.median >= w[1].1.median);
+        }
+        // variant 4 is never the predicted best
+        assert_ne!(ranking[0].0, TrinvVariant::V4);
+    }
+
+    #[test]
+    fn pipeline_tunes_block_size_and_measures() {
+        let p = quick_pipeline();
+        let sweep = p
+            .tune_trinv_block_size(TrinvVariant::V1, 224, &[8, 32, 64, 128])
+            .unwrap();
+        assert!(sweep.best_block_size().is_some());
+        let m = p.measure_trinv(TrinvVariant::V1, 224, 32, MeasurementMode::Auto);
+        assert!(m.ticks > 0.0);
+        assert!(m.efficiency > 0.0 && m.efficiency < 1.0);
+    }
+
+    #[test]
+    fn pipeline_repository_roundtrip() {
+        let p = quick_pipeline();
+        let dir = std::env::temp_dir().join("dlaperf-pipeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.txt");
+        p.save_repository(&path).unwrap();
+        let mut q = Pipeline::new(harpertown_openblas());
+        q.load_repository(&path).unwrap();
+        assert_eq!(q.repository().len(), p.repository().len());
+        let r1 = p.rank_trinv(224, 32).unwrap();
+        let r2 = q.rank_trinv(224, 32).unwrap();
+        assert_eq!(r1[0].0, r2[0].0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_models_surface_as_errors() {
+        let p = Pipeline::new(harpertown_openblas());
+        assert!(p.rank_trinv(128, 32).is_err());
+        assert!(p.rank_sylv(128, 32).is_err());
+    }
+}

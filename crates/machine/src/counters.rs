@@ -1,0 +1,120 @@
+//! Virtual hardware counters (the PAPI substitute).
+//!
+//! The paper reads hardware performance counters through PAPI; only the time
+//! stamp counter (`ticks`) ends up being used by the models, but the Sampler
+//! exposes a richer set.  The simulated machine produces analogous *virtual*
+//! counters estimated from the cost model: flop counts, per-level cache
+//! traffic and miss estimates.
+
+/// Names of the virtual counters, loosely mirroring PAPI preset events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Clock ticks (RDTSC equivalent).
+    Ticks,
+    /// Double-precision floating-point operations.
+    Flops,
+    /// Estimated level-1 data-cache misses.
+    L1Misses,
+    /// Estimated last-level-cache misses.
+    LlcMisses,
+    /// Estimated bytes transferred from/to main memory.
+    DramBytes,
+}
+
+impl Counter {
+    /// All counters in reporting order.
+    pub const ALL: [Counter; 5] = [
+        Counter::Ticks,
+        Counter::Flops,
+        Counter::L1Misses,
+        Counter::LlcMisses,
+        Counter::DramBytes,
+    ];
+
+    /// PAPI-style name of the counter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Counter::Ticks => "TICKS",
+            Counter::Flops => "PAPI_DP_OPS",
+            Counter::L1Misses => "PAPI_L1_DCM",
+            Counter::LlcMisses => "PAPI_LLC_MISS",
+            Counter::DramBytes => "DRAM_BYTES",
+        }
+    }
+}
+
+/// A set of virtual counter readings for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterSet {
+    /// Clock ticks.
+    pub ticks: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Estimated L1 misses.
+    pub l1_misses: f64,
+    /// Estimated last-level-cache misses.
+    pub llc_misses: f64,
+    /// Estimated DRAM traffic in bytes.
+    pub dram_bytes: f64,
+}
+
+impl CounterSet {
+    /// Reads one counter by name.
+    pub fn get(&self, counter: Counter) -> f64 {
+        match counter {
+            Counter::Ticks => self.ticks,
+            Counter::Flops => self.flops,
+            Counter::L1Misses => self.l1_misses,
+            Counter::LlcMisses => self.llc_misses,
+            Counter::DramBytes => self.dram_bytes,
+        }
+    }
+
+    /// Adds another counter set (used when accumulating a trace).
+    pub fn accumulate(&mut self, other: &CounterSet) {
+        self.ticks += other.ticks;
+        self.flops += other.flops;
+        self.l1_misses += other.l1_misses;
+        self.llc_misses += other.llc_misses;
+        self.dram_bytes += other.dram_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique() {
+        let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn get_and_accumulate() {
+        let mut a = CounterSet {
+            ticks: 10.0,
+            flops: 20.0,
+            l1_misses: 1.0,
+            llc_misses: 2.0,
+            dram_bytes: 3.0,
+        };
+        let b = CounterSet {
+            ticks: 1.0,
+            flops: 2.0,
+            l1_misses: 0.5,
+            llc_misses: 0.5,
+            dram_bytes: 0.5,
+        };
+        a.accumulate(&b);
+        assert_eq!(a.get(Counter::Ticks), 11.0);
+        assert_eq!(a.get(Counter::Flops), 22.0);
+        assert_eq!(a.get(Counter::L1Misses), 1.5);
+        assert_eq!(a.get(Counter::LlcMisses), 2.5);
+        assert_eq!(a.get(Counter::DramBytes), 3.5);
+        assert_eq!(CounterSet::default().get(Counter::Ticks), 0.0);
+    }
+}

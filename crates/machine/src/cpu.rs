@@ -1,0 +1,149 @@
+//! CPU and memory-hierarchy descriptions.
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLevel {
+    /// Human-readable name ("L1", "L2", ...).
+    pub name: String,
+    /// Capacity in bytes (per core for private caches, total for shared ones).
+    pub size_bytes: usize,
+    /// Sustained bandwidth in bytes per cycle per core.
+    pub bandwidth_bytes_per_cycle: f64,
+    /// Access latency in cycles.
+    pub latency_cycles: f64,
+}
+
+impl CacheLevel {
+    /// Creates a cache level description.
+    pub fn new(name: &str, size_bytes: usize, bandwidth: f64, latency: f64) -> CacheLevel {
+        CacheLevel {
+            name: name.to_string(),
+            size_bytes,
+            bandwidth_bytes_per_cycle: bandwidth,
+            latency_cycles: latency,
+        }
+    }
+}
+
+/// An analytical description of a CPU: clock, SIMD width, core count and
+/// memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing-style name of the CPU.
+    pub name: String,
+    /// Clock frequency in GHz (used only to convert native wall-clock
+    /// measurements into ticks).
+    pub freq_ghz: f64,
+    /// Peak double-precision floating-point instructions per cycle per core
+    /// (`fips` in the paper's efficiency formula).
+    pub flops_per_cycle: f64,
+    /// Number of physical cores.
+    pub cores: usize,
+    /// Cache hierarchy, ordered from the fastest/smallest level outward.
+    pub caches: Vec<CacheLevel>,
+    /// Main-memory bandwidth in bytes per cycle (shared across cores).
+    pub dram_bandwidth_bytes_per_cycle: f64,
+    /// Main-memory access latency in cycles.
+    pub dram_latency_cycles: f64,
+}
+
+impl CpuSpec {
+    /// An Intel Harpertown (Xeon E5450) class core: 3.0 GHz, SSE2 (4 flops per
+    /// cycle in double precision), 32 KiB L1 and a large 6 MiB L2, no L3.
+    pub fn harpertown() -> CpuSpec {
+        CpuSpec {
+            name: "Harpertown E5450".to_string(),
+            freq_ghz: 3.0,
+            flops_per_cycle: 4.0,
+            cores: 4,
+            caches: vec![
+                CacheLevel::new("L1", 32 * 1024, 16.0, 4.0),
+                CacheLevel::new("L2", 6 * 1024 * 1024, 8.0, 15.0),
+            ],
+            dram_bandwidth_bytes_per_cycle: 2.0,
+            dram_latency_cycles: 220.0,
+        }
+    }
+
+    /// An Intel Sandy Bridge-EP (Xeon E5-2670) class core: 2.6 GHz, AVX
+    /// (8 flops per cycle in double precision), three cache levels, 8 cores.
+    pub fn sandy_bridge() -> CpuSpec {
+        CpuSpec {
+            name: "Sandy Bridge-EP E5-2670".to_string(),
+            freq_ghz: 2.6,
+            flops_per_cycle: 8.0,
+            cores: 8,
+            caches: vec![
+                CacheLevel::new("L1", 32 * 1024, 32.0, 4.0),
+                CacheLevel::new("L2", 256 * 1024, 16.0, 12.0),
+                CacheLevel::new("L3", 20 * 1024 * 1024, 8.0, 30.0),
+            ],
+            dram_bandwidth_bytes_per_cycle: 4.0,
+            dram_latency_cycles: 200.0,
+        }
+    }
+
+    /// The smallest cache level that can hold `bytes`, if any.
+    pub fn smallest_fitting_cache(&self, bytes: usize) -> Option<&CacheLevel> {
+        self.caches.iter().find(|c| c.size_bytes >= bytes)
+    }
+
+    /// The last-level cache, if the CPU has any cache at all.
+    pub fn last_level_cache(&self) -> Option<&CacheLevel> {
+        self.caches.last()
+    }
+
+    /// Peak double-precision flops per cycle across `threads` cores (capped at
+    /// the physical core count).
+    pub fn peak_flops_per_cycle(&self, threads: usize) -> f64 {
+        self.flops_per_cycle * threads.clamp(1, self.cores) as f64
+    }
+
+    /// Converts a wall-clock duration in seconds to clock ticks.
+    pub fn seconds_to_ticks(&self, seconds: f64) -> f64 {
+        seconds * self.freq_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sensible_values() {
+        let h = CpuSpec::harpertown();
+        assert_eq!(h.flops_per_cycle, 4.0);
+        assert_eq!(h.caches.len(), 2);
+        assert!(h.caches[0].size_bytes < h.caches[1].size_bytes);
+        let sb = CpuSpec::sandy_bridge();
+        assert_eq!(sb.flops_per_cycle, 8.0);
+        assert_eq!(sb.cores, 8);
+        assert_eq!(sb.caches.len(), 3);
+    }
+
+    #[test]
+    fn cache_fitting() {
+        let h = CpuSpec::harpertown();
+        assert_eq!(h.smallest_fitting_cache(16 * 1024).unwrap().name, "L1");
+        assert_eq!(h.smallest_fitting_cache(1024 * 1024).unwrap().name, "L2");
+        assert!(h.smallest_fitting_cache(100 * 1024 * 1024).is_none());
+        assert_eq!(h.last_level_cache().unwrap().name, "L2");
+    }
+
+    #[test]
+    fn peak_flops_scaling_capped_at_cores() {
+        let h = CpuSpec::harpertown();
+        assert_eq!(h.peak_flops_per_cycle(1), 4.0);
+        assert_eq!(h.peak_flops_per_cycle(2), 8.0);
+        assert_eq!(h.peak_flops_per_cycle(100), 16.0);
+        assert_eq!(h.peak_flops_per_cycle(0), 4.0);
+    }
+
+    #[test]
+    fn seconds_to_ticks_uses_frequency() {
+        let h = CpuSpec::harpertown();
+        assert!((h.seconds_to_ticks(1e-9) - 3.0).abs() < 1e-12);
+        let sb = CpuSpec::sandy_bridge();
+        assert!((sb.seconds_to_ticks(2.0) - 5.2e9).abs() < 1.0);
+    }
+}

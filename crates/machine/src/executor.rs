@@ -1,0 +1,211 @@
+//! Executors: the objects the Sampler hands routine calls to.
+
+use std::collections::HashSet;
+
+use dla_blas::{Call, Routine};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost::{estimate_cost, estimate_counters};
+use crate::{Locality, MachineConfig, Measurement};
+
+/// Something that can "run" a routine call and report a measurement.
+///
+/// Two implementations exist: [`SimExecutor`] (the simulated machine) and
+/// [`crate::NativeExecutor`] (wall-clock timing of the pure-Rust kernels).
+pub trait Executor {
+    /// The machine configuration this executor represents.
+    fn machine(&self) -> &MachineConfig;
+
+    /// Executes `call` under the given memory-locality scenario and reports
+    /// the measurement.  Successive invocations of the same call may return
+    /// different values (measurement noise).
+    fn execute(&mut self, call: &Call, locality: Locality) -> Measurement;
+}
+
+/// The simulated-machine executor.
+///
+/// Wraps the deterministic cost model with the stochastic phenomena the paper
+/// discusses in Section II-B: multiplicative measurement noise of a few
+/// percent, occasional outliers, and a large one-off penalty for the first
+/// call into the library (BLAS initialisation).
+#[derive(Debug, Clone)]
+pub struct SimExecutor {
+    machine: MachineConfig,
+    rng: SmallRng,
+    initialised: HashSet<Routine>,
+    executions: u64,
+}
+
+impl SimExecutor {
+    /// Creates a simulated executor with a deterministic noise stream.
+    pub fn new(machine: MachineConfig, seed: u64) -> SimExecutor {
+        SimExecutor {
+            machine,
+            rng: SmallRng::seed_from_u64(seed),
+            initialised: HashSet::new(),
+            executions: 0,
+        }
+    }
+
+    /// Creates an executor whose measurements carry no noise, no outliers and
+    /// no initialisation overhead — useful for tests and for probing the
+    /// deterministic cost surface.
+    pub fn noiseless(machine: MachineConfig) -> SimExecutor {
+        let mut machine = machine;
+        machine.blas.noise_sigma = 0.0;
+        machine.blas.outlier_probability = 0.0;
+        machine.blas.init_overhead_factor = 1.0;
+        SimExecutor::new(machine, 0)
+    }
+
+    /// Number of calls executed so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Resets the library-initialisation state, so the next call of every
+    /// routine pays the first-call penalty again (mirrors re-loading the BLAS
+    /// library in a fresh process).
+    pub fn reset_library_state(&mut self) {
+        self.initialised.clear();
+    }
+
+    fn noise_factor(&mut self) -> f64 {
+        let sigma = self.machine.blas.noise_sigma;
+        let mut factor = 1.0;
+        if sigma > 0.0 {
+            // Sum of 4 uniforms approximates a Gaussian well enough for a
+            // noise model; clamp to avoid negative times.
+            let mut g = 0.0;
+            for _ in 0..4 {
+                g += self.rng.gen_range(-1.0f64..1.0);
+            }
+            g *= 0.5; // roughly unit variance
+            factor *= (1.0 + sigma * g).max(0.2);
+        }
+        let p_out = self.machine.blas.outlier_probability;
+        if p_out > 0.0 && self.rng.gen_bool(p_out.clamp(0.0, 1.0)) {
+            factor *= self.machine.blas.outlier_factor;
+        }
+        factor
+    }
+}
+
+impl Executor for SimExecutor {
+    fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    fn execute(&mut self, call: &Call, locality: Locality) -> Measurement {
+        self.executions += 1;
+        let breakdown = estimate_cost(&self.machine, call, locality);
+        let mut counters = estimate_counters(&self.machine, call, locality);
+        let mut ticks = breakdown.ticks;
+
+        // First call into the library for this routine: initialisation cost.
+        let routine = call.routine();
+        if !self.initialised.contains(&routine) {
+            self.initialised.insert(routine);
+            ticks *= self.machine.blas.init_overhead_factor.max(1.0);
+        }
+
+        ticks *= self.noise_factor();
+        counters.ticks = ticks;
+        Measurement {
+            ticks,
+            flops: call.flops(),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blasprofile::openblas_like;
+    use crate::cost::estimate_ticks;
+    use crate::CpuSpec;
+    use dla_blas::Trans;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::new(CpuSpec::harpertown(), openblas_like(), 1)
+    }
+
+    fn call() -> Call {
+        Call::gemm(Trans::NoTrans, Trans::NoTrans, 200, 200, 200, 1.0, 0.0)
+    }
+
+    #[test]
+    fn first_call_is_much_slower() {
+        let mut ex = SimExecutor::new(machine(), 1);
+        let first = ex.execute(&call(), Locality::InCache).ticks;
+        let later: Vec<f64> = (0..5)
+            .map(|_| ex.execute(&call(), Locality::InCache).ticks)
+            .collect();
+        let typical = later.iter().sum::<f64>() / later.len() as f64;
+        assert!(
+            first > 5.0 * typical,
+            "first call {first} should dwarf typical {typical}"
+        );
+        assert_eq!(ex.executions(), 6);
+    }
+
+    #[test]
+    fn reset_library_state_restores_first_call_penalty() {
+        let mut ex = SimExecutor::new(machine(), 2);
+        let _ = ex.execute(&call(), Locality::InCache);
+        let warm = ex.execute(&call(), Locality::InCache).ticks;
+        ex.reset_library_state();
+        let cold = ex.execute(&call(), Locality::InCache).ticks;
+        assert!(cold > 3.0 * warm);
+    }
+
+    #[test]
+    fn noise_is_a_few_percent() {
+        let mut ex = SimExecutor::new(machine(), 3);
+        let _ = ex.execute(&call(), Locality::InCache); // discard init
+        let samples: Vec<f64> = (0..200)
+            .map(|_| ex.execute(&call(), Locality::InCache).ticks)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let base = estimate_ticks(&machine(), &call(), Locality::InCache);
+        assert!((mean / base - 1.0).abs() < 0.1, "mean {mean} vs base {base}");
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min, "noise should spread the measurements");
+        // Fluctuations of roughly the order the paper reports (a few percent
+        // to ~10 % including outliers).
+        assert!((max - min) / mean < 1.2);
+        assert!((max - min) / mean > 0.01);
+    }
+
+    #[test]
+    fn noiseless_executor_is_deterministic() {
+        let mut ex = SimExecutor::noiseless(machine());
+        let a = ex.execute(&call(), Locality::InCache).ticks;
+        let b = ex.execute(&call(), Locality::InCache).ticks;
+        assert_eq!(a, b);
+        assert_eq!(a, estimate_ticks(&ex.machine().clone(), &call(), Locality::InCache));
+    }
+
+    #[test]
+    fn same_seed_reproduces_measurements() {
+        let mut ex1 = SimExecutor::new(machine(), 77);
+        let mut ex2 = SimExecutor::new(machine(), 77);
+        for _ in 0..10 {
+            let a = ex1.execute(&call(), Locality::OutOfCache).ticks;
+            let b = ex2.execute(&call(), Locality::OutOfCache).ticks;
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn measurement_reports_flops_and_counters() {
+        let mut ex = SimExecutor::new(machine(), 5);
+        let m = ex.execute(&call(), Locality::InCache);
+        assert_eq!(m.flops, call().flops());
+        assert_eq!(m.counters.ticks, m.ticks);
+        assert!(m.efficiency(ex.machine()) > 0.0);
+    }
+}

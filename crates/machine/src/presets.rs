@@ -1,0 +1,84 @@
+//! Ready-made machine configurations used throughout the experiments.
+//!
+//! Each preset corresponds to an environment the paper evaluates on.  The
+//! `EXPERIMENTS.md` file records which figure uses which preset.
+
+use crate::blasprofile::{
+    atlas_like, mkl_like, openblas_like, openblas_like_sandy_bridge,
+    openblas_like_sandy_bridge_threaded,
+};
+use crate::{CpuSpec, MachineConfig};
+
+/// One core of the Harpertown machine with the OpenBLAS-like implementation —
+/// the environment of the paper's Sections I–III and Figure IV.1/IV.2.
+pub fn harpertown_openblas() -> MachineConfig {
+    MachineConfig::new(CpuSpec::harpertown(), openblas_like(), 1)
+}
+
+/// One core of the Harpertown machine with the MKL-like implementation.
+pub fn harpertown_mkl() -> MachineConfig {
+    MachineConfig::new(CpuSpec::harpertown(), mkl_like(), 1)
+}
+
+/// One core of the Harpertown machine with the ATLAS-like implementation.
+pub fn harpertown_atlas() -> MachineConfig {
+    MachineConfig::new(CpuSpec::harpertown(), atlas_like(), 1)
+}
+
+/// All three implementations on Harpertown, in the order the paper plots them.
+pub fn harpertown_all_implementations() -> Vec<MachineConfig> {
+    vec![harpertown_openblas(), harpertown_mkl(), harpertown_atlas()]
+}
+
+/// One core of the Sandy Bridge machine with the OpenBLAS-like implementation
+/// — the environment of Figure IV.3.
+pub fn sandy_bridge_openblas() -> MachineConfig {
+    MachineConfig::new(CpuSpec::sandy_bridge(), openblas_like_sandy_bridge(), 1)
+}
+
+/// All 8 cores of the Sandy Bridge machine with the multithreaded
+/// OpenBLAS-like implementation — the environment of Figure IV.4.
+pub fn sandy_bridge_openblas_threaded() -> MachineConfig {
+    MachineConfig::new(
+        CpuSpec::sandy_bridge(),
+        openblas_like_sandy_bridge_threaded(),
+        8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_thread_counts() {
+        assert_eq!(harpertown_openblas().effective_threads(), 1);
+        assert_eq!(sandy_bridge_openblas().effective_threads(), 1);
+        assert_eq!(sandy_bridge_openblas_threaded().effective_threads(), 8);
+    }
+
+    #[test]
+    fn all_implementations_are_distinct() {
+        let all = harpertown_all_implementations();
+        assert_eq!(all.len(), 3);
+        let names: Vec<&str> = all.iter().map(|m| m.blas.name.as_str()).collect();
+        assert!(names.contains(&"openblas-like"));
+        assert!(names.contains(&"mkl-like"));
+        assert!(names.contains(&"atlas-like"));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let ids = [
+            harpertown_openblas().id(),
+            harpertown_mkl().id(),
+            harpertown_atlas().id(),
+            sandy_bridge_openblas().id(),
+            sandy_bridge_openblas_threaded().id(),
+        ];
+        let mut dedup = ids.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+}

@@ -1,0 +1,46 @@
+//! # dla-mat
+//!
+//! Dense, column-major matrix storage and small numerical kernels used by the
+//! `dlaperf` workspace — the Rust reproduction of *Performance Modeling for
+//! Dense Linear Algebra* (Peise & Bientinesi, SC 2012).
+//!
+//! The crate provides:
+//!
+//! * [`Matrix`] — an owned, column-major `f64` matrix with an explicit leading
+//!   dimension, mirroring the storage convention of BLAS/LAPACK.
+//! * [`MatRef`] / [`MatMut`] — lightweight borrowed views with a leading
+//!   dimension, used as the operand types of the pure-Rust BLAS kernels in
+//!   `dla-blas`.  Views can describe arbitrary sub-blocks of a parent matrix.
+//! * [`Rect`] — an axis-aligned block descriptor (`row`, `col`, `rows`, `cols`)
+//!   used to carve blocks out of matrices and to reason about disjointness.
+//! * [`qr`] — Householder QR factorisation and least-squares solves, the
+//!   substitute for SciPy's `linalg.lstsq` used by the paper's Modeler.
+//! * [`gen`] — deterministic test-matrix generators (general, triangular,
+//!   well-conditioned) used by correctness tests and the native executor.
+//! * [`stats`] — summary statistics (min/max/mean/median/std/quantiles) shared
+//!   by the Sampler, Modeler and Predictor.
+//!
+//! The matrix types deliberately stay small: they only implement what the
+//! performance-modeling stack needs, with clear semantics and no hidden
+//! allocation in hot paths.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod dense;
+mod error;
+mod rect;
+mod view;
+
+pub mod gen;
+pub mod ops;
+pub mod qr;
+pub mod stats;
+
+pub use dense::Matrix;
+pub use error::MatError;
+pub use rect::Rect;
+pub use view::{MatMut, MatRef};
+
+/// Result alias for fallible matrix operations.
+pub type Result<T> = std::result::Result<T, MatError>;

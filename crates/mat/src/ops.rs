@@ -1,0 +1,290 @@
+//! Elementary whole-matrix operations used by tests and reference solvers.
+//!
+//! These are deliberately simple, allocation-per-call reference routines: the
+//! performance-relevant kernels live in `dla-blas`.  Keeping an independent
+//! implementation here lets the BLAS kernels be validated against it.
+
+use crate::{MatError, Matrix, Result};
+
+/// Returns `alpha * A * B` as a new matrix (naive triple loop).
+pub fn matmul(alpha: f64, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(MatError::dims(format!(
+            "matmul: A is {}x{}, B is {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for j in 0..b.cols() {
+        for k in 0..a.cols() {
+            let bkj = b.get(k, j);
+            if bkj == 0.0 {
+                continue;
+            }
+            for i in 0..a.rows() {
+                let v = c.get(i, j) + a.get(i, k) * bkj;
+                c.set(i, j, v);
+            }
+        }
+    }
+    if alpha != 1.0 {
+        scale_in_place(&mut c, alpha);
+    }
+    Ok(c)
+}
+
+/// Returns `A + B` as a new matrix.
+pub fn add(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(MatError::dims(format!(
+            "add: A is {}x{}, B is {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    Ok(Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+        a.get(i, j) + b.get(i, j)
+    }))
+}
+
+/// Returns `A - B` as a new matrix.
+pub fn sub(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(MatError::dims(format!(
+            "sub: A is {}x{}, B is {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    Ok(Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+        a.get(i, j) - b.get(i, j)
+    }))
+}
+
+/// Scales a matrix in place: `A <- alpha * A`.
+pub fn scale_in_place(a: &mut Matrix, alpha: f64) {
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            let v = a.get(i, j) * alpha;
+            a.set(i, j, v);
+        }
+    }
+}
+
+/// Extracts the lower-triangular part of a square matrix.
+///
+/// If `unit_diag` is true the diagonal is set to 1, otherwise the original
+/// diagonal values are kept; the strictly upper part is zeroed.
+pub fn lower_triangular(a: &Matrix, unit_diag: bool) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(MatError::dims(format!(
+            "lower_triangular: matrix is {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    Ok(Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+        if i > j {
+            a.get(i, j)
+        } else if i == j {
+            if unit_diag {
+                1.0
+            } else {
+                a.get(i, j)
+            }
+        } else {
+            0.0
+        }
+    }))
+}
+
+/// Extracts the upper-triangular part of a square matrix.
+pub fn upper_triangular(a: &Matrix, unit_diag: bool) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(MatError::dims(format!(
+            "upper_triangular: matrix is {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    Ok(Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+        if i < j {
+            a.get(i, j)
+        } else if i == j {
+            if unit_diag {
+                1.0
+            } else {
+                a.get(i, j)
+            }
+        } else {
+            0.0
+        }
+    }))
+}
+
+/// Solves a lower-triangular system `L * x = b` by forward substitution.
+pub fn forward_substitution(l: &Matrix, b: &[f64], unit_diag: bool) -> Result<Vec<f64>> {
+    let n = l.rows();
+    if !l.is_square() || b.len() != n {
+        return Err(MatError::dims("forward_substitution: shapes".to_string()));
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for (k, xk) in x.iter().enumerate().take(i) {
+            acc -= l.get(i, k) * xk;
+        }
+        let d = if unit_diag { 1.0 } else { l.get(i, i) };
+        if d == 0.0 {
+            return Err(MatError::numerical("singular triangular matrix"));
+        }
+        x[i] = acc / d;
+    }
+    Ok(x)
+}
+
+/// Solves an upper-triangular system `U * x = b` by backward substitution.
+pub fn backward_substitution(u: &Matrix, b: &[f64], unit_diag: bool) -> Result<Vec<f64>> {
+    let n = u.rows();
+    if !u.is_square() || b.len() != n {
+        return Err(MatError::dims("backward_substitution: shapes".to_string()));
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for k in (i + 1)..n {
+            acc -= u.get(i, k) * x[k];
+        }
+        let d = if unit_diag { 1.0 } else { u.get(i, i) };
+        if d == 0.0 {
+            return Err(MatError::numerical("singular triangular matrix"));
+        }
+        x[i] = acc / d;
+    }
+    Ok(x)
+}
+
+/// Inverts a lower-triangular matrix column by column (reference routine).
+pub fn invert_lower_triangular(l: &Matrix, unit_diag: bool) -> Result<Matrix> {
+    let n = l.rows();
+    if !l.is_square() {
+        return Err(MatError::dims("invert_lower_triangular: not square".to_string()));
+    }
+    let mut inv = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let col = forward_substitution(l, &e, unit_diag)?;
+        for (i, v) in col.into_iter().enumerate() {
+            inv.set(i, j, v);
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Matrix {
+        Matrix::from_rows(3, 3, &[2.0, 0.0, 0.0, 1.0, 3.0, 0.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = example();
+        let i = Matrix::identity(3);
+        let c = matmul(1.0, &a, &i).unwrap();
+        assert!(c.approx_eq(&a, 1e-14));
+        let c = matmul(2.0, &i, &a).unwrap();
+        let mut a2 = a.clone();
+        scale_in_place(&mut a2, 2.0);
+        assert!(c.approx_eq(&a2, 1e-14));
+        assert!(matmul(1.0, &a, &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = example();
+        let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let s = add(&a, &b).unwrap();
+        let d = sub(&s, &b).unwrap();
+        assert!(d.approx_eq(&a, 1e-14));
+        assert!(add(&a, &Matrix::zeros(2, 3)).is_err());
+        assert!(sub(&a, &Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn triangular_extraction() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j + 1) as f64);
+        let l = lower_triangular(&a, false).unwrap();
+        assert_eq!(l[(2, 0)], a[(2, 0)]);
+        assert_eq!(l[(0, 2)], 0.0);
+        assert_eq!(l[(1, 1)], a[(1, 1)]);
+        let lu = lower_triangular(&a, true).unwrap();
+        assert_eq!(lu[(1, 1)], 1.0);
+        let u = upper_triangular(&a, false).unwrap();
+        assert_eq!(u[(0, 2)], a[(0, 2)]);
+        assert_eq!(u[(2, 0)], 0.0);
+        assert!(lower_triangular(&Matrix::zeros(2, 3), false).is_err());
+        assert!(upper_triangular(&Matrix::zeros(2, 3), false).is_err());
+    }
+
+    #[test]
+    fn forward_backward_substitution() {
+        let l = example(); // lower triangular with rows [2 0 0; 1 3 0; 4 5 6]
+        let l = lower_triangular(&l, false).unwrap();
+        let b = vec![2.0, 5.0, 32.0];
+        let x = forward_substitution(&l, &b, false).unwrap();
+        // 2x0 = 2 -> 1; x0 + 3x1 = 5 -> 4/3; 4x0+5x1+6x2 = 32
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 4.0 / 3.0).abs() < 1e-12);
+        let u = l.transposed();
+        let y = backward_substitution(&u, &b, false).unwrap();
+        // check U*y == b
+        for i in 0..3 {
+            let mut acc = 0.0;
+            for k in 0..3 {
+                acc += u.get(i, k) * y[k];
+            }
+            assert!((acc - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn substitution_rejects_singular() {
+        let mut l = lower_triangular(&example(), false).unwrap();
+        l.set(1, 1, 0.0);
+        assert!(forward_substitution(&l, &[1.0, 1.0, 1.0], false).is_err());
+        let u = l.transposed();
+        assert!(backward_substitution(&u, &[1.0, 1.0, 1.0], false).is_err());
+    }
+
+    #[test]
+    fn unit_diagonal_substitution_ignores_diagonal() {
+        let mut l = lower_triangular(&example(), false).unwrap();
+        l.set(0, 0, 0.0); // would be singular if the diagonal were used
+        let x = forward_substitution(&l, &[1.0, 1.0, 1.0], true).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_inverse_reference() {
+        let l = lower_triangular(&example(), false).unwrap();
+        let inv = invert_lower_triangular(&l, false).unwrap();
+        let prod = matmul(1.0, &l, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-12));
+        // unit-diagonal variant
+        let lu = lower_triangular(&example(), true).unwrap();
+        let invu = invert_lower_triangular(&lu, true).unwrap();
+        let produ = matmul(1.0, &lu, &invu).unwrap();
+        assert!(produ.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+}

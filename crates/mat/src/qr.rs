@@ -1,0 +1,398 @@
+//! Householder QR factorisation and least-squares solves.
+//!
+//! The paper's Modeler fits polynomials to measurements with SciPy's
+//! `linalg.lstsq`.  This module is the from-scratch Rust substitute: a dense
+//! Householder QR factorisation with an optional column-norm check, and a
+//! least-squares driver that solves `min ||A x - b||_2` for tall systems.
+
+use crate::{MatError, Matrix, Result};
+
+/// A Householder QR factorisation of an `m x n` matrix with `m >= n`.
+///
+/// The factorisation is stored LAPACK-style: the upper triangle of `factors`
+/// holds `R`, the lower trapezoid holds the essential parts of the Householder
+/// vectors, and `tau` holds the scalar reflector coefficients.
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    factors: Matrix,
+    tau: Vec<f64>,
+}
+
+impl QrFactorization {
+    /// Computes the QR factorisation of `a` (consumed).
+    ///
+    /// Returns an error if the matrix has more columns than rows.
+    pub fn new(mut a: Matrix) -> Result<Self> {
+        let m = a.rows();
+        let n = a.cols();
+        if m < n {
+            return Err(MatError::dims(format!(
+                "QR requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k, rows k..m.
+            let mut norm = 0.0;
+            for i in k..m {
+                let v = a.get(i, k);
+                norm += v * v;
+            }
+            norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = a.get(k, k);
+            let beta = -alpha.signum() * norm;
+            let tau_k = (beta - alpha) / beta;
+            tau[k] = tau_k;
+            let inv = 1.0 / (alpha - beta);
+            for i in (k + 1)..m {
+                let v = a.get(i, k) * inv;
+                a.set(i, k, v);
+            }
+            a.set(k, k, beta);
+            // Apply the reflector to the trailing columns: A <- (I - tau v v^T) A.
+            for j in (k + 1)..n {
+                let mut dot = a.get(k, j);
+                for i in (k + 1)..m {
+                    dot += a.get(i, k) * a.get(i, j);
+                }
+                dot *= tau_k;
+                let v = a.get(k, j) - dot;
+                a.set(k, j, v);
+                for i in (k + 1)..m {
+                    let v = a.get(i, j) - a.get(i, k) * dot;
+                    a.set(i, j, v);
+                }
+            }
+        }
+        Ok(QrFactorization { factors: a, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.factors.cols()
+    }
+
+    /// Returns the upper-triangular factor `R` as a dense `n x n` matrix.
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        Matrix::from_fn(n, n, |i, j| if i <= j { self.factors.get(i, j) } else { 0.0 })
+    }
+
+    /// Applies `Q^T` to a vector in place (the vector must have `m` entries).
+    pub fn apply_qt(&self, b: &mut [f64]) -> Result<()> {
+        let m = self.rows();
+        let n = self.cols();
+        if b.len() != m {
+            return Err(MatError::dims(format!(
+                "apply_qt: vector has {} entries, expected {m}",
+                b.len()
+            )));
+        }
+        for k in 0..n {
+            let tau_k = self.tau[k];
+            if tau_k == 0.0 {
+                continue;
+            }
+            let mut dot = b[k];
+            for i in (k + 1)..m {
+                dot += self.factors.get(i, k) * b[i];
+            }
+            dot *= tau_k;
+            b[k] -= dot;
+            for i in (k + 1)..m {
+                b[i] -= self.factors.get(i, k) * dot;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.rows();
+        let n = self.cols();
+        if b.len() != m {
+            return Err(MatError::dims(format!(
+                "solve: rhs has {} entries, expected {m}",
+                b.len()
+            )));
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb)?;
+        // Back substitution with R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = qtb[i];
+            for j in (i + 1)..n {
+                acc -= self.factors.get(i, j) * x[j];
+            }
+            let d = self.factors.get(i, i);
+            if d.abs() < 1e-300 {
+                return Err(MatError::numerical(
+                    "rank-deficient least-squares system (zero diagonal in R)",
+                ));
+            }
+            x[i] = acc / d;
+        }
+        Ok(x)
+    }
+
+    /// Estimates the rank of the factored matrix by counting diagonal entries
+    /// of `R` that are larger than `tol * max_diag`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let n = self.cols();
+        let mut max_diag: f64 = 0.0;
+        for i in 0..n {
+            max_diag = max_diag.max(self.factors.get(i, i).abs());
+        }
+        if max_diag == 0.0 {
+            return 0;
+        }
+        (0..n)
+            .filter(|&i| self.factors.get(i, i).abs() > tol * max_diag)
+            .count()
+    }
+}
+
+/// Solves the dense least-squares problem `min_x ||A x - b||_2`.
+///
+/// `a` is an `m x n` matrix with `m >= n`; `b` has `m` entries.  A thin
+/// regularisation is applied when the system is numerically rank deficient so
+/// the Modeler never aborts mid-fit on a degenerate sample set (mirroring the
+/// robustness of SVD-based `lstsq`).
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    match QrFactorization::new(a.clone()).and_then(|qr| qr.solve(b)) {
+        Ok(x) => Ok(x),
+        Err(MatError::Numerical { .. }) => lstsq_regularized(a, b, 1e-10),
+        Err(e) => Err(e),
+    }
+}
+
+/// Ridge-regularised least squares: solves `(A^T A + lambda I) x = A^T b`.
+///
+/// Used as the fallback for rank-deficient systems and directly useful for
+/// noisy fits with nearly collinear basis functions.
+pub fn lstsq_regularized(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(MatError::dims(format!(
+            "lstsq: rhs has {} entries, expected {m}",
+            b.len()
+        )));
+    }
+    // Normal equations; fine for the small n (< 10) used by polynomial fits.
+    let mut ata = Matrix::zeros(n, n);
+    let mut atb = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += a.get(k, i) * a.get(k, j);
+            }
+            ata.set(i, j, acc + if i == j { lambda } else { 0.0 });
+        }
+        let mut acc = 0.0;
+        for k in 0..m {
+            acc += a.get(k, i) * b[k];
+        }
+        atb[i] = acc;
+    }
+    // Cholesky-free: solve with QR of the (small) normal matrix.
+    let qr = QrFactorization::new(ata)?;
+    qr.solve(&atb)
+}
+
+/// Builds the Vandermonde-style design matrix for a polynomial basis.
+///
+/// `points` holds one row per sample (each row is a point in `dim` dimensions)
+/// and `exponents` lists the monomials as exponent tuples.  Entry `(s, t)` of
+/// the result is `prod_d points[s][d] ^ exponents[t][d]`.
+pub fn design_matrix(points: &[Vec<f64>], exponents: &[Vec<u32>]) -> Result<Matrix> {
+    let m = points.len();
+    let n = exponents.len();
+    if m == 0 || n == 0 {
+        return Err(MatError::dims("design_matrix: empty input".to_string()));
+    }
+    let dim = points[0].len();
+    for e in exponents {
+        if e.len() != dim {
+            return Err(MatError::dims(
+                "design_matrix: exponent arity does not match point dimension".to_string(),
+            ));
+        }
+    }
+    let mut a = Matrix::zeros(m, n);
+    for (s, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(MatError::dims(
+                "design_matrix: inconsistent point dimension".to_string(),
+            ));
+        }
+        for (t, e) in exponents.iter().enumerate() {
+            let mut v = 1.0;
+            for d in 0..dim {
+                v *= p[d].powi(e[d] as i32);
+            }
+            a.set(s, t, v);
+        }
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+
+    #[test]
+    fn qr_reconstruction_r_is_triangular() {
+        let a = Matrix::from_rows(
+            4,
+            3,
+            &[
+                1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, //
+                7.0, 8.0, 10.0, //
+                2.0, -1.0, 0.5,
+            ],
+        )
+        .unwrap();
+        let qr = QrFactorization::new(a).unwrap();
+        let r = qr.r();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        assert_eq!(qr.rank(1e-12), 3);
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrices() {
+        assert!(QrFactorization::new(Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn exact_solve_square_system() {
+        // A x = b with known x.
+        let a = Matrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let mut b = vec![0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a[(i, j)] * x_true[j];
+            }
+        }
+        let x = lstsq(&a, &b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10, "x[{i}] = {}", x[i]);
+        }
+    }
+
+    #[test]
+    fn overdetermined_quadratic_fit() {
+        // Fit y = 2 + 3t + 0.5 t^2 through exact samples; lstsq must recover it.
+        let ts: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let points: Vec<Vec<f64>> = ts.iter().map(|&t| vec![t]).collect();
+        let exps = vec![vec![0u32], vec![1], vec![2]];
+        let a = design_matrix(&points, &exps).unwrap();
+        let b: Vec<f64> = ts.iter().map(|&t| 2.0 + 3.0 * t + 0.5 * t * t).collect();
+        let c = lstsq(&a, &b).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        assert!((c[1] - 3.0).abs() < 1e-8);
+        assert!((c[2] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(
+            5,
+            2,
+            &[1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0],
+        )
+        .unwrap();
+        let b = vec![1.1, 1.9, 3.2, 3.9, 5.1];
+        let x = lstsq(&a, &b).unwrap();
+        // residual r = b - A x must satisfy A^T r ~ 0
+        let mut r = b.clone();
+        for i in 0..5 {
+            for j in 0..2 {
+                r[i] -= a[(i, j)] * x[j];
+            }
+        }
+        for j in 0..2 {
+            let mut dot = 0.0;
+            for i in 0..5 {
+                dot += a[(i, j)] * r[i];
+            }
+            assert!(dot.abs() < 1e-10, "column {j} not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_falls_back_to_regularized() {
+        // Two identical columns: plain QR solve would fail; lstsq must not.
+        let a = Matrix::from_rows(4, 2, &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]).unwrap();
+        let b = vec![2.0, 4.0, 6.0, 8.0];
+        let x = lstsq(&a, &b).unwrap();
+        // Any solution with x0 + x1 = 2 is acceptable; check the fit quality.
+        for i in 0..4 {
+            let pred = a[(i, 0)] * x[0] + a[(i, 1)] * x[1];
+            assert!((pred - b[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn design_matrix_multivariate() {
+        let points = vec![vec![2.0, 3.0], vec![1.0, 5.0]];
+        let exps = vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]];
+        let a = design_matrix(&points, &exps).unwrap();
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(a[(0, 2)], 3.0);
+        assert_eq!(a[(0, 3)], 6.0);
+        assert_eq!(a[(1, 3)], 5.0);
+        assert!(design_matrix(&[], &exps).is_err());
+        assert!(design_matrix(&points, &[vec![1]]).is_err());
+    }
+
+    #[test]
+    fn apply_qt_preserves_norm() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64).sin());
+        let qr = QrFactorization::new(a).unwrap();
+        let b: Vec<f64> = (0..6).map(|i| (i as f64) * 0.7 - 1.0).collect();
+        let norm_before: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut qtb = b.clone();
+        qr.apply_qt(&mut qtb).unwrap();
+        let norm_after: f64 = qtb.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm_before - norm_after).abs() < 1e-10);
+        assert!(qr.apply_qt(&mut vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn qr_matches_naive_normal_equations_on_well_conditioned_fit() {
+        // Cross-validate QR lstsq against the regularised normal-equation path.
+        let points: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let exps = vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![2, 0], vec![0, 2]];
+        let a = design_matrix(&points, &exps).unwrap();
+        let b: Vec<f64> = points
+            .iter()
+            .map(|p| 1.0 + 2.0 * p[0] + 3.0 * p[1] + 0.1 * p[0] * p[0] - 0.2 * p[1] * p[1])
+            .collect();
+        let x1 = lstsq(&a, &b).unwrap();
+        let x2 = lstsq_regularized(&a, &b, 1e-12).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+        }
+        let _ = matmul(1.0, &a, &Matrix::zeros(exps.len(), 1)).unwrap();
+    }
+}

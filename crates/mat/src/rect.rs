@@ -1,0 +1,160 @@
+//! Axis-aligned block descriptors.
+
+/// An axis-aligned rectangular block of a matrix, in element coordinates.
+///
+/// `Rect` is used to carve sub-blocks out of matrices (FLAME-style algorithm
+/// partitionings) and to check that the operands of an in-place BLAS call on a
+/// single parent matrix do not alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// First row of the block.
+    pub row: usize,
+    /// First column of the block.
+    pub col: usize,
+    /// Number of rows in the block.
+    pub rows: usize,
+    /// Number of columns in the block.
+    pub cols: usize,
+}
+
+impl Rect {
+    /// Creates a new block descriptor.
+    pub fn new(row: usize, col: usize, rows: usize, cols: usize) -> Self {
+        Rect {
+            row,
+            col,
+            rows,
+            cols,
+        }
+    }
+
+    /// The block covering an entire `rows x cols` matrix.
+    pub fn full(rows: usize, cols: usize) -> Self {
+        Rect::new(0, 0, rows, cols)
+    }
+
+    /// Returns `true` if the block contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Number of elements covered by the block.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Exclusive end row of the block.
+    pub fn row_end(&self) -> usize {
+        self.row + self.rows
+    }
+
+    /// Exclusive end column of the block.
+    pub fn col_end(&self) -> usize {
+        self.col + self.cols
+    }
+
+    /// Returns `true` if this block fits within a `rows x cols` parent matrix.
+    pub fn fits_in(&self, rows: usize, cols: usize) -> bool {
+        self.row_end() <= rows && self.col_end() <= cols
+    }
+
+    /// Returns `true` if the two blocks share at least one element position.
+    ///
+    /// Empty blocks never overlap anything.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let rows_overlap = self.row < other.row_end() && other.row < self.row_end();
+        let cols_overlap = self.col < other.col_end() && other.col < self.col_end();
+        rows_overlap && cols_overlap
+    }
+
+    /// Returns `true` if `other` is entirely contained in this block.
+    pub fn contains(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        other.row >= self.row
+            && other.col >= self.col
+            && other.row_end() <= self.row_end()
+            && other.col_end() <= self.col_end()
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}..{}) x [{}..{})",
+            self.row,
+            self.row_end(),
+            self.col,
+            self.col_end()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let r = Rect::new(2, 3, 4, 5);
+        assert_eq!(r.row_end(), 6);
+        assert_eq!(r.col_end(), 8);
+        assert_eq!(r.len(), 20);
+        assert!(!r.is_empty());
+        assert!(Rect::new(0, 0, 0, 7).is_empty());
+        assert!(r.fits_in(6, 8));
+        assert!(!r.fits_in(5, 8));
+        assert!(!r.fits_in(6, 7));
+    }
+
+    #[test]
+    fn full_covers_matrix() {
+        let r = Rect::full(3, 9);
+        assert_eq!(r, Rect::new(0, 0, 3, 9));
+        assert!(r.fits_in(3, 9));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(4, 0, 4, 4);
+        let c = Rect::new(3, 3, 2, 2);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&a));
+        assert!(b.overlaps(&c)); // c spans rows 3..5, b rows 4..8, cols intersect
+        // Empty blocks overlap nothing.
+        let e = Rect::new(1, 1, 0, 10);
+        assert!(!e.overlaps(&a));
+        assert!(!a.overlaps(&e));
+    }
+
+    #[test]
+    fn disjoint_column_bands() {
+        let a = Rect::new(0, 0, 10, 3);
+        let b = Rect::new(0, 3, 10, 3);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 0, 8, 8);
+        let inner = Rect::new(2, 2, 3, 3);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        // Empty blocks are contained anywhere.
+        assert!(inner.contains(&Rect::new(100, 100, 0, 0)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Rect::new(1, 2, 3, 4);
+        assert_eq!(r.to_string(), "[1..4) x [2..6)");
+    }
+}

@@ -1,0 +1,341 @@
+//! Summary statistics for repeated measurements.
+//!
+//! The paper treats the performance of a routine not as a single number but as
+//! a probability distribution, summarised by a handful of statistical
+//! quantities (Section II-B).  This module provides that summary type; it is
+//! shared by the Sampler (which produces summaries of measurements), the
+//! Modeler (which fits one polynomial per quantity) and the Predictor (which
+//! accumulates per-call estimates into per-algorithm predictions).
+
+/// The statistical quantities tracked for every measured or predicted value.
+///
+/// The order matters: models are vector-valued with one polynomial per
+/// quantity, and the repository serialises them in this order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantity {
+    /// Smallest observed value.
+    Min,
+    /// Arithmetic mean.
+    Mean,
+    /// Median (50th percentile).
+    Median,
+    /// Largest observed value.
+    Max,
+    /// Sample standard deviation.
+    StdDev,
+}
+
+impl Quantity {
+    /// All quantities, in serialisation order.
+    pub const ALL: [Quantity; 5] = [
+        Quantity::Min,
+        Quantity::Mean,
+        Quantity::Median,
+        Quantity::Max,
+        Quantity::StdDev,
+    ];
+
+    /// Short lower-case name used in reports and the repository format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Quantity::Min => "min",
+            Quantity::Mean => "mean",
+            Quantity::Median => "median",
+            Quantity::Max => "max",
+            Quantity::StdDev => "std",
+        }
+    }
+
+    /// Parses a quantity from its short name.
+    pub fn from_name(name: &str) -> Option<Quantity> {
+        Quantity::ALL.into_iter().find(|q| q.name() == name)
+    }
+
+    /// Index of this quantity in [`Quantity::ALL`].
+    pub fn index(&self) -> usize {
+        Quantity::ALL
+            .iter()
+            .position(|q| q == self)
+            .expect("quantity listed in ALL")
+    }
+}
+
+/// Summary of a set of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Arithmetic mean of the observations.
+    pub mean: f64,
+    /// Median of the observations.
+    pub median: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Number of observations the summary was computed from.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes a summary of the given observations.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let n = sorted.len();
+        let min = sorted[0];
+        let max = sorted[n - 1];
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Some(Summary {
+            min,
+            mean,
+            median,
+            max,
+            std_dev,
+            count: n,
+        })
+    }
+
+    /// A summary describing a single exact value (used for analytic estimates).
+    pub fn exact(value: f64) -> Summary {
+        Summary {
+            min: value,
+            mean: value,
+            median: value,
+            max: value,
+            std_dev: 0.0,
+            count: 1,
+        }
+    }
+
+    /// Reads the value of one statistical quantity.
+    pub fn get(&self, q: Quantity) -> f64 {
+        match q {
+            Quantity::Min => self.min,
+            Quantity::Mean => self.mean,
+            Quantity::Median => self.median,
+            Quantity::Max => self.max,
+            Quantity::StdDev => self.std_dev,
+        }
+    }
+
+    /// Builds a summary from explicit per-quantity values (count is synthetic).
+    pub fn from_quantities(values: &[f64; 5]) -> Summary {
+        Summary {
+            min: values[Quantity::Min.index()],
+            mean: values[Quantity::Mean.index()],
+            median: values[Quantity::Median.index()],
+            max: values[Quantity::Max.index()],
+            std_dev: values[Quantity::StdDev.index()],
+            count: 0,
+        }
+    }
+
+    /// Returns the per-quantity values in [`Quantity::ALL`] order.
+    pub fn to_quantities(&self) -> [f64; 5] {
+        [self.min, self.mean, self.median, self.max, self.std_dev]
+    }
+
+    /// Accumulates another summary describing an *independent, sequential*
+    /// stage of execution: minima, means, medians and maxima add, and the
+    /// variances add (standard deviations combine in quadrature).
+    ///
+    /// This is exactly the accumulation the paper performs when summing the
+    /// per-call estimates of an algorithm's trace into a whole-algorithm
+    /// prediction.
+    pub fn accumulate(&mut self, other: &Summary) {
+        self.min += other.min;
+        self.mean += other.mean;
+        self.median += other.median;
+        self.max += other.max;
+        self.std_dev = (self.std_dev * self.std_dev + other.std_dev * other.std_dev).sqrt();
+        self.count += other.count;
+    }
+
+    /// The zero summary, the identity element of [`Summary::accumulate`].
+    pub fn zero() -> Summary {
+        Summary {
+            min: 0.0,
+            mean: 0.0,
+            median: 0.0,
+            max: 0.0,
+            std_dev: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Scales every location quantity (and the spread) by a constant factor.
+    pub fn scale(&self, factor: f64) -> Summary {
+        Summary {
+            min: self.min * factor,
+            mean: self.mean * factor,
+            median: self.median * factor,
+            max: self.max * factor,
+            std_dev: self.std_dev * factor.abs(),
+            count: self.count,
+        }
+    }
+}
+
+/// Computes the `p`-quantile (0 <= p <= 1) of a sample set by linear
+/// interpolation between order statistics.
+pub fn quantile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = p * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Relative error `|estimate - reference| / |reference|`, with a guard for a
+/// zero reference value (returns the absolute error in that case).
+pub fn relative_error(estimate: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        estimate.abs()
+    } else {
+        (estimate - reference).abs() / reference.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_samples() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.count, 4);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_odd_count_median() {
+        let s = Summary::from_samples(&[10.0, 30.0, 20.0]).unwrap();
+        assert_eq!(s.median, 20.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[7.5]).unwrap();
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn exact_and_quantity_roundtrip() {
+        let s = Summary::exact(3.0);
+        for q in Quantity::ALL {
+            match q {
+                Quantity::StdDev => assert_eq!(s.get(q), 0.0),
+                _ => assert_eq!(s.get(q), 3.0),
+            }
+        }
+        let vals = s.to_quantities();
+        let back = Summary::from_quantities(&vals);
+        assert_eq!(back.mean, 3.0);
+        assert_eq!(back.std_dev, 0.0);
+    }
+
+    #[test]
+    fn quantity_names_roundtrip() {
+        for q in Quantity::ALL {
+            assert_eq!(Quantity::from_name(q.name()), Some(q));
+        }
+        assert_eq!(Quantity::from_name("bogus"), None);
+        assert_eq!(Quantity::Median.index(), 2);
+    }
+
+    #[test]
+    fn accumulate_adds_and_combines_variance() {
+        let mut acc = Summary::zero();
+        let a = Summary {
+            min: 1.0,
+            mean: 2.0,
+            median: 2.0,
+            max: 3.0,
+            std_dev: 3.0,
+            count: 10,
+        };
+        let b = Summary {
+            min: 10.0,
+            mean: 20.0,
+            median: 20.0,
+            max: 30.0,
+            std_dev: 4.0,
+            count: 10,
+        };
+        acc.accumulate(&a);
+        acc.accumulate(&b);
+        assert_eq!(acc.min, 11.0);
+        assert_eq!(acc.mean, 22.0);
+        assert_eq!(acc.max, 33.0);
+        assert!((acc.std_dev - 5.0).abs() < 1e-12);
+        assert_eq!(acc.count, 20);
+    }
+
+    #[test]
+    fn scale_summary() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]).unwrap().scale(2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.mean, 4.0);
+        let neg = Summary::exact(1.0).scale(-1.0);
+        assert!(neg.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&v, 1.5), None);
+        assert_eq!(quantile(&[42.0], 0.9), Some(42.0));
+    }
+
+    #[test]
+    fn relative_error_handles_zero_reference() {
+        assert_eq!(relative_error(11.0, 10.0), 0.1);
+        assert_eq!(relative_error(9.0, 10.0), 0.1);
+        assert_eq!(relative_error(0.5, 0.0), 0.5);
+        assert_eq!(relative_error(-11.0, -10.0), 0.1);
+    }
+}

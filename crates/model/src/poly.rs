@@ -1,0 +1,260 @@
+//! Multivariate polynomials and least-squares fitting.
+
+use dla_mat::qr::{design_matrix, lstsq};
+use dla_mat::stats::relative_error;
+
+use crate::{ModelError, Result};
+
+/// Generates the exponent tuples of all monomials in `dim` variables with
+/// total degree at most `degree`, in graded lexicographic order.
+pub fn monomial_exponents(dim: usize, degree: u32) -> Vec<Vec<u32>> {
+    fn rec(dim: usize, remaining: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if dim == 0 {
+            out.push(current.clone());
+            return;
+        }
+        for e in 0..=remaining {
+            current.push(e);
+            rec(dim - 1, remaining - e, current, out);
+            current.pop();
+        }
+    }
+    let mut out = Vec::new();
+    let mut all = Vec::new();
+    rec(dim, degree, &mut Vec::new(), &mut all);
+    // Sort by total degree, then lexicographically, for a stable, readable order.
+    all.sort_by_key(|e| (e.iter().sum::<u32>(), e.clone()));
+    out.extend(all);
+    out
+}
+
+/// A multivariate polynomial `p(x) = sum_t c_t * prod_d x_d^{e_{t,d}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    dim: usize,
+    exponents: Vec<Vec<u32>>,
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from explicit monomials and coefficients.
+    pub fn new(dim: usize, exponents: Vec<Vec<u32>>, coefficients: Vec<f64>) -> Result<Polynomial> {
+        if exponents.len() != coefficients.len() {
+            return Err(ModelError::Fit(format!(
+                "{} exponent tuples but {} coefficients",
+                exponents.len(),
+                coefficients.len()
+            )));
+        }
+        if exponents.iter().any(|e| e.len() != dim) {
+            return Err(ModelError::Fit("exponent arity mismatch".to_string()));
+        }
+        Ok(Polynomial {
+            dim,
+            exponents,
+            coefficients,
+        })
+    }
+
+    /// The constant zero polynomial in `dim` variables.
+    pub fn zero(dim: usize) -> Polynomial {
+        Polynomial {
+            dim,
+            exponents: vec![vec![0; dim]],
+            coefficients: vec![0.0],
+        }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of monomial terms.
+    pub fn term_count(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The monomial exponents.
+    pub fn exponents(&self) -> &[Vec<u32>] {
+        &self.exponents
+    }
+
+    /// The coefficients, in the same order as [`Polynomial::exponents`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Evaluates the polynomial at `point`.
+    ///
+    /// Panics if the point has the wrong dimension.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.dim, "polynomial evaluated at wrong arity");
+        let mut acc = 0.0;
+        for (e, c) in self.exponents.iter().zip(self.coefficients.iter()) {
+            let mut term = *c;
+            for d in 0..self.dim {
+                term *= point[d].powi(e[d] as i32);
+            }
+            acc += term;
+        }
+        acc
+    }
+
+    /// Fits a polynomial of total degree `degree` to the given samples by
+    /// least squares.
+    ///
+    /// Returns an error when there are fewer samples than monomials.
+    pub fn fit(points: &[Vec<f64>], values: &[f64], degree: u32) -> Result<Polynomial> {
+        if points.is_empty() || points.len() != values.len() {
+            return Err(ModelError::Fit(format!(
+                "{} points but {} values",
+                points.len(),
+                values.len()
+            )));
+        }
+        let dim = points[0].len();
+        let exponents = monomial_exponents(dim, degree);
+        if points.len() < exponents.len() {
+            return Err(ModelError::NotEnoughSamples {
+                have: points.len(),
+                need: exponents.len(),
+            });
+        }
+        let a = design_matrix(points, &exponents)
+            .map_err(|e| ModelError::Fit(format!("design matrix: {e}")))?;
+        let coeffs = lstsq(&a, values).map_err(|e| ModelError::Fit(format!("lstsq: {e}")))?;
+        Polynomial::new(dim, exponents, coeffs)
+    }
+
+    /// Maximum relative error of the polynomial over the given samples
+    /// (the accuracy measure used by the Modeler).
+    pub fn max_relative_error(&self, points: &[Vec<f64>], values: &[f64]) -> f64 {
+        points
+            .iter()
+            .zip(values.iter())
+            .map(|(p, &v)| relative_error(self.eval(p), v))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean relative error of the polynomial over the given samples.
+    pub fn mean_relative_error(&self, points: &[Vec<f64>], values: &[f64]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = points
+            .iter()
+            .zip(values.iter())
+            .map(|(p, &v)| relative_error(self.eval(p), v))
+            .sum();
+        sum / points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomials_1d() {
+        let m = monomial_exponents(1, 2);
+        assert_eq!(m, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(monomial_exponents(1, 0), vec![vec![0]]);
+    }
+
+    #[test]
+    fn monomials_2d_quadratic() {
+        let m = monomial_exponents(2, 2);
+        // 1, x, y, x^2, xy, y^2
+        assert_eq!(m.len(), 6);
+        assert!(m.contains(&vec![0, 0]));
+        assert!(m.contains(&vec![1, 1]));
+        assert!(m.contains(&vec![2, 0]));
+        assert!(m.contains(&vec![0, 2]));
+        // graded order: constant first
+        assert_eq!(m[0], vec![0, 0]);
+    }
+
+    #[test]
+    fn monomials_3d_count() {
+        // C(3+2, 2) = 10 monomials of total degree <= 2 in 3 variables
+        assert_eq!(monomial_exponents(3, 2).len(), 10);
+    }
+
+    #[test]
+    fn eval_simple_polynomial() {
+        // p(x, y) = 2 + 3x + 4y^2
+        let p = Polynomial::new(
+            2,
+            vec![vec![0, 0], vec![1, 0], vec![0, 2]],
+            vec![2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert_eq!(p.eval(&[0.0, 0.0]), 2.0);
+        assert_eq!(p.eval(&[1.0, 1.0]), 9.0);
+        assert_eq!(p.eval(&[2.0, 3.0]), 2.0 + 6.0 + 36.0);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.term_count(), 3);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(Polynomial::new(2, vec![vec![0, 0]], vec![1.0, 2.0]).is_err());
+        assert!(Polynomial::new(2, vec![vec![0]], vec![1.0]).is_err());
+        let z = Polynomial::zero(3);
+        assert_eq!(z.eval(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_quadratic() {
+        // f(x, y) = 1 + 2x - y + 0.5x^2 + 0.25xy
+        let f = |x: f64, y: f64| 1.0 + 2.0 * x - y + 0.5 * x * x + 0.25 * x * y;
+        let mut points = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let (x, y) = (i as f64 * 0.2, j as f64 * 0.2);
+                points.push(vec![x, y]);
+                values.push(f(x, y));
+            }
+        }
+        let p = Polynomial::fit(&points, &values, 2).unwrap();
+        assert!(p.max_relative_error(&points, &values) < 1e-9);
+        assert!((p.eval(&[0.35, 0.77]) - f(0.35, 0.77)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_reports_insufficient_samples() {
+        let points = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let values = vec![1.0, 2.0];
+        match Polynomial::fit(&points, &values, 2) {
+            Err(ModelError::NotEnoughSamples { have, need }) => {
+                assert_eq!(have, 2);
+                assert_eq!(need, 6);
+            }
+            other => panic!("expected NotEnoughSamples, got {other:?}"),
+        }
+        assert!(Polynomial::fit(&[], &[], 2).is_err());
+        assert!(Polynomial::fit(&points, &values[..1], 1).is_err());
+    }
+
+    #[test]
+    fn error_metrics() {
+        // constant polynomial fitted to noisy constant data
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let values: Vec<f64> = (0..10).map(|i| if i == 5 { 1.2 } else { 1.0 }).collect();
+        let p = Polynomial::fit(&points, &values, 0).unwrap();
+        let max_err = p.max_relative_error(&points, &values);
+        let mean_err = p.mean_relative_error(&points, &values);
+        assert!(max_err > mean_err);
+        assert!(max_err < 0.2);
+        assert_eq!(Polynomial::zero(1).mean_relative_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn eval_wrong_arity_panics() {
+        let p = Polynomial::zero(2);
+        let _ = p.eval(&[1.0]);
+    }
+}

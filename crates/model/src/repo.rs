@@ -1,0 +1,468 @@
+//! The model repository: persistent storage of routine models.
+//!
+//! The paper stores generated models "permanently in a repository" so that
+//! they can be reused for any algorithm built from the modelled routines.
+//! This module provides that repository with a small, versioned, line-oriented
+//! text format (no external serialisation dependency), plus file persistence.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dla_blas::Routine;
+use dla_machine::Locality;
+use dla_mat::stats::Quantity;
+
+use crate::{
+    ModelError, PiecewiseModel, Polynomial, Region, RegionModel, Result, RoutineModel,
+    VectorPolynomial,
+};
+
+/// Identifies one routine model inside the repository.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelKey {
+    /// Routine name (`dgemm`, ...).
+    pub routine: String,
+    /// Machine-configuration identifier.
+    pub machine_id: String,
+    /// Memory-locality scenario name.
+    pub locality: String,
+}
+
+impl ModelKey {
+    /// Builds a key from typed components.
+    pub fn new(routine: Routine, machine_id: &str, locality: Locality) -> ModelKey {
+        ModelKey {
+            routine: routine.name().to_string(),
+            machine_id: machine_id.to_string(),
+            locality: locality.name().to_string(),
+        }
+    }
+}
+
+/// A collection of routine models, persistable as plain text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelRepository {
+    models: BTreeMap<ModelKey, RoutineModel>,
+}
+
+const FORMAT_HEADER: &str = "dlaperf-models v1";
+
+impl ModelRepository {
+    /// Creates an empty repository.
+    pub fn new() -> ModelRepository {
+        ModelRepository::default()
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Returns `true` if the repository holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Stores a model, replacing any previous model with the same key.
+    pub fn insert(&mut self, model: RoutineModel) {
+        let key = ModelKey::new(model.routine, &model.machine_id, model.locality);
+        self.models.insert(key, model);
+    }
+
+    /// Looks up the model for a routine / machine / locality combination.
+    pub fn get(&self, routine: Routine, machine_id: &str, locality: Locality) -> Option<&RoutineModel> {
+        self.models
+            .get(&ModelKey::new(routine, machine_id, locality))
+    }
+
+    /// Iterates over the stored models.
+    pub fn iter(&self) -> impl Iterator<Item = (&ModelKey, &RoutineModel)> {
+        self.models.iter()
+    }
+
+    /// Total number of samples used to build all stored models.
+    pub fn total_samples(&self) -> usize {
+        self.models.values().map(|m| m.total_samples()).sum()
+    }
+
+    /// Serialises the repository to the versioned text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{FORMAT_HEADER}");
+        for (key, model) in &self.models {
+            let _ = writeln!(
+                out,
+                "model {} machine {} locality {} dim {}",
+                key.routine,
+                key.machine_id,
+                key.locality,
+                model.space.dim()
+            );
+            let _ = writeln!(
+                out,
+                "space {} {}",
+                join_usizes(model.space.lo()),
+                join_usizes(model.space.hi())
+            );
+            let mut keys: Vec<&Vec<usize>> = model.submodels.keys().collect();
+            keys.sort();
+            for flags in keys {
+                let sub = &model.submodels[flags];
+                let flag_str = if flags.is_empty() {
+                    "-".to_string()
+                } else {
+                    flags
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let _ = writeln!(out, "submodel {} samples {}", flag_str, sub.total_samples);
+                for region in &sub.regions {
+                    let _ = writeln!(
+                        out,
+                        "region {} {} error {:e} samples {}",
+                        join_usizes(region.region.lo()),
+                        join_usizes(region.region.hi()),
+                        region.error,
+                        region.samples_used
+                    );
+                    for q in Quantity::ALL {
+                        let poly = region.poly.polynomial(q);
+                        let _ = writeln!(out, "poly {} terms {}", q.name(), poly.term_count());
+                        for (e, c) in poly.exponents().iter().zip(poly.coefficients()) {
+                            let _ = writeln!(out, "term {} {:e}", join_u32s(e), c);
+                        }
+                    }
+                    let _ = writeln!(out, "end_region");
+                }
+                let _ = writeln!(out, "end_submodel");
+            }
+            let _ = writeln!(out, "end_model");
+        }
+        out
+    }
+
+    /// Parses a repository from its text form.
+    pub fn from_text(text: &str) -> Result<ModelRepository> {
+        let mut lines = text.lines().enumerate().peekable();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| ModelError::Parse("empty repository text".to_string()))?;
+        if header.trim() != FORMAT_HEADER {
+            return Err(ModelError::Parse(format!(
+                "unexpected header '{header}', expected '{FORMAT_HEADER}'"
+            )));
+        }
+        let mut repo = ModelRepository::new();
+        while let Some(&(n, line)) = lines.peek() {
+            let line = line.trim();
+            if line.is_empty() {
+                lines.next();
+                continue;
+            }
+            if !line.starts_with("model ") {
+                return Err(ModelError::Parse(format!(
+                    "line {}: expected 'model', got '{line}'",
+                    n + 1
+                )));
+            }
+            let model = parse_model(&mut lines)?;
+            repo.insert(model);
+        }
+        Ok(repo)
+    }
+
+    /// Writes the repository to a file.
+    pub fn save_file(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_text()).map_err(|e| ModelError::Io(e.to_string()))
+    }
+
+    /// Loads a repository from a file.
+    pub fn load_file(path: &Path) -> Result<ModelRepository> {
+        let text = std::fs::read_to_string(path).map_err(|e| ModelError::Io(e.to_string()))?;
+        ModelRepository::from_text(&text)
+    }
+}
+
+fn join_usizes(v: &[usize]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn join_u32s(v: &[u32]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+type Lines<'a> = std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'a>>>;
+
+fn parse_err(n: usize, msg: impl std::fmt::Display) -> ModelError {
+    ModelError::Parse(format!("line {}: {msg}", n + 1))
+}
+
+fn next_line<'a>(lines: &mut Lines<'a>, what: &str) -> Result<(usize, &'a str)> {
+    lines
+        .next()
+        .map(|(n, l)| (n, l.trim()))
+        .ok_or_else(|| ModelError::Parse(format!("unexpected end of input, expected {what}")))
+}
+
+fn parse_usizes(n: usize, toks: &[&str]) -> Result<Vec<usize>> {
+    toks.iter()
+        .map(|t| t.parse::<usize>().map_err(|_| parse_err(n, format!("bad integer '{t}'"))))
+        .collect()
+}
+
+fn parse_model(lines: &mut Lines<'_>) -> Result<RoutineModel> {
+    let (n, header) = next_line(lines, "model header")?;
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    // model <routine> machine <id> locality <loc> dim <d>
+    if toks.len() != 8 || toks[0] != "model" || toks[2] != "machine" || toks[4] != "locality" || toks[6] != "dim" {
+        return Err(parse_err(n, format!("malformed model header '{header}'")));
+    }
+    let routine = Routine::from_name(toks[1])
+        .ok_or_else(|| parse_err(n, format!("unknown routine '{}'", toks[1])))?;
+    let machine_id = toks[3].to_string();
+    let locality = Locality::from_name(toks[5])
+        .ok_or_else(|| parse_err(n, format!("unknown locality '{}'", toks[5])))?;
+    let dim: usize = toks[7]
+        .parse()
+        .map_err(|_| parse_err(n, format!("bad dimension '{}'", toks[7])))?;
+
+    let (n, space_line) = next_line(lines, "space line")?;
+    let toks: Vec<&str> = space_line.split_whitespace().collect();
+    if toks.len() != 1 + 2 * dim || toks[0] != "space" {
+        return Err(parse_err(n, format!("malformed space line '{space_line}'")));
+    }
+    let lo = parse_usizes(n, &toks[1..1 + dim])?;
+    let hi = parse_usizes(n, &toks[1 + dim..])?;
+    let space = Region::new(lo, hi);
+    let mut model = RoutineModel::new(routine, machine_id, locality, space.clone());
+
+    loop {
+        let (n, line) = next_line(lines, "submodel or end_model")?;
+        if line == "end_model" {
+            return Ok(model);
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 4 || toks[0] != "submodel" || toks[2] != "samples" {
+            return Err(parse_err(n, format!("expected submodel line, got '{line}'")));
+        }
+        let flags: Vec<usize> = if toks[1] == "-" {
+            vec![]
+        } else {
+            toks[1]
+                .split(',')
+                .map(|t| t.parse::<usize>().map_err(|_| parse_err(n, format!("bad flag '{t}'"))))
+                .collect::<Result<Vec<usize>>>()?
+        };
+        let total_samples: usize = toks[3]
+            .parse()
+            .map_err(|_| parse_err(n, format!("bad sample count '{}'", toks[3])))?;
+        let mut regions = Vec::new();
+        loop {
+            let (n, line) = next_line(lines, "region or end_submodel")?;
+            if line == "end_submodel" {
+                break;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 1 + 2 * dim + 4 || toks[0] != "region" {
+                return Err(parse_err(n, format!("expected region line, got '{line}'")));
+            }
+            let lo = parse_usizes(n, &toks[1..1 + dim])?;
+            let hi = parse_usizes(n, &toks[1 + dim..1 + 2 * dim])?;
+            if toks[1 + 2 * dim] != "error" || toks[3 + 2 * dim] != "samples" {
+                return Err(parse_err(n, format!("malformed region line '{line}'")));
+            }
+            let error: f64 = toks[2 + 2 * dim]
+                .parse()
+                .map_err(|_| parse_err(n, "bad error value"))?;
+            let samples_used: usize = toks[4 + 2 * dim]
+                .parse()
+                .map_err(|_| parse_err(n, "bad region sample count"))?;
+            let mut polys = Vec::with_capacity(Quantity::ALL.len());
+            for q in Quantity::ALL {
+                let (n, line) = next_line(lines, "poly line")?;
+                let toks: Vec<&str> = line.split_whitespace().collect();
+                if toks.len() != 4 || toks[0] != "poly" || toks[2] != "terms" {
+                    return Err(parse_err(n, format!("expected poly line, got '{line}'")));
+                }
+                if toks[1] != q.name() {
+                    return Err(parse_err(
+                        n,
+                        format!("expected quantity '{}', got '{}'", q.name(), toks[1]),
+                    ));
+                }
+                let terms: usize = toks[3]
+                    .parse()
+                    .map_err(|_| parse_err(n, "bad term count"))?;
+                let mut exponents = Vec::with_capacity(terms);
+                let mut coefficients = Vec::with_capacity(terms);
+                for _ in 0..terms {
+                    let (n, line) = next_line(lines, "term line")?;
+                    let toks: Vec<&str> = line.split_whitespace().collect();
+                    if toks.len() != 2 + dim || toks[0] != "term" {
+                        return Err(parse_err(n, format!("expected term line, got '{line}'")));
+                    }
+                    let exps: Vec<u32> = toks[1..1 + dim]
+                        .iter()
+                        .map(|t| t.parse::<u32>().map_err(|_| parse_err(n, "bad exponent")))
+                        .collect::<Result<Vec<u32>>>()?;
+                    let coeff: f64 = toks[1 + dim]
+                        .parse()
+                        .map_err(|_| parse_err(n, "bad coefficient"))?;
+                    exponents.push(exps);
+                    coefficients.push(coeff);
+                }
+                polys.push(
+                    Polynomial::new(dim, exponents, coefficients)
+                        .map_err(|e| parse_err(n, format!("invalid polynomial: {e}")))?,
+                );
+            }
+            let (n, end) = next_line(lines, "end_region")?;
+            if end != "end_region" {
+                return Err(parse_err(n, format!("expected end_region, got '{end}'")));
+            }
+            regions.push(RegionModel {
+                region: Region::new(lo, hi),
+                poly: VectorPolynomial::new(polys)
+                    .map_err(|e| parse_err(n, format!("invalid vector polynomial: {e}")))?,
+                error,
+                samples_used,
+            });
+        }
+        model.insert_submodel(flags, PiecewiseModel::new(space.clone(), regions, total_samples));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_mat::stats::Summary;
+
+    fn sample_summary(p: &[usize]) -> Summary {
+        let x = p[0] as f64;
+        let y = p.get(1).map(|&v| v as f64).unwrap_or(1.0);
+        let median = 500.0 + x * y * 0.3 + x * 2.0;
+        Summary {
+            min: median * 0.9,
+            mean: median,
+            median,
+            max: median * 1.2,
+            std_dev: median * 0.05,
+            count: 8,
+        }
+    }
+
+    fn build_model() -> RoutineModel {
+        let space = Region::new(vec![8, 8], vec![1024, 1024]);
+        let samples: Vec<(Vec<usize>, Summary)> = space
+            .sample_grid(5, 8)
+            .into_iter()
+            .map(|p| {
+                let s = sample_summary(&p);
+                (p, s)
+            })
+            .collect();
+        let rm = RegionModel::fit(space.clone(), &samples, 2).unwrap();
+        let pw = PiecewiseModel::new(space.clone(), vec![rm], samples.len());
+        let mut model = RoutineModel::new(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache, space);
+        model.insert_submodel(vec![0, 0, 0], pw.clone());
+        model.insert_submodel(vec![1, 1, 0], pw);
+        model
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut repo = ModelRepository::new();
+        assert!(repo.is_empty());
+        repo.insert(build_model());
+        assert_eq!(repo.len(), 1);
+        assert!(repo
+            .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache)
+            .is_some());
+        assert!(repo
+            .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::OutOfCache)
+            .is_none());
+        assert!(repo.get(Routine::Gemm, "hpt+openblas-like+1t", Locality::InCache).is_none());
+        assert!(repo.total_samples() > 0);
+        assert_eq!(repo.iter().count(), 1);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_predictions() {
+        let mut repo = ModelRepository::new();
+        repo.insert(build_model());
+        let text = repo.to_text();
+        assert!(text.starts_with(FORMAT_HEADER));
+        let reloaded = ModelRepository::from_text(&text).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        let original = repo
+            .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache)
+            .unwrap();
+        let restored = reloaded
+            .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache)
+            .unwrap();
+        let call = dla_blas::Call::trsm(
+            dla_blas::Side::Left,
+            dla_blas::Uplo::Lower,
+            dla_blas::Trans::NoTrans,
+            dla_blas::Diag::NonUnit,
+            300,
+            700,
+            1.0,
+        );
+        let a = original.estimate(&call).unwrap();
+        let b = restored.estimate(&call).unwrap();
+        assert!((a.median - b.median).abs() < 1e-6 * a.median.abs());
+        assert!((a.max - b.max).abs() < 1e-6 * a.max.abs());
+        assert_eq!(original.submodel_count(), restored.submodel_count());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut repo = ModelRepository::new();
+        repo.insert(build_model());
+        let dir = std::env::temp_dir().join("dlaperf-repo-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.txt");
+        repo.save_file(&path).unwrap();
+        let loaded = ModelRepository::load_file(&path).unwrap();
+        assert_eq!(loaded.len(), repo.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(ModelRepository::from_text("").is_err());
+        assert!(ModelRepository::from_text("wrong header\n").is_err());
+        let bad = format!("{FORMAT_HEADER}\nnot a model line\n");
+        assert!(ModelRepository::from_text(&bad).is_err());
+        let truncated = format!("{FORMAT_HEADER}\nmodel dtrsm machine m locality in-cache dim 2\n");
+        assert!(ModelRepository::from_text(&truncated).is_err());
+        let bad_routine = format!(
+            "{FORMAT_HEADER}\nmodel dxyz machine m locality in-cache dim 2\nspace 8 8 16 16\nend_model\n"
+        );
+        assert!(ModelRepository::from_text(&bad_routine).is_err());
+    }
+
+    #[test]
+    fn empty_repository_roundtrip() {
+        let repo = ModelRepository::new();
+        let text = repo.to_text();
+        let reloaded = ModelRepository::from_text(&text).unwrap();
+        assert!(reloaded.is_empty());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = ModelRepository::load_file(Path::new("/nonexistent/dlaperf-models.txt"));
+        assert!(matches!(err, Err(ModelError::Io(_))));
+    }
+}

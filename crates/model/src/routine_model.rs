@@ -1,0 +1,202 @@
+//! Models of a whole routine: one piecewise model per flag combination.
+
+use std::collections::HashMap;
+
+use dla_blas::{Call, Routine};
+use dla_machine::Locality;
+use dla_mat::stats::Summary;
+
+use crate::{ModelError, PiecewiseModel, Region, Result};
+
+/// The submodel key of a call: its flag indices with the `diag` flag removed.
+///
+/// The paper's preliminary experiments (Section III-A1) show that all flag
+/// combinations must be modelled separately *except* `diag`, whose influence
+/// is minor; folding it halves the number of submodels for the triangular
+/// routines.
+pub fn submodel_key(call: &Call) -> Vec<usize> {
+    let mut flags = call.flag_indices();
+    match call.routine() {
+        Routine::Trsm | Routine::Trmm => {
+            // side, uplo, transA, diag -> drop diag
+            flags.truncate(3);
+        }
+        Routine::TrtriUnb => {
+            // uplo, diag -> drop diag
+            flags.truncate(1);
+        }
+        _ => {}
+    }
+    flags
+}
+
+/// A performance model of one routine on one machine configuration and
+/// memory-locality scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutineModel {
+    /// The modelled routine.
+    pub routine: Routine,
+    /// Identifier of the machine configuration the model was built on
+    /// ([`dla_machine::MachineConfig::id`]).
+    pub machine_id: String,
+    /// The memory-locality scenario the measurements were taken under.
+    pub locality: Locality,
+    /// The integer parameter space covered by the submodels.
+    pub space: Region,
+    /// One piecewise model per flag combination (keyed by [`submodel_key`]).
+    pub submodels: HashMap<Vec<usize>, PiecewiseModel>,
+}
+
+impl RoutineModel {
+    /// Creates an empty routine model.
+    pub fn new(
+        routine: Routine,
+        machine_id: impl Into<String>,
+        locality: Locality,
+        space: Region,
+    ) -> RoutineModel {
+        RoutineModel {
+            routine,
+            machine_id: machine_id.into(),
+            locality,
+            space,
+            submodels: HashMap::new(),
+        }
+    }
+
+    /// Inserts (or replaces) the submodel for a flag combination.
+    pub fn insert_submodel(&mut self, key: Vec<usize>, model: PiecewiseModel) {
+        self.submodels.insert(key, model);
+    }
+
+    /// The submodel for a flag combination, if present.
+    pub fn submodel(&self, key: &[usize]) -> Option<&PiecewiseModel> {
+        self.submodels.get(key)
+    }
+
+    /// Total number of samples used across all submodels.
+    pub fn total_samples(&self) -> usize {
+        self.submodels.values().map(|m| m.total_samples).sum()
+    }
+
+    /// Number of flag combinations modelled.
+    pub fn submodel_count(&self) -> usize {
+        self.submodels.len()
+    }
+
+    /// Estimates the performance of `call`.
+    ///
+    /// The call's routine must match; its sizes are clamped into the model's
+    /// parameter space (the paper limits unblocked models to small dimensions
+    /// and evaluates them only there, so clamping only matters at the fringes
+    /// of the space).
+    pub fn estimate(&self, call: &Call) -> Result<Summary> {
+        if call.routine() != self.routine {
+            return Err(ModelError::MissingSubmodel(format!(
+                "model is for {}, call is {}",
+                self.routine,
+                call.routine()
+            )));
+        }
+        let key = submodel_key(call);
+        let submodel = self.submodels.get(&key).ok_or_else(|| {
+            ModelError::MissingSubmodel(format!(
+                "no submodel for {} flags {:?} ({})",
+                self.routine,
+                key,
+                call.flag_chars()
+            ))
+        })?;
+        let sizes = call.sizes();
+        let clamped: Vec<usize> = sizes
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| s.clamp(self.space.lo()[d], self.space.hi()[d]))
+            .collect();
+        submodel.eval(&clamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegionModel, VectorPolynomial};
+    use dla_blas::{Diag, Side, Trans, Uplo};
+    use dla_mat::stats::Quantity;
+
+    fn constant_submodel(space: &Region, value: f64) -> PiecewiseModel {
+        // A single region whose polynomials are constants.
+        let polys = Quantity::ALL
+            .iter()
+            .map(|_| {
+                crate::Polynomial::new(space.dim(), vec![vec![0; space.dim()]], vec![value]).unwrap()
+            })
+            .collect();
+        let vp = VectorPolynomial::new(polys).unwrap();
+        let rm = RegionModel {
+            region: space.clone(),
+            poly: vp,
+            error: 0.01,
+            samples_used: 4,
+        };
+        PiecewiseModel::new(space.clone(), vec![rm], 4)
+    }
+
+    #[test]
+    fn submodel_key_drops_diag() {
+        let a = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        let b = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 64, 64, 1.0);
+        assert_eq!(submodel_key(&a), submodel_key(&b));
+        assert_eq!(submodel_key(&a), vec![0, 0, 0]);
+        let c = Call::trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        assert_ne!(submodel_key(&a), submodel_key(&c));
+        let g = Call::gemm(Trans::NoTrans, Trans::Trans, 8, 8, 8, 1.0, 0.0);
+        assert_eq!(submodel_key(&g), vec![0, 1]);
+        let t = Call::trtri_unb(Uplo::Upper, Diag::Unit, 32);
+        assert_eq!(submodel_key(&t), vec![1]);
+        let s = Call::sylv_unb(8, 8);
+        assert!(submodel_key(&s).is_empty());
+    }
+
+    #[test]
+    fn estimate_uses_matching_submodel() {
+        let space = Region::new(vec![8, 8], vec![1024, 1024]);
+        let mut model = RoutineModel::new(Routine::Trsm, "test-machine", Locality::InCache, space.clone());
+        model.insert_submodel(vec![0, 0, 0], constant_submodel(&space, 100.0));
+        model.insert_submodel(vec![1, 0, 0], constant_submodel(&space, 200.0));
+        assert_eq!(model.submodel_count(), 2);
+        assert_eq!(model.total_samples(), 8);
+
+        let left = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 100, 100, 1.0);
+        let right = Call::trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::Unit, 100, 100, 1.0);
+        assert_eq!(model.estimate(&left).unwrap().median, 100.0);
+        assert_eq!(model.estimate(&right).unwrap().median, 200.0);
+    }
+
+    #[test]
+    fn estimate_rejects_wrong_routine_and_missing_submodel() {
+        let space = Region::new(vec![8, 8], vec![1024, 1024]);
+        let mut model = RoutineModel::new(Routine::Trsm, "m", Locality::InCache, space.clone());
+        model.insert_submodel(vec![0, 0, 0], constant_submodel(&space, 1.0));
+        let gemm = Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 0.0);
+        assert!(matches!(
+            model.estimate(&gemm),
+            Err(ModelError::MissingSubmodel(_))
+        ));
+        let upper = Call::trsm(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        assert!(model.estimate(&upper).is_err());
+        assert!(model.submodel(&[0, 0, 0]).is_some());
+        assert!(model.submodel(&[9, 9]).is_none());
+    }
+
+    #[test]
+    fn estimate_clamps_out_of_space_sizes() {
+        let space = Region::new(vec![8, 8], vec![256, 256]);
+        let mut model = RoutineModel::new(Routine::Trsm, "m", Locality::InCache, space.clone());
+        model.insert_submodel(vec![0, 0, 0], constant_submodel(&space, 42.0));
+        // Sizes far outside the modelled space still produce an estimate.
+        let big = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 4000, 2, 1.0);
+        let est = model.estimate(&big).unwrap();
+        assert_eq!(est.median, 42.0);
+    }
+}

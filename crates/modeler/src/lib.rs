@@ -1,0 +1,36 @@
+//! # dla-modeler
+//!
+//! The **Modeler** (paper Section III-C): a tool that automatically generates
+//! piecewise-polynomial performance models by driving the Sampler.
+//!
+//! Two model-generation strategies are implemented, exactly mirroring the
+//! paper:
+//!
+//! * [`ExpansionConfig`] — **Model Expansion**: start from a small region in a
+//!   corner of the integer parameter space, expand it dimension by dimension
+//!   while the polynomial's relative fit error stays below the bound, then
+//!   seed new adjacent regions until the whole space is covered.  Options: the
+//!   error bound ε, the expansion direction (towards or away from the origin)
+//!   and the initial region size.
+//! * [`RefinementConfig`] — **Adaptive Refinement**: start from one coarse
+//!   region spanning the whole space and recursively split regions whose fit
+//!   error exceeds ε, until the error bound is met or the minimum region size
+//!   is reached.  Options: the error bound ε and the minimum region size.
+//!
+//! The [`Modeler`] orchestrates a strategy over a routine: it groups template
+//! calls by flag combination, builds one piecewise submodel per combination,
+//! fixes all leading dimensions to a large constant (2500, as in the paper)
+//! and records how many distinct sample points were spent.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod expansion;
+mod modeler;
+mod oracle;
+mod refinement;
+
+pub use expansion::{Direction, ExpansionConfig};
+pub use modeler::{ModelingReport, Modeler, Strategy};
+pub use oracle::SampleOracle;
+pub use refinement::RefinementConfig;

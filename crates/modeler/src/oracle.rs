@@ -1,0 +1,152 @@
+//! The sampling oracle used by the modeling strategies.
+
+use std::collections::HashMap;
+
+use dla_blas::Call;
+use dla_machine::Executor;
+use dla_mat::stats::Summary;
+use dla_sampler::Sampler;
+
+/// Leading dimension the paper fixes all operands to during model generation.
+pub const MODEL_LEADING_DIM: usize = 2500;
+
+/// A caching front end between a modeling strategy and the Sampler.
+///
+/// The oracle owns the call template (routine + flags + scalars); a strategy
+/// asks for measurements at integer-parameter points, and the oracle
+/// instantiates the template at that point, fixes the leading dimensions,
+/// samples it, and caches the summary so revisiting a point is free.  The
+/// number of *distinct* points sampled is the "number of samples" the paper
+/// reports when comparing strategies.
+pub struct SampleOracle<'a, E: Executor> {
+    sampler: &'a mut Sampler<E>,
+    template: Call,
+    cache: HashMap<Vec<usize>, Summary>,
+    grid_step: usize,
+}
+
+impl<'a, E: Executor> SampleOracle<'a, E> {
+    /// Creates an oracle for a call template.
+    pub fn new(sampler: &'a mut Sampler<E>, template: Call, grid_step: usize) -> Self {
+        SampleOracle {
+            sampler,
+            template: template.with_leading_dims(MODEL_LEADING_DIM),
+            cache: HashMap::new(),
+            grid_step: grid_step.max(1),
+        }
+    }
+
+    /// The grid step the strategies should align sample points to (the paper
+    /// samples only multiples of 8 to avoid small-scale fluctuations).
+    pub fn grid_step(&self) -> usize {
+        self.grid_step
+    }
+
+    /// The call template (with normalised leading dimensions).
+    pub fn template(&self) -> &Call {
+        &self.template
+    }
+
+    /// Measures the template at an integer-parameter point (cached).
+    pub fn measure(&mut self, point: &[usize]) -> Summary {
+        if let Some(s) = self.cache.get(point) {
+            return *s;
+        }
+        let call = self.template.with_sizes(point);
+        let result = self.sampler.sample(&call);
+        let summary = result.ticks;
+        self.cache.insert(point.to_vec(), summary);
+        summary
+    }
+
+    /// Measures a whole set of points and returns `(point, summary)` pairs.
+    pub fn measure_all(&mut self, points: &[Vec<usize>]) -> Vec<(Vec<usize>, Summary)> {
+        points
+            .iter()
+            .map(|p| (p.clone(), self.measure(p)))
+            .collect()
+    }
+
+    /// Number of distinct points sampled so far.
+    pub fn unique_samples(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// All cached samples (used to hand already-acquired data to a fit).
+    pub fn cached_samples(&self) -> Vec<(Vec<usize>, Summary)> {
+        self.cache.iter().map(|(p, s)| (p.clone(), *s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_blas::{Diag, Side, Trans, Uplo};
+    use dla_machine::presets::harpertown_openblas;
+    use dla_machine::SimExecutor;
+    use dla_sampler::SamplerConfig;
+
+    fn template() -> Call {
+        Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5)
+    }
+
+    #[test]
+    fn caches_points_and_counts_unique_samples() {
+        let mut sampler = Sampler::new(
+            SimExecutor::new(harpertown_openblas(), 3),
+            SamplerConfig::in_cache(4),
+        );
+        let mut oracle = SampleOracle::new(&mut sampler, template(), 8);
+        let a = oracle.measure(&[64, 64]);
+        let b = oracle.measure(&[64, 64]);
+        assert_eq!(a, b, "second lookup must come from the cache");
+        assert_eq!(oracle.unique_samples(), 1);
+        let _ = oracle.measure(&[128, 64]);
+        assert_eq!(oracle.unique_samples(), 2);
+        assert_eq!(oracle.cached_samples().len(), 2);
+        // Only the first point triggered executor work beyond its repetitions.
+        assert_eq!(sampler.samples_taken(), 2 * 5);
+    }
+
+    #[test]
+    fn template_leading_dims_are_normalised() {
+        let mut sampler = Sampler::new(
+            SimExecutor::new(harpertown_openblas(), 3),
+            SamplerConfig::in_cache(2),
+        );
+        let oracle = SampleOracle::new(&mut sampler, template(), 8);
+        assert!(oracle
+            .template()
+            .leading_dims()
+            .iter()
+            .all(|&ld| ld == MODEL_LEADING_DIM));
+        assert_eq!(oracle.grid_step(), 8);
+    }
+
+    #[test]
+    fn larger_sizes_take_longer() {
+        let mut sampler = Sampler::new(
+            SimExecutor::new(harpertown_openblas(), 5),
+            SamplerConfig::in_cache(4),
+        );
+        let mut oracle = SampleOracle::new(&mut sampler, template(), 8);
+        let small = oracle.measure(&[64, 64]).median;
+        let large = oracle.measure(&[512, 512]).median;
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn measure_all_returns_pairs_in_order() {
+        let mut sampler = Sampler::new(
+            SimExecutor::new(harpertown_openblas(), 5),
+            SamplerConfig::in_cache(2),
+        );
+        let mut oracle = SampleOracle::new(&mut sampler, template(), 8);
+        let points = vec![vec![32, 32], vec![64, 32], vec![32, 32]];
+        let results = oracle.measure_all(&points);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].0, vec![32, 32]);
+        assert_eq!(results[0].1, results[2].1);
+        assert_eq!(oracle.unique_samples(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Block-size optimisation from performance models (paper Section IV-A2).
+
+use dla_algos::TrinvVariant;
+use dla_model::Result;
+
+use crate::predictor::{EfficiencyPrediction, Predictor};
+use crate::workloads::predict_trinv;
+
+/// The outcome of a block-size sweep for one algorithm variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSizeSweep {
+    /// The variant that was tuned.
+    pub variant: TrinvVariant,
+    /// The problem size the sweep was performed for.
+    pub n: usize,
+    /// `(block size, predicted efficiency)` for every candidate.
+    pub candidates: Vec<(usize, EfficiencyPrediction)>,
+}
+
+impl BlockSizeSweep {
+    /// The block size with the highest predicted median efficiency.
+    pub fn best_block_size(&self) -> Option<usize> {
+        self.candidates
+            .iter()
+            .max_by(|a, b| {
+                a.1.median
+                    .partial_cmp(&b.1.median)
+                    .expect("finite efficiencies")
+            })
+            .map(|(b, _)| *b)
+    }
+
+    /// The predicted efficiency at the best block size.
+    pub fn best_efficiency(&self) -> Option<f64> {
+        self.best_block_size().and_then(|b| {
+            self.candidates
+                .iter()
+                .find(|(bs, _)| *bs == b)
+                .map(|(_, e)| e.median)
+        })
+    }
+}
+
+/// Default candidate block sizes: multiples of 8 between 8 and 256, the range
+/// the paper sweeps in Figures I.2 and IV.2.
+pub fn default_block_size_candidates() -> Vec<usize> {
+    (1..=32).map(|i| i * 8).collect()
+}
+
+/// Sweeps candidate block sizes for a triangular-inversion variant and
+/// returns the predictions.
+pub fn optimize_block_size_trinv(
+    predictor: &Predictor<'_>,
+    variant: TrinvVariant,
+    n: usize,
+    candidates: &[usize],
+) -> Result<BlockSizeSweep> {
+    let mut results = Vec::with_capacity(candidates.len());
+    for &b in candidates {
+        if b == 0 || b > n {
+            continue;
+        }
+        let prediction = predict_trinv(predictor, variant, n, b)?;
+        results.push((b, prediction));
+    }
+    Ok(BlockSizeSweep {
+        variant,
+        n,
+        candidates: results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelset::{build_repository, ModelSetConfig, Workload};
+    use dla_machine::presets::harpertown_openblas;
+    use dla_machine::Locality;
+
+    #[test]
+    fn candidate_list_matches_paper_range() {
+        let c = default_block_size_candidates();
+        assert_eq!(c.first(), Some(&8));
+        assert_eq!(c.last(), Some(&256));
+        assert!(c.iter().all(|b| b % 8 == 0));
+    }
+
+    #[test]
+    fn sweep_prefers_moderate_block_sizes() {
+        let machine = harpertown_openblas();
+        let cfg = ModelSetConfig::quick(512);
+        let (repo, _) = build_repository(&machine, Locality::InCache, 5, &cfg, &[Workload::Trinv]);
+        let predictor = Predictor::new(&repo, machine, Locality::InCache);
+        let sweep = optimize_block_size_trinv(
+            &predictor,
+            TrinvVariant::V3,
+            448,
+            &[8, 16, 32, 64, 96, 128, 192, 256],
+        )
+        .unwrap();
+        let best = sweep.best_block_size().unwrap();
+        assert!(
+            (32..=192).contains(&best),
+            "optimal block size {best} should be moderate"
+        );
+        // Tiny block sizes are clearly worse than the optimum.
+        let eff_at = |b: usize| {
+            sweep
+                .candidates
+                .iter()
+                .find(|(bs, _)| *bs == b)
+                .map(|(_, e)| e.median)
+                .unwrap()
+        };
+        assert!(sweep.best_efficiency().unwrap() > 1.3 * eff_at(8));
+        assert_eq!(sweep.variant, TrinvVariant::V3);
+        assert_eq!(sweep.n, 448);
+    }
+
+    #[test]
+    fn candidates_larger_than_n_are_skipped() {
+        let machine = harpertown_openblas();
+        let cfg = ModelSetConfig::quick(128);
+        let (repo, _) = build_repository(&machine, Locality::InCache, 6, &cfg, &[Workload::Trinv]);
+        let predictor = Predictor::new(&repo, machine, Locality::InCache);
+        let sweep =
+            optimize_block_size_trinv(&predictor, TrinvVariant::V1, 96, &[32, 64, 512, 0]).unwrap();
+        assert_eq!(sweep.candidates.len(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dla-predict
+//!
+//! Prediction, ranking and block-size optimisation (paper Section IV).
+//!
+//! The pipeline is exactly the paper's: an algorithm's execution is described
+//! by its **trace** — the sequence of BLAS/unblocked-kernel calls it performs
+//! (produced by `dla-algos` without executing anything).  The [`Predictor`]
+//! looks up the performance model of every call in a
+//! [`ModelRepository`](dla_model::ModelRepository), evaluates it, and
+//! accumulates the per-call estimates into a whole-algorithm prediction with
+//! full statistical information (min / mean / median / max / standard
+//! deviation).  Predictions are then used to
+//!
+//! * [`rank`](ranking::rank_by_median_ticks) equivalent algorithmic variants,
+//! * [`optimize the block size`](blocksize::optimize_block_size), and
+//! * validate against "measurements" (simulated executions) with ranking
+//!   agreement metrics such as Kendall's τ.
+//!
+//! The [`workloads`] module wires the two workloads of the paper (triangular
+//! inversion and the triangular Sylvester equation) to the Predictor, and
+//! [`modelset`] builds the standard model repository those workloads need.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod blocksize;
+pub mod modelset;
+pub mod predictor;
+pub mod ranking;
+pub mod workloads;
+
+pub use predictor::{EfficiencyPrediction, Predictor, TracePrediction};

@@ -1,0 +1,222 @@
+//! Building the standard model repository for the paper's workloads.
+
+use dla_blas::{Call, Diag, Side, Trans, Uplo};
+use dla_machine::{Locality, MachineConfig, SimExecutor};
+use dla_model::{ModelRepository, Region};
+use dla_modeler::{Modeler, ModelingReport, Strategy};
+
+/// Which workload a repository must be able to predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Triangular inversion (`trinv`): needs `dtrmm`, `dtrsm`, `dgemm` and the
+    /// unblocked triangular inversion.
+    Trinv,
+    /// Triangular Sylvester equation (`sylv`): needs `dgemm` and the unblocked
+    /// Sylvester solver.
+    Sylv,
+}
+
+/// Configuration of the repository-building step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSetConfig {
+    /// Upper bound of the integer parameter space for the level-3 routines.
+    pub max_size: usize,
+    /// Upper bound for the unblocked kernels (the paper limits these models to
+    /// sizes below 256 since they are only called on small blocks).
+    pub unblocked_max: usize,
+    /// Upper bound of the inner (`k`) dimension modelled for `dgemm`; in the
+    /// blocked algorithms `k` never exceeds the block size, so a reduced range
+    /// keeps the 3-D model cheap without losing accuracy where it matters.
+    pub gemm_k_max: usize,
+    /// Number of repetitions the Sampler takes per point.
+    pub repetitions: usize,
+    /// Model-generation strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for ModelSetConfig {
+    fn default() -> Self {
+        ModelSetConfig {
+            max_size: 1024,
+            unblocked_max: 256,
+            gemm_k_max: 256,
+            repetitions: 5,
+            strategy: Strategy::paper_default(),
+        }
+    }
+}
+
+impl ModelSetConfig {
+    /// A cheaper configuration for tests and examples: smaller spaces, fewer
+    /// repetitions, coarser regions.
+    pub fn quick(max_size: usize) -> ModelSetConfig {
+        ModelSetConfig {
+            max_size,
+            unblocked_max: max_size.min(256),
+            gemm_k_max: max_size.min(128),
+            repetitions: 2,
+            strategy: Strategy::Refinement(dla_modeler::RefinementConfig {
+                error_bound: 0.10,
+                min_region_size: 64,
+                grid_per_dim: 4,
+                degree: 2,
+            }),
+        }
+    }
+}
+
+/// The call templates and parameter spaces a workload needs modelled.
+pub fn workload_templates(workload: Workload, config: &ModelSetConfig) -> Vec<(Vec<Call>, Region)> {
+    let max = config.max_size.max(16);
+    let unb = config.unblocked_max.max(16);
+    let kmax = config.gemm_k_max.max(16);
+    let space2 = Region::new(vec![8, 8], vec![max, max]);
+    let gemm_space = Region::new(vec![8, 8, 8], vec![max, max, kmax]);
+    match workload {
+        Workload::Trinv => vec![
+            (
+                vec![Call::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+                space2.clone(),
+            ),
+            (
+                vec![
+                    Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
+                    Call::trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
+                ],
+                space2,
+            ),
+            (
+                vec![Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0)],
+                gemm_space,
+            ),
+            (
+                vec![Call::trtri_unb(Uplo::Lower, Diag::NonUnit, 8)],
+                Region::new(vec![8], vec![unb]),
+            ),
+        ],
+        Workload::Sylv => vec![
+            (
+                vec![Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0)],
+                gemm_space,
+            ),
+            (
+                vec![Call::sylv_unb(8, 8)],
+                Region::new(vec![8, 8], vec![max, max]),
+            ),
+        ],
+    }
+}
+
+/// Builds a model repository covering the given workloads on the given machine
+/// and locality scenario, using the simulated executor.
+///
+/// Returns the repository together with the per-routine modeling reports
+/// (samples used, regions, average error).
+pub fn build_repository(
+    machine: &MachineConfig,
+    locality: Locality,
+    seed: u64,
+    config: &ModelSetConfig,
+    workloads: &[Workload],
+) -> (ModelRepository, Vec<ModelingReport>) {
+    let executor = SimExecutor::new(machine.clone(), seed);
+    let mut modeler = Modeler::new(executor, locality, config.repetitions, config.strategy);
+    let mut repo = ModelRepository::new();
+    let mut reports = Vec::new();
+    let mut done: Vec<(Vec<Call>, Region)> = Vec::new();
+    for &w in workloads {
+        for (templates, space) in workload_templates(w, config) {
+            // Avoid rebuilding a routine/space combination shared by workloads.
+            let duplicate = done
+                .iter()
+                .any(|(t, s)| t[0].routine() == templates[0].routine() && *s == space);
+            if duplicate {
+                continue;
+            }
+            let rep = modeler.populate_repository(&mut repo, &[(templates.clone(), space.clone())]);
+            reports.extend(rep);
+            done.push((templates, space));
+        }
+    }
+    (repo, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_blas::Routine;
+    use dla_machine::presets::harpertown_openblas;
+
+    #[test]
+    fn trinv_templates_cover_needed_routines() {
+        let cfg = ModelSetConfig::quick(128);
+        let templates = workload_templates(Workload::Trinv, &cfg);
+        let routines: Vec<Routine> = templates.iter().map(|(t, _)| t[0].routine()).collect();
+        assert!(routines.contains(&Routine::Trmm));
+        assert!(routines.contains(&Routine::Trsm));
+        assert!(routines.contains(&Routine::Gemm));
+        assert!(routines.contains(&Routine::TrtriUnb));
+        // the trsm entry carries both side variants
+        let trsm = templates
+            .iter()
+            .find(|(t, _)| t[0].routine() == Routine::Trsm)
+            .unwrap();
+        assert_eq!(trsm.0.len(), 2);
+    }
+
+    #[test]
+    fn build_quick_repository_for_both_workloads() {
+        let machine = harpertown_openblas();
+        let cfg = ModelSetConfig::quick(96);
+        let (repo, reports) = build_repository(
+            &machine,
+            Locality::InCache,
+            1,
+            &cfg,
+            &[Workload::Trinv, Workload::Sylv],
+        );
+        // 4 routines for trinv + sylv_unb (gemm shared... distinct space so rebuilt)
+        assert!(repo.len() >= 5);
+        assert!(!reports.is_empty());
+        let id = machine.id();
+        for routine in [
+            Routine::Trmm,
+            Routine::Trsm,
+            Routine::Gemm,
+            Routine::TrtriUnb,
+            Routine::SylvUnb,
+        ] {
+            assert!(
+                repo.get(routine, &id, Locality::InCache).is_some(),
+                "missing model for {routine}"
+            );
+        }
+        assert!(repo.total_samples() > 0);
+    }
+
+    #[test]
+    fn gemm_space_is_shared_between_workloads() {
+        let machine = harpertown_openblas();
+        let cfg = ModelSetConfig::quick(64);
+        let (_, reports) = build_repository(
+            &machine,
+            Locality::InCache,
+            1,
+            &cfg,
+            &[Workload::Trinv, Workload::Sylv],
+        );
+        let gemm_reports = reports
+            .iter()
+            .filter(|r| r.routine == Routine::Gemm)
+            .count();
+        assert_eq!(gemm_reports, 1, "gemm must only be modelled once");
+    }
+
+    #[test]
+    fn default_config_is_paper_sized() {
+        let cfg = ModelSetConfig::default();
+        assert_eq!(cfg.max_size, 1024);
+        assert_eq!(cfg.unblocked_max, 256);
+        assert_eq!(cfg.strategy.name(), "adaptive-refinement");
+    }
+}

@@ -1,0 +1,245 @@
+//! Trace prediction: evaluating and accumulating per-call model estimates.
+
+use dla_blas::flops::is_empty_call;
+use dla_blas::Call;
+use dla_machine::{Locality, MachineConfig};
+use dla_model::{ModelError, ModelRepository, Result};
+use dla_mat::stats::Summary;
+
+/// The predicted execution time of a whole trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePrediction {
+    /// Accumulated tick statistics (per-call estimates summed; standard
+    /// deviations combined in quadrature).
+    pub ticks: Summary,
+    /// Total floating-point operations of the trace.
+    pub flops: f64,
+    /// Number of calls whose models were evaluated.
+    pub predicted_calls: usize,
+    /// Number of degenerate calls (a zero dimension) skipped at zero cost.
+    pub skipped_calls: usize,
+}
+
+/// A prediction converted to the paper's `efficiency` metric.
+///
+/// Note the inversion: the *maximum* efficiency corresponds to the *minimum*
+/// predicted ticks and vice versa.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyPrediction {
+    /// Efficiency computed from the median predicted ticks.
+    pub median: f64,
+    /// Efficiency computed from the mean predicted ticks.
+    pub mean: f64,
+    /// Lower bound: efficiency at the maximum predicted ticks.
+    pub min: f64,
+    /// Upper bound: efficiency at the minimum predicted ticks.
+    pub max: f64,
+}
+
+/// Evaluates stored models to predict whole-algorithm performance.
+pub struct Predictor<'a> {
+    repository: &'a ModelRepository,
+    machine: MachineConfig,
+    locality: Locality,
+}
+
+impl<'a> Predictor<'a> {
+    /// Creates a predictor that reads models for `machine` under `locality`.
+    pub fn new(repository: &'a ModelRepository, machine: MachineConfig, locality: Locality) -> Self {
+        Predictor {
+            repository,
+            machine,
+            locality,
+        }
+    }
+
+    /// The machine configuration predictions refer to.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The memory-locality scenario of the models being used.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// Predicts the performance of a single call.
+    pub fn predict_call(&self, call: &Call) -> Result<Summary> {
+        let model = self
+            .repository
+            .get(call.routine(), &self.machine.id(), self.locality)
+            .ok_or_else(|| {
+                ModelError::MissingSubmodel(format!(
+                    "no model for {} on {} ({})",
+                    call.routine(),
+                    self.machine.id(),
+                    self.locality
+                ))
+            })?;
+        model.estimate(call)
+    }
+
+    /// Predicts the performance of a whole trace by accumulating the per-call
+    /// estimates (paper Section IV: "these estimates are then accumulated").
+    pub fn predict_trace(&self, trace: &[Call]) -> Result<TracePrediction> {
+        let mut ticks = Summary::zero();
+        let mut flops = 0.0;
+        let mut predicted = 0;
+        let mut skipped = 0;
+        for call in trace {
+            if is_empty_call(call) {
+                skipped += 1;
+                continue;
+            }
+            let estimate = self.predict_call(call)?;
+            ticks.accumulate(&estimate);
+            flops += call.flops();
+            predicted += 1;
+        }
+        Ok(TracePrediction {
+            ticks,
+            flops,
+            predicted_calls: predicted,
+            skipped_calls: skipped,
+        })
+    }
+
+    /// Predicts the efficiency of a trace for an operation whose useful flop
+    /// count is `useful_flops`.
+    pub fn predict_efficiency(
+        &self,
+        trace: &[Call],
+        useful_flops: f64,
+    ) -> Result<EfficiencyPrediction> {
+        let prediction = self.predict_trace(trace)?;
+        Ok(efficiency_from_ticks(
+            &self.machine,
+            useful_flops,
+            &prediction.ticks,
+        ))
+    }
+}
+
+/// Converts a tick summary into an efficiency prediction.
+pub fn efficiency_from_ticks(
+    machine: &MachineConfig,
+    useful_flops: f64,
+    ticks: &Summary,
+) -> EfficiencyPrediction {
+    EfficiencyPrediction {
+        median: machine.efficiency(useful_flops, ticks.median),
+        mean: machine.efficiency(useful_flops, ticks.mean),
+        min: machine.efficiency(useful_flops, ticks.max),
+        max: machine.efficiency(useful_flops, ticks.min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_blas::{Diag, Side, Trans, Uplo};
+    use dla_machine::presets::harpertown_openblas;
+    use dla_machine::SimExecutor;
+    use dla_model::Region;
+    use dla_modeler::{Modeler, RefinementConfig, Strategy};
+
+    fn small_repo() -> (ModelRepository, MachineConfig) {
+        let machine = harpertown_openblas();
+        let mut modeler = Modeler::new(
+            SimExecutor::noiseless(machine.clone()),
+            Locality::InCache,
+            1,
+            Strategy::Refinement(RefinementConfig {
+                error_bound: 0.15,
+                min_region_size: 128,
+                grid_per_dim: 3,
+                degree: 2,
+            }),
+        );
+        let mut repo = ModelRepository::new();
+        modeler.populate_repository(
+            &mut repo,
+            &[
+                (
+                    vec![Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+                    Region::new(vec![8, 8], vec![512, 512]),
+                ),
+                (
+                    vec![Call::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+                    Region::new(vec![8, 8], vec![512, 512]),
+                ),
+            ],
+        );
+        (repo, machine)
+    }
+
+    #[test]
+    fn predict_single_call_matches_cost_model_within_model_error() {
+        let (repo, machine) = small_repo();
+        let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
+        let call = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 300, 200, 1.0);
+        let predicted = predictor.predict_call(&call).unwrap();
+        let truth = dla_machine::cost::estimate_ticks(&machine, &call, Locality::InCache);
+        let rel = (predicted.median - truth).abs() / truth;
+        assert!(rel < 0.35, "relative error {rel}");
+        assert_eq!(predictor.locality(), Locality::InCache);
+    }
+
+    #[test]
+    fn predict_trace_accumulates() {
+        let (repo, machine) = small_repo();
+        let predictor = Predictor::new(&repo, machine, Locality::InCache);
+        let a = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 256, 256, 1.0);
+        let b = Call::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 256, 256, 1.0);
+        let single_a = predictor.predict_trace(std::slice::from_ref(&a)).unwrap();
+        let single_b = predictor.predict_trace(std::slice::from_ref(&b)).unwrap();
+        let both = predictor.predict_trace(&[a.clone(), b.clone()]).unwrap();
+        assert!((both.ticks.median - single_a.ticks.median - single_b.ticks.median).abs() < 1e-6);
+        assert_eq!(both.predicted_calls, 2);
+        assert_eq!(both.flops, a.flops() + b.flops());
+        // std devs combine in quadrature, so the total is below the plain sum
+        assert!(both.ticks.std_dev <= single_a.ticks.std_dev + single_b.ticks.std_dev + 1e-9);
+    }
+
+    #[test]
+    fn empty_calls_are_skipped() {
+        let (repo, machine) = small_repo();
+        let predictor = Predictor::new(&repo, machine, Locality::InCache);
+        let empty = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 128, 0, 1.0);
+        let p = predictor.predict_trace(&[empty]).unwrap();
+        assert_eq!(p.predicted_calls, 0);
+        assert_eq!(p.skipped_calls, 1);
+        assert_eq!(p.ticks.median, 0.0);
+    }
+
+    #[test]
+    fn missing_model_is_an_error() {
+        let (repo, machine) = small_repo();
+        let predictor = Predictor::new(&repo, machine, Locality::InCache);
+        let gemm = Call::gemm(Trans::NoTrans, Trans::NoTrans, 64, 64, 64, 1.0, 1.0);
+        assert!(predictor.predict_trace(&[gemm]).is_err());
+        // Wrong locality also misses.
+        let (repo, machine) = small_repo();
+        let predictor = Predictor::new(&repo, machine, Locality::OutOfCache);
+        let call = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        assert!(predictor.predict_call(&call).is_err());
+    }
+
+    #[test]
+    fn efficiency_prediction_inverts_ticks() {
+        let machine = harpertown_openblas();
+        let ticks = Summary {
+            min: 100.0,
+            mean: 210.0,
+            median: 200.0,
+            max: 400.0,
+            std_dev: 10.0,
+            count: 5,
+        };
+        let eff = efficiency_from_ticks(&machine, 800.0, &ticks);
+        assert!(eff.max > eff.median && eff.median > eff.min);
+        assert!((eff.max - machine.efficiency(800.0, 100.0)).abs() < 1e-12);
+        assert!((eff.min - machine.efficiency(800.0, 400.0)).abs() < 1e-12);
+        assert!(eff.mean < eff.median);
+    }
+}

@@ -1,0 +1,169 @@
+//! Ranking algorithms by predicted performance and validating the ranking
+//! against measurements.
+
+/// A scored candidate (algorithm variant, block size, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked<T> {
+    /// The candidate.
+    pub item: T,
+    /// Its score (lower is better when ranking by ticks, higher is better
+    /// when ranking by efficiency).
+    pub score: f64,
+}
+
+/// Ranks candidates by ascending score (use for predicted ticks).
+pub fn rank_ascending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
+    let mut ranked: Vec<Ranked<T>> = items
+        .iter()
+        .map(|(item, score)| Ranked {
+            item: item.clone(),
+            score: *score,
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    ranked
+}
+
+/// Ranks candidates by descending score (use for predicted efficiency).
+pub fn rank_descending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
+    let mut ranked = rank_ascending(items);
+    ranked.reverse();
+    ranked
+}
+
+/// Kendall's τ rank-correlation coefficient between two scorings of the same
+/// candidates (identified by index).  Returns a value in `[-1, 1]`; `1` means
+/// the two scorings order every pair identically.
+pub fn kendall_tau(scores_a: &[f64], scores_b: &[f64]) -> f64 {
+    assert_eq!(scores_a.len(), scores_b.len(), "kendall_tau: length mismatch");
+    let n = scores_a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = scores_a[i] - scores_a[j];
+            let db = scores_b[i] - scores_b[j];
+            let product = da * db;
+            if product > 0.0 {
+                concordant += 1;
+            } else if product < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Returns `true` if the two scorings agree on which candidate is best.
+///
+/// `lower_is_better` selects whether the best candidate has the smallest or
+/// the largest score.
+pub fn top_choice_agrees(scores_a: &[f64], scores_b: &[f64], lower_is_better: bool) -> bool {
+    assert_eq!(scores_a.len(), scores_b.len());
+    if scores_a.is_empty() {
+        return true;
+    }
+    let best = |s: &[f64]| -> usize {
+        let mut idx = 0;
+        for (i, &v) in s.iter().enumerate() {
+            let better = if lower_is_better { v < s[idx] } else { v > s[idx] };
+            if better {
+                idx = i;
+            }
+        }
+        idx
+    };
+    best(scores_a) == best(scores_b)
+}
+
+/// Fraction of candidate pairs ordered identically by the two scorings
+/// (1.0 = perfect ranking agreement).
+pub fn pairwise_agreement(scores_a: &[f64], scores_b: &[f64]) -> f64 {
+    (kendall_tau(scores_a, scores_b) + 1.0) / 2.0
+}
+
+/// Checks that the two scorings split the candidates into the same
+/// "fast" / "slow" groups when thresholding at the given relative gap:
+/// a candidate belongs to the fast group if its score is within
+/// `gap * best_score` of the best score.
+///
+/// Returns the indices of the fast group according to `scores` (higher is
+/// better).
+pub fn fast_group(scores: &[f64], gap: f64) -> Vec<usize> {
+    if scores.is_empty() {
+        return vec![];
+    }
+    let best = scores.iter().cloned().fold(f64::MIN, f64::max);
+    scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s >= best * gap)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_orders_items() {
+        let items = vec![("a", 3.0), ("b", 1.0), ("c", 2.0)];
+        let asc = rank_ascending(&items);
+        assert_eq!(asc[0].item, "b");
+        assert_eq!(asc[2].item, "a");
+        let desc = rank_descending(&items);
+        assert_eq!(desc[0].item, "a");
+        assert_eq!(desc[0].score, 3.0);
+    }
+
+    #[test]
+    fn kendall_tau_perfect_and_inverted() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(kendall_tau(&a, &b), 1.0);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &c), -1.0);
+        assert_eq!(pairwise_agreement(&a, &b), 1.0);
+        assert_eq!(pairwise_agreement(&a, &c), 0.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 1.0);
+    }
+
+    #[test]
+    fn kendall_tau_partial_agreement() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 3.0, 2.0];
+        // one of three pairs is discordant: tau = (2 - 1) / 3
+        assert!((kendall_tau(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_choice_agreement() {
+        let predicted = [10.0, 5.0, 20.0];
+        let measured = [11.0, 6.0, 18.0];
+        assert!(top_choice_agrees(&predicted, &measured, true));
+        assert!(top_choice_agrees(&predicted, &measured, false));
+        let measured_flipped = [4.0, 6.0, 18.0];
+        assert!(!top_choice_agrees(&predicted, &measured_flipped, true));
+        assert!(top_choice_agrees(&[], &[], true));
+    }
+
+    #[test]
+    fn fast_group_thresholding() {
+        // Efficiencies: two fast (~0.2), two slow (~0.02).
+        let scores = [0.21, 0.19, 0.02, 0.015];
+        let fast = fast_group(&scores, 0.5);
+        assert_eq!(fast, vec![0, 1]);
+        assert!(fast_group(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn kendall_tau_length_mismatch_panics() {
+        let _ = kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dla-sampler
+//!
+//! The **Sampler**: the measurement front end of the stack (paper
+//! Section II-C).  Given routine calls in the form of argument tuples, it
+//! executes them repeatedly on an [`Executor`](dla_machine::Executor) under a
+//! chosen memory-locality scenario, discards the initial library-warm-up
+//! outliers, and reports summary statistics (minimum, mean, median, maximum,
+//! standard deviation) of the measured `ticks`.
+//!
+//! Two interfaces are provided:
+//!
+//! * the programmatic [`Sampler`] used by the Modeler, and
+//! * a line-oriented text interface ([`script`]) that mirrors the paper's
+//!   stand-alone tool: each input line is a routine tuple such as
+//!   `dtrsm R L N U 512 128 0.37 256 512`, and each output line reports the
+//!   statistics for that call.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod sampler;
+
+pub mod script;
+
+pub use sampler::{SampleResult, Sampler, SamplerConfig};

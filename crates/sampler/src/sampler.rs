@@ -1,0 +1,265 @@
+//! The sampling engine.
+
+use dla_blas::Call;
+use dla_machine::{Executor, Locality, MachineConfig};
+use dla_mat::stats::Summary;
+
+/// Configuration of a sampling campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplerConfig {
+    /// Memory-locality scenario the operands are placed in.
+    pub locality: Locality,
+    /// Number of measurements collected per call.
+    pub repetitions: usize,
+    /// Number of leading measurements discarded (library initialisation — the
+    /// paper discards the first invocation, which is an order of magnitude
+    /// slower than the rest).
+    pub warmup_discard: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            locality: Locality::InCache,
+            repetitions: 10,
+            warmup_discard: 1,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// In-cache sampling with the given repetition count.
+    pub fn in_cache(repetitions: usize) -> SamplerConfig {
+        SamplerConfig {
+            locality: Locality::InCache,
+            repetitions,
+            warmup_discard: 1,
+        }
+    }
+
+    /// Out-of-cache sampling with the given repetition count.
+    pub fn out_of_cache(repetitions: usize) -> SamplerConfig {
+        SamplerConfig {
+            locality: Locality::OutOfCache,
+            repetitions,
+            warmup_discard: 1,
+        }
+    }
+}
+
+/// The result of sampling one routine call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleResult {
+    /// The call that was measured.
+    pub call: Call,
+    /// The locality scenario it was measured under.
+    pub locality: Locality,
+    /// Summary of the measured ticks (after discarding warm-up measurements).
+    pub ticks: Summary,
+    /// Summary of the corresponding efficiencies.
+    pub efficiency: Summary,
+    /// The raw tick measurements that the summary was computed from.
+    pub raw_ticks: Vec<f64>,
+    /// Measurements that were discarded as warm-up.
+    pub discarded: Vec<f64>,
+}
+
+impl SampleResult {
+    /// The measured flop count of the call.
+    pub fn flops(&self) -> f64 {
+        self.call.flops()
+    }
+}
+
+/// The Sampler: drives an executor to produce summary statistics per call.
+#[derive(Debug)]
+pub struct Sampler<E: Executor> {
+    executor: E,
+    config: SamplerConfig,
+    samples_taken: usize,
+}
+
+impl<E: Executor> Sampler<E> {
+    /// Creates a sampler around an executor.
+    pub fn new(executor: E, config: SamplerConfig) -> Sampler<E> {
+        Sampler {
+            executor,
+            config,
+            samples_taken: 0,
+        }
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> SamplerConfig {
+        self.config
+    }
+
+    /// Changes the locality scenario for subsequent samples.
+    pub fn set_locality(&mut self, locality: Locality) {
+        self.config.locality = locality;
+    }
+
+    /// Changes the number of repetitions per sampled call.
+    pub fn set_repetitions(&mut self, repetitions: usize) {
+        self.config.repetitions = repetitions.max(1);
+    }
+
+    /// Consumes the sampler and returns the wrapped executor.
+    pub fn into_executor(self) -> E {
+        self.executor
+    }
+
+    /// The machine configuration of the underlying executor.
+    pub fn machine(&self) -> &MachineConfig {
+        self.executor.machine()
+    }
+
+    /// Total number of individual measurements performed so far (including
+    /// discarded warm-up measurements); the Modeler uses this as its sample
+    /// budget accounting.
+    pub fn samples_taken(&self) -> usize {
+        self.samples_taken
+    }
+
+    /// Access to the wrapped executor.
+    pub fn executor_mut(&mut self) -> &mut E {
+        &mut self.executor
+    }
+
+    /// Measures one call.
+    pub fn sample(&mut self, call: &Call) -> SampleResult {
+        let total = self.config.repetitions + self.config.warmup_discard;
+        let mut discarded = Vec::with_capacity(self.config.warmup_discard);
+        let mut kept = Vec::with_capacity(self.config.repetitions.max(1));
+        for i in 0..total.max(1) {
+            let m = self.executor.execute(call, self.config.locality);
+            self.samples_taken += 1;
+            if i < self.config.warmup_discard && total > self.config.warmup_discard {
+                discarded.push(m.ticks);
+            } else {
+                kept.push(m.ticks);
+            }
+        }
+        let ticks = Summary::from_samples(&kept).expect("at least one kept sample");
+        let flops = call.flops();
+        let machine = self.executor.machine();
+        let efficiencies: Vec<f64> = kept.iter().map(|&t| machine.efficiency(flops, t)).collect();
+        let efficiency = Summary::from_samples(&efficiencies).expect("non-empty");
+        SampleResult {
+            call: call.clone(),
+            locality: self.config.locality,
+            ticks,
+            efficiency,
+            raw_ticks: kept,
+            discarded,
+        }
+    }
+
+    /// Measures a list of calls in order.
+    pub fn sample_all(&mut self, calls: &[Call]) -> Vec<SampleResult> {
+        calls.iter().map(|c| self.sample(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_blas::Trans;
+    use dla_machine::presets::harpertown_openblas;
+    use dla_machine::SimExecutor;
+
+    fn sampler(reps: usize) -> Sampler<SimExecutor> {
+        Sampler::new(
+            SimExecutor::new(harpertown_openblas(), 42),
+            SamplerConfig::in_cache(reps),
+        )
+    }
+
+    fn call(n: usize) -> Call {
+        Call::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, 1.0, 0.0)
+    }
+
+    #[test]
+    fn sample_counts_and_discard() {
+        let mut s = sampler(8);
+        let r = s.sample(&call(128));
+        assert_eq!(r.raw_ticks.len(), 8);
+        assert_eq!(r.discarded.len(), 1);
+        assert_eq!(r.ticks.count, 8);
+        assert_eq!(s.samples_taken(), 9);
+        // The discarded first measurement includes the library-initialisation
+        // penalty and dwarfs the typical measurement.
+        assert!(r.discarded[0] > 3.0 * r.ticks.median);
+    }
+
+    #[test]
+    fn summary_is_consistent_with_raw_samples() {
+        let mut s = sampler(16);
+        let r = s.sample(&call(200));
+        let min = r.raw_ticks.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = r.raw_ticks.iter().cloned().fold(0.0f64, f64::max);
+        assert_eq!(r.ticks.min, min);
+        assert_eq!(r.ticks.max, max);
+        assert!(r.ticks.min <= r.ticks.median && r.ticks.median <= r.ticks.max);
+    }
+
+    #[test]
+    fn efficiency_is_inverse_to_ticks() {
+        let mut s = sampler(10);
+        let r = s.sample(&call(300));
+        // The fastest run has the highest efficiency.
+        let machine = harpertown_openblas();
+        let best = machine.efficiency(r.flops(), r.ticks.min);
+        assert!((r.efficiency.max - best).abs() / best < 1e-12);
+        assert!(r.efficiency.max <= 1.0);
+        assert!(r.efficiency.min > 0.0);
+    }
+
+    #[test]
+    fn locality_switch_changes_results() {
+        let mut s = sampler(6);
+        let ic = s.sample(&call(64)).ticks.median;
+        s.set_locality(Locality::OutOfCache);
+        let oc = s.sample(&call(64)).ticks.median;
+        assert!(oc > ic);
+        assert_eq!(s.config().locality, Locality::OutOfCache);
+    }
+
+    #[test]
+    fn sample_all_preserves_order() {
+        let mut s = sampler(4);
+        let calls = vec![call(32), call(64), call(96)];
+        let results = s.sample_all(&calls);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].ticks.median < results[2].ticks.median);
+        for (r, c) in results.iter().zip(calls.iter()) {
+            assert_eq!(&r.call, c);
+        }
+    }
+
+    #[test]
+    fn zero_repetitions_still_returns_one_sample() {
+        let mut s = Sampler::new(
+            SimExecutor::new(harpertown_openblas(), 1),
+            SamplerConfig {
+                locality: Locality::InCache,
+                repetitions: 0,
+                warmup_discard: 0,
+            },
+        );
+        let r = s.sample(&call(16));
+        assert_eq!(r.raw_ticks.len(), 1);
+        assert!(r.discarded.is_empty());
+    }
+
+    #[test]
+    fn noiseless_executor_gives_zero_spread() {
+        let mut s = Sampler::new(
+            SimExecutor::noiseless(harpertown_openblas()),
+            SamplerConfig::in_cache(5),
+        );
+        let r = s.sample(&call(100));
+        assert_eq!(r.ticks.std_dev, 0.0);
+        assert_eq!(r.ticks.min, r.ticks.max);
+    }
+}

@@ -1,0 +1,46 @@
+//! Cross-architecture ranking (paper Sections IV-A3 and IV-A4): the same four
+//! triangular-inversion variants are ranked on three different environments —
+//! one Harpertown core, one Sandy Bridge core and all eight Sandy Bridge cores
+//! with a multithreaded BLAS — and the best variant changes with the
+//! environment, exactly as the paper observes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cross_machine_ranking
+//! ```
+
+use dlaperf::machine::presets::{
+    harpertown_openblas, sandy_bridge_openblas, sandy_bridge_openblas_threaded,
+};
+use dlaperf::machine::MachineConfig;
+use dlaperf::predict::modelset::ModelSetConfig;
+use dlaperf::predict::workloads::MeasurementMode;
+use dlaperf::{Pipeline, Workload};
+
+fn rank_on(machine: MachineConfig, n: usize, b: usize) {
+    println!("== {} ==", machine.id());
+    let mut pipeline = Pipeline::new(machine).with_model_config(ModelSetConfig::quick(n.max(256)));
+    pipeline.build_models(&[Workload::Trinv]);
+    let ranking = pipeline.rank_trinv(n, b).expect("models cover the workload");
+    println!("{:<12}{:>16}{:>16}", "variant", "predicted eff", "measured eff");
+    for (variant, prediction) in &ranking {
+        let measured = pipeline.measure_trinv(*variant, n, b, MeasurementMode::Auto);
+        println!(
+            "{:<12}{:>16.3}{:>16.3}",
+            variant.name(),
+            prediction.median,
+            measured.efficiency
+        );
+    }
+    println!("predicted best: {}\n", ranking[0].0.name());
+}
+
+fn main() {
+    let n = 768;
+    let b = 96;
+    println!("ranking the trinv variants for n = {n}, block size {b}\n");
+    rank_on(harpertown_openblas(), n, b);
+    rank_on(sandy_bridge_openblas(), n, b);
+    rank_on(sandy_bridge_openblas_threaded(), n, b);
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build performance models on the simulated Harpertown machine,
+//! rank the four triangular-inversion variants without executing them, and
+//! compare the ranking against a (simulated) execution.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dlaperf::machine::presets::harpertown_openblas;
+use dlaperf::predict::modelset::ModelSetConfig;
+use dlaperf::predict::workloads::MeasurementMode;
+use dlaperf::{Pipeline, TrinvVariant, Workload};
+
+fn main() {
+    let machine = harpertown_openblas();
+    println!("machine: {}", machine.id());
+
+    // 1. Build models for the routines the trinv variants are built on
+    //    (dtrmm, dtrsm, dgemm and the unblocked triangular inversion).
+    let mut pipeline = Pipeline::new(machine).with_model_config(ModelSetConfig::quick(512));
+    pipeline.build_models(&[Workload::Trinv]);
+    for report in pipeline.reports() {
+        println!(
+            "modelled {:<12} with {:>5} samples, {:>3} regions, avg worst-case fit error {:.2}%",
+            report.routine.name(),
+            report.samples,
+            report.regions,
+            100.0 * report.average_error
+        );
+    }
+
+    // 2. Rank the variants for n = 500, block size 96 — from the models alone.
+    let n = 500;
+    let b = 96;
+    println!("\npredicted ranking for n = {n}, block size {b} (best first):");
+    let ranking = pipeline.rank_trinv(n, b).expect("models cover the workload");
+    for (variant, prediction) in &ranking {
+        println!(
+            "  {:<10} predicted efficiency {:.3}  (range {:.3} .. {:.3})",
+            variant.name(),
+            prediction.median,
+            prediction.min,
+            prediction.max
+        );
+    }
+
+    // 3. Validate against a simulated execution of each variant.
+    println!("\nsimulated execution for comparison:");
+    for variant in TrinvVariant::ALL {
+        let measured = pipeline.measure_trinv(variant, n, b, MeasurementMode::Auto);
+        println!(
+            "  {:<10} measured efficiency {:.3}  ({} calls, {:.2e} ticks)",
+            variant.name(),
+            measured.efficiency,
+            measured.calls,
+            measured.ticks
+        );
+    }
+
+    let best = ranking[0].0;
+    println!("\npredicted best variant: {}", best.name());
+}

@@ -1,0 +1,61 @@
+//! The Sampler's text interface (paper Section II-C): feed routine tuples to
+//! the Sampler line by line and print the measured statistics, exactly like
+//! the paper's stand-alone measurement tool.
+//!
+//! Run the built-in demo script with:
+//!
+//! ```text
+//! cargo run --release --example sampler_script
+//! ```
+//!
+//! or pipe your own script through stdin:
+//!
+//! ```text
+//! echo "dgemm N N 256 256 256 1.0 0.0 2500 2500 2500" | \
+//!     cargo run --release --example sampler_script -- -
+//! ```
+
+use std::io::Read;
+
+use dlaperf::machine::presets::harpertown_openblas;
+use dlaperf::machine::SimExecutor;
+use dlaperf::sampler::script::{format_report, run_script};
+use dlaperf::sampler::{Sampler, SamplerConfig};
+
+const DEMO_SCRIPT: &str = "\
+# The dtrsm invocation discussed in Section II-B of the paper,
+# measured in cache and out of cache.
+@repetitions 50
+dtrsm R L N U 512 128 0.37 256 512
+@locality out-of-cache
+dtrsm R L N U 512 128 0.37 256 512
+@locality in-cache
+# A few dgemm sizes around the paper's Figure III.2 sweep.
+dgemm N N 256 256 256 1.0 0.0 2500 2500 2500
+dgemm N N 512 512 512 1.0 0.0 2500 2500 2500
+dgemm N N 768 768 768 1.0 0.0 2500 2500 2500
+# The unblocked kernels used by the blocked algorithms.
+dtrtri_unb L N 96 2500
+dsylv_unb 96 96 2500 2500 2500
+";
+
+fn main() {
+    let script = match std::env::args().nth(1) {
+        Some(arg) if arg == "-" => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("reading stdin");
+            buf
+        }
+        Some(path) => std::fs::read_to_string(&path).expect("reading script file"),
+        None => DEMO_SCRIPT.to_string(),
+    };
+
+    let machine = harpertown_openblas();
+    println!("# sampling on {}", machine.id());
+    let mut sampler = Sampler::new(SimExecutor::new(machine, 42), SamplerConfig::in_cache(10));
+    let outcomes = run_script(&mut sampler, &script);
+    print!("{}", format_report(&outcomes));
+    println!("# total raw measurements taken: {}", sampler.samples_taken());
+}

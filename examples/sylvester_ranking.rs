@@ -1,0 +1,64 @@
+//! Ranking the sixteen blocked Sylvester-equation variants (paper
+//! Section IV-B): the models must first separate the fast, GEMM-rich group
+//! from the slow group, and then order the fast group correctly.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example sylvester_ranking [n]
+//! ```
+
+use dlaperf::machine::presets::harpertown_openblas;
+use dlaperf::predict::modelset::ModelSetConfig;
+use dlaperf::predict::workloads::MeasurementMode;
+use dlaperf::{Pipeline, SylvVariant, Workload};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(768);
+    let b = 96;
+
+    let mut pipeline =
+        Pipeline::new(harpertown_openblas()).with_model_config(ModelSetConfig::quick(n.max(256)));
+    pipeline.build_models(&[Workload::Sylv]);
+
+    println!("sylv: L X + X U = C with n = {n}, block size {b}\n");
+    println!(
+        "{:<12}{:>12}{:>16}{:>16}{:>12}",
+        "variant", "gemm-rich", "predicted eff", "measured eff", "group"
+    );
+
+    let ranking = pipeline.rank_sylv(n, b).expect("models cover the workload");
+    let best_predicted = ranking[0].1.median;
+    for (variant, prediction) in &ranking {
+        let measured = pipeline.measure_sylv(*variant, n, b, MeasurementMode::Auto);
+        let group = if prediction.median > 0.5 * best_predicted {
+            "fast"
+        } else {
+            "slow"
+        };
+        println!(
+            "{:<12}{:>12}{:>16.3}{:>16.3}{:>12}",
+            variant.name(),
+            variant.is_gemm_rich(),
+            prediction.median,
+            measured.efficiency,
+            group
+        );
+    }
+
+    let predicted_fast: Vec<usize> = ranking
+        .iter()
+        .take(4)
+        .map(|(v, _)| v.id())
+        .collect();
+    let expected_fast: Vec<usize> = SylvVariant::all()
+        .into_iter()
+        .filter(|v| v.is_gemm_rich())
+        .map(|v| v.id())
+        .collect();
+    println!("\npredicted top-4 variants: {predicted_fast:?}");
+    println!("GEMM-rich (expected fast) variants: {expected_fast:?}");
+}

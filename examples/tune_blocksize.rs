@@ -1,0 +1,54 @@
+//! Block-size tuning (paper Section IV-A2): use the performance models to find
+//! the best algorithmic block size for a triangular-inversion variant, then
+//! check the choice against simulated executions.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example tune_blocksize [n]
+//! ```
+
+use dlaperf::machine::presets::harpertown_openblas;
+use dlaperf::predict::modelset::ModelSetConfig;
+use dlaperf::predict::workloads::MeasurementMode;
+use dlaperf::{Pipeline, TrinvVariant, Workload};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+
+    let mut pipeline =
+        Pipeline::new(harpertown_openblas()).with_model_config(ModelSetConfig::quick(n.max(256)));
+    pipeline.build_models(&[Workload::Trinv]);
+
+    let candidates: Vec<usize> = (1..=32).map(|i| i * 8).collect();
+    println!("block-size tuning for n = {n} (candidates 8..256)\n");
+    println!("{:<12}{:>14}{:>18}{:>16}", "variant", "predicted b*", "predicted eff", "measured eff");
+    for variant in TrinvVariant::ALL {
+        let sweep = pipeline
+            .tune_trinv_block_size(variant, n, &candidates)
+            .expect("models cover the workload");
+        let best_b = sweep.best_block_size().unwrap_or(0);
+        let best_eff = sweep.best_efficiency().unwrap_or(0.0);
+        let measured = pipeline.measure_trinv(variant, n, best_b.max(8), MeasurementMode::Auto);
+        println!(
+            "{:<12}{:>14}{:>18.3}{:>16.3}",
+            variant.name(),
+            best_b,
+            best_eff,
+            measured.efficiency
+        );
+    }
+
+    // Show the full predicted curve for the fastest variant.
+    let sweep = pipeline
+        .tune_trinv_block_size(TrinvVariant::V3, n, &candidates)
+        .expect("models cover the workload");
+    println!("\npredicted efficiency of variant 3 as a function of the block size:");
+    for (b, eff) in &sweep.candidates {
+        let bar_len = (eff.median * 60.0).round() as usize;
+        println!("  b = {b:>4}  {:>6.3}  {}", eff.median, "#".repeat(bar_len));
+    }
+}

@@ -1,0 +1,30 @@
+//! # dlaperf
+//!
+//! Workspace façade for the Rust reproduction of *Performance Modeling for
+//! Dense Linear Algebra* (Peise & Bientinesi, SC 2012).
+//!
+//! This crate simply re-exports [`dla_core`]; see that crate (and the
+//! workspace `README.md`) for the full documentation, and the `examples/`
+//! directory for runnable entry points.
+
+#![deny(missing_docs)]
+
+pub use dla_core::*;
+
+/// The individual layers of the stack, re-exported for convenience.
+pub mod layers {
+    pub use dla_core::{algos, blas, machine, mat, model, modeler, predict, sampler};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_core_types() {
+        // A couple of spot checks that the re-exports are wired up.
+        let _ = crate::TrinvVariant::V1;
+        let variants = crate::SylvVariant::all();
+        assert_eq!(variants.len(), 16);
+        let machine = crate::layers::machine::presets::harpertown_openblas();
+        assert_eq!(machine.effective_threads(), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end integration tests: Sampler → Modeler → repository → Predictor →
+//! ranking, across all the workspace crates.
+
+use dlaperf::machine::presets::{harpertown_openblas, sandy_bridge_openblas};
+use dlaperf::machine::{Locality, SimExecutor};
+use dlaperf::predict::modelset::ModelSetConfig;
+use dlaperf::predict::ranking::{kendall_tau, top_choice_agrees};
+use dlaperf::predict::workloads::{measure_trinv, MeasurementMode};
+use dlaperf::{Pipeline, TrinvVariant, Workload};
+
+fn quick_pipeline(max: usize) -> Pipeline {
+    let mut p = Pipeline::new(harpertown_openblas())
+        .with_model_config(ModelSetConfig::quick(max))
+        .with_seed(77);
+    p.build_models(&[Workload::Trinv]);
+    p
+}
+
+#[test]
+fn full_pipeline_ranks_trinv_variants_correctly() {
+    let pipeline = quick_pipeline(512);
+    let n = 480;
+    let b = 96;
+    let ranking = pipeline.rank_trinv(n, b).unwrap();
+    // Variant 4 (2.5x the work) must be ranked last.
+    assert_eq!(ranking.last().unwrap().0, TrinvVariant::V4);
+    // Predicted ranking agrees with the simulated execution on the winner.
+    let predicted: Vec<f64> = TrinvVariant::ALL
+        .iter()
+        .map(|&v| {
+            ranking
+                .iter()
+                .find(|(rv, _)| *rv == v)
+                .map(|(_, p)| p.median)
+                .unwrap()
+        })
+        .collect();
+    let mut executor = SimExecutor::new(harpertown_openblas(), 5);
+    let measured: Vec<f64> = TrinvVariant::ALL
+        .iter()
+        .map(|&v| {
+            measure_trinv(&mut executor, v, n, b, MeasurementMode::Fixed(Locality::InCache))
+                .efficiency
+        })
+        .collect();
+    assert!(top_choice_agrees(&predicted, &measured, false));
+    assert!(kendall_tau(&predicted, &measured) >= 0.6);
+}
+
+#[test]
+fn block_size_tuning_matches_measured_optimum_region() {
+    let pipeline = quick_pipeline(512);
+    let n = 480;
+    let candidates = [8usize, 16, 32, 64, 96, 128, 192, 256];
+    let sweep = pipeline
+        .tune_trinv_block_size(TrinvVariant::V3, n, &candidates)
+        .unwrap();
+    let predicted_best = sweep.best_block_size().unwrap();
+    // Measure every candidate and find the measured optimum.
+    let mut best_measured = (0usize, 0.0f64);
+    for &b in &candidates {
+        let m = pipeline.measure_trinv(TrinvVariant::V3, n, b, MeasurementMode::Auto);
+        if m.efficiency > best_measured.1 {
+            best_measured = (b, m.efficiency);
+        }
+    }
+    // The predicted optimum must be within a factor of two of the measured
+    // optimum (the paper: the prediction captures the best region, 48..128).
+    let (lo, hi) = (best_measured.0 / 2, best_measured.0 * 2);
+    assert!(
+        (lo..=hi).contains(&predicted_best),
+        "predicted b* = {predicted_best}, measured b* = {}",
+        best_measured.0
+    );
+}
+
+#[test]
+fn repository_persistence_preserves_predictions_across_pipelines() {
+    let pipeline = quick_pipeline(256);
+    let dir = std::env::temp_dir().join("dlaperf-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trinv-models.txt");
+    pipeline.save_repository(&path).unwrap();
+
+    let mut restored = Pipeline::new(harpertown_openblas());
+    restored.load_repository(&path).unwrap();
+    let a = pipeline.rank_trinv(224, 32).unwrap();
+    let b = restored.rank_trinv(224, 32).unwrap();
+    for ((va, pa), (vb, pb)) in a.iter().zip(b.iter()) {
+        assert_eq!(va, vb);
+        assert!((pa.median - pb.median).abs() < 1e-9);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn different_architectures_can_prefer_different_variants() {
+    // The Harpertown profile favours the gemm-rich variant 3, the Sandy Bridge
+    // profile favours the trmm-dominated variant 1 (paper Fig. IV.3).
+    let mut hpt = Pipeline::new(harpertown_openblas())
+        .with_model_config(ModelSetConfig::quick(512))
+        .with_seed(1);
+    hpt.build_models(&[Workload::Trinv]);
+    let mut snb = Pipeline::new(sandy_bridge_openblas())
+        .with_model_config(ModelSetConfig::quick(512))
+        .with_seed(2);
+    snb.build_models(&[Workload::Trinv]);
+
+    let n = 480;
+    let best_hpt = hpt.rank_trinv(n, 96).unwrap()[0].0;
+    let best_snb = snb.rank_trinv(n, 96).unwrap()[0].0;
+    assert_eq!(best_hpt, TrinvVariant::V3);
+    assert_eq!(best_snb, TrinvVariant::V1);
+}
+
+#[test]
+fn out_of_cache_models_predict_lower_efficiency_than_in_cache() {
+    let mut ic = Pipeline::new(harpertown_openblas())
+        .with_model_config(ModelSetConfig::quick(256))
+        .with_locality(Locality::InCache);
+    ic.build_models(&[Workload::Trinv]);
+    let mut oc = Pipeline::new(harpertown_openblas())
+        .with_model_config(ModelSetConfig::quick(256))
+        .with_locality(Locality::OutOfCache);
+    oc.build_models(&[Workload::Trinv]);
+    for variant in TrinvVariant::ALL {
+        let eic = ic.rank_trinv(224, 32).unwrap();
+        let eoc = oc.rank_trinv(224, 32).unwrap();
+        let pic = eic.iter().find(|(v, _)| *v == variant).unwrap().1.median;
+        let poc = eoc.iter().find(|(v, _)| *v == variant).unwrap().1.median;
+        assert!(
+            pic > poc,
+            "{}: in-cache prediction {pic} should exceed out-of-cache {poc}",
+            variant.name()
+        );
+    }
+}

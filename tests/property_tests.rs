@@ -1,0 +1,102 @@
+//! Workspace-level property-based tests (proptest) on cross-crate invariants.
+
+use dlaperf::algos::{sylv_compute, trinv_compute, trinv_trace, SylvVariant, TrinvVariant};
+use dlaperf::blas::flops::trace_flops;
+use dlaperf::blas::{Call, Diag, Side, Trans, Uplo};
+use dlaperf::machine::cost::estimate_ticks;
+use dlaperf::machine::presets::harpertown_openblas;
+use dlaperf::machine::Locality;
+use dlaperf::mat::gen::MatrixGenerator;
+use dlaperf::mat::ops::{add, invert_lower_triangular, lower_triangular, matmul, sub};
+use dlaperf::mat::stats::Summary;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every trinv variant inverts every (well-conditioned) lower-triangular
+    /// matrix for every block size.
+    #[test]
+    fn trinv_variants_invert(seed in 0u64..1000, n in 1usize..60, b in 1usize..64) {
+        let mut g = MatrixGenerator::new(seed);
+        let l = g.lower_triangular(n, false);
+        let reference = invert_lower_triangular(&l, false).unwrap();
+        for variant in TrinvVariant::ALL {
+            let mut work = l.clone();
+            trinv_compute(variant, &mut work, b);
+            let result = lower_triangular(&work, false).unwrap();
+            prop_assert!(result.max_abs_diff(&reference) < 1e-7);
+        }
+    }
+
+    /// Every Sylvester variant satisfies the equation residual.
+    #[test]
+    fn sylv_variants_solve(seed in 0u64..1000, m in 1usize..40, n in 1usize..40, b in 1usize..32) {
+        let mut g = MatrixGenerator::new(seed);
+        let l = g.lower_triangular(m, false);
+        let u = g.upper_triangular(n, false);
+        let c = g.general(m, n);
+        for id in [1usize, 4, 6, 11, 16] {
+            let variant = SylvVariant::new(id).unwrap();
+            let mut x = c.clone();
+            sylv_compute(variant, &l, &u, &mut x, b);
+            let lx = matmul(1.0, &l, &x).unwrap();
+            let xu = matmul(1.0, &x, &u).unwrap();
+            let resid = sub(&add(&lx, &xu).unwrap(), &c).unwrap().max_abs();
+            prop_assert!(resid < 1e-7, "variant {id}: residual {resid}");
+        }
+    }
+
+    /// Trace flop counts are invariant under the leading-dimension choice and
+    /// grow monotonically with the matrix size.
+    #[test]
+    fn trace_flops_monotone(n in 16usize..300, b in 8usize..128) {
+        for variant in TrinvVariant::ALL {
+            let small = trace_flops(&trinv_trace(variant, n, b, n));
+            let large = trace_flops(&trinv_trace(variant, n + 16, b, n + 16));
+            prop_assert!(large > small);
+            let other_ld = trace_flops(&trinv_trace(variant, n, b, 4096));
+            prop_assert!((small - other_ld).abs() < 1e-9);
+        }
+    }
+
+    /// The cost model is monotone in the problem size for square gemm and
+    /// never returns non-positive ticks.
+    #[test]
+    fn cost_model_monotone_in_size(n in 8usize..512) {
+        let machine = harpertown_openblas();
+        let small = Call::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n, 1.0, 0.0);
+        let large = Call::gemm(Trans::NoTrans, Trans::NoTrans, n + 64, n + 64, n + 64, 1.0, 0.0);
+        for locality in Locality::ALL {
+            let ts = estimate_ticks(&machine, &small, locality);
+            let tl = estimate_ticks(&machine, &large, locality);
+            prop_assert!(ts > 0.0);
+            prop_assert!(tl > ts);
+        }
+    }
+
+    /// The out-of-cache estimate never beats the in-cache estimate.
+    #[test]
+    fn out_of_cache_never_faster(m in 8usize..400, n in 8usize..400) {
+        let machine = harpertown_openblas();
+        let call = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, m, n, 1.0);
+        let ic = estimate_ticks(&machine, &call, Locality::InCache);
+        let oc = estimate_ticks(&machine, &call, Locality::OutOfCache);
+        prop_assert!(oc >= ic);
+    }
+
+    /// Summary accumulation is associative in the quantities the predictor
+    /// relies on (medians and means add exactly).
+    #[test]
+    fn summary_accumulation_is_additive(values in proptest::collection::vec(1.0f64..1e6, 2..20)) {
+        let summaries: Vec<Summary> = values.iter().map(|&v| Summary::exact(v)).collect();
+        let mut acc = Summary::zero();
+        for s in &summaries {
+            acc.accumulate(s);
+        }
+        let total: f64 = values.iter().sum();
+        prop_assert!((acc.median - total).abs() < 1e-6);
+        prop_assert!((acc.mean - total).abs() < 1e-6);
+        prop_assert!((acc.min - total).abs() < 1e-6);
+    }
+}

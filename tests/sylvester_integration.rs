@@ -1,0 +1,85 @@
+//! Integration tests for the Sylvester workload: numerical correctness through
+//! the real kernels, plus model-based group separation and ranking.
+
+use dlaperf::algos::{sylv_compute, SylvVariant};
+use dlaperf::machine::presets::harpertown_openblas;
+use dlaperf::mat::gen::MatrixGenerator;
+use dlaperf::mat::ops::{add, matmul, sub};
+use dlaperf::predict::modelset::ModelSetConfig;
+use dlaperf::predict::workloads::MeasurementMode;
+use dlaperf::{Pipeline, Workload};
+
+#[test]
+fn every_variant_agrees_with_every_other_numerically() {
+    let mut g = MatrixGenerator::new(99);
+    let n = 72;
+    let l = g.lower_triangular(n, false);
+    let u = g.upper_triangular(n, false);
+    let c = g.general(n, n);
+    let mut reference = c.clone();
+    sylv_compute(SylvVariant::new(1).unwrap(), &l, &u, &mut reference, 24);
+    // residual of the reference solution
+    let lx = matmul(1.0, &l, &reference).unwrap();
+    let xu = matmul(1.0, &reference, &u).unwrap();
+    let resid = sub(&add(&lx, &xu).unwrap(), &c).unwrap().max_abs();
+    assert!(resid < 1e-9, "reference residual {resid}");
+    for variant in SylvVariant::all().into_iter().skip(1) {
+        let mut x = c.clone();
+        sylv_compute(variant, &l, &u, &mut x, 24);
+        let diff = x.max_abs_diff(&reference);
+        assert!(diff < 1e-8, "{} deviates by {diff}", variant.name());
+    }
+}
+
+#[test]
+fn models_separate_fast_and_slow_groups_and_rank_the_fast_group_first() {
+    let mut pipeline = Pipeline::new(harpertown_openblas())
+        .with_model_config(ModelSetConfig {
+            max_size: 768,
+            unblocked_max: 256,
+            gemm_k_max: 768,
+            repetitions: 3,
+            strategy: dlaperf::Strategy::paper_default(),
+        })
+        .with_seed(17);
+    pipeline.build_models(&[Workload::Sylv]);
+
+    let n = 768;
+    let b = 96;
+    let ranking = pipeline.rank_sylv(n, b).unwrap();
+    assert_eq!(ranking.len(), 16);
+
+    // The four GEMM-rich variants must occupy the top four predicted places.
+    let top4: Vec<bool> = ranking.iter().take(4).map(|(v, _)| v.is_gemm_rich()).collect();
+    assert!(
+        top4.iter().all(|&fast| fast),
+        "top-4 predicted variants must be the GEMM-rich ones, got {:?}",
+        ranking.iter().take(4).map(|(v, _)| v.id()).collect::<Vec<_>>()
+    );
+
+    // Predicted group separation: worst fast variant clearly ahead of the best
+    // slow variant.
+    let worst_fast = ranking
+        .iter()
+        .filter(|(v, _)| v.is_gemm_rich())
+        .map(|(_, p)| p.median)
+        .fold(f64::INFINITY, f64::min);
+    let best_slow = ranking
+        .iter()
+        .filter(|(v, _)| !v.is_gemm_rich())
+        .map(|(_, p)| p.median)
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst_fast > 1.5 * best_slow,
+        "predicted groups not separated: {worst_fast} vs {best_slow}"
+    );
+
+    // The measured (simulated) groups separate the same way.
+    let measured_fast = pipeline
+        .measure_sylv(SylvVariant::new(1).unwrap(), n, b, MeasurementMode::Auto)
+        .efficiency;
+    let measured_slow = pipeline
+        .measure_sylv(SylvVariant::new(16).unwrap(), n, b, MeasurementMode::Auto)
+        .efficiency;
+    assert!(measured_fast > 2.0 * measured_slow);
+}
