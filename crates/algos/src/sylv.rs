@@ -170,10 +170,24 @@ pub fn sylv_blocked<C: SylvCtx>(variant: SylvVariant, ctx: &mut C, m: usize, n: 
     for k in 0..kk {
         // --- diagonal block X_kk ---
         if !eager && k > 0 {
-            gemm_lx(ctx, l_rect(k, k + 1, 0, k), x_rect(0, k, k, k + 1), x_rect(k, k + 1, k, k + 1));
-            gemm_xu(ctx, x_rect(k, k + 1, 0, k), u_rect(0, k, k, k + 1), x_rect(k, k + 1, k, k + 1));
+            gemm_lx(
+                ctx,
+                l_rect(k, k + 1, 0, k),
+                x_rect(0, k, k, k + 1),
+                x_rect(k, k + 1, k, k + 1),
+            );
+            gemm_xu(
+                ctx,
+                x_rect(k, k + 1, 0, k),
+                u_rect(0, k, k, k + 1),
+                x_rect(k, k + 1, k, k + 1),
+            );
         }
-        ctx.solve(l_rect(k, k + 1, k, k + 1), u_rect(k, k + 1, k, k + 1), x_rect(k, k + 1, k, k + 1));
+        ctx.solve(
+            l_rect(k, k + 1, k, k + 1),
+            u_rect(k, k + 1, k, k + 1),
+            x_rect(k, k + 1, k, k + 1),
+        );
 
         // --- the two panels of this step ---
         let row_panel = |ctx: &mut C| {
@@ -183,14 +197,28 @@ pub fn sylv_blocked<C: SylvCtx>(variant: SylvVariant, ctx: &mut C, m: usize, n: 
             if variant.row_panel_unblocked() {
                 let panel = x_rect(k, k + 1, k + 1, nn);
                 if eager {
-                    ctx.gemm_xu(-1.0, x_rect(k, k + 1, k, k + 1), u_rect(k, k + 1, k + 1, nn), panel);
+                    ctx.gemm_xu(
+                        -1.0,
+                        x_rect(k, k + 1, k, k + 1),
+                        u_rect(k, k + 1, k + 1, nn),
+                        panel,
+                    );
                 } else {
                     if k > 0 {
                         ctx.gemm_lx(-1.0, l_rect(k, k + 1, 0, k), x_rect(0, k, k + 1, nn), panel);
                     }
-                    ctx.gemm_xu(-1.0, x_rect(k, k + 1, 0, k + 1), u_rect(0, k + 1, k + 1, nn), panel);
+                    ctx.gemm_xu(
+                        -1.0,
+                        x_rect(k, k + 1, 0, k + 1),
+                        u_rect(0, k + 1, k + 1, nn),
+                        panel,
+                    );
                 }
-                ctx.solve(l_rect(k, k + 1, k, k + 1), u_rect(k + 1, nn, k + 1, nn), panel);
+                ctx.solve(
+                    l_rect(k, k + 1, k, k + 1),
+                    u_rect(k + 1, nn, k + 1, nn),
+                    panel,
+                );
             } else {
                 for j in (k + 1)..nn {
                     let target = x_rect(k, k + 1, j, j + 1);
@@ -198,11 +226,20 @@ pub fn sylv_blocked<C: SylvCtx>(variant: SylvVariant, ctx: &mut C, m: usize, n: 
                         ctx.gemm_xu(-1.0, x_rect(k, k + 1, k, j), u_rect(k, j, j, j + 1), target);
                     } else {
                         if k > 0 {
-                            ctx.gemm_lx(-1.0, l_rect(k, k + 1, 0, k), x_rect(0, k, j, j + 1), target);
+                            ctx.gemm_lx(
+                                -1.0,
+                                l_rect(k, k + 1, 0, k),
+                                x_rect(0, k, j, j + 1),
+                                target,
+                            );
                         }
                         ctx.gemm_xu(-1.0, x_rect(k, k + 1, 0, j), u_rect(0, j, j, j + 1), target);
                     }
-                    ctx.solve(l_rect(k, k + 1, k, k + 1), u_rect(j, j + 1, j, j + 1), target);
+                    ctx.solve(
+                        l_rect(k, k + 1, k, k + 1),
+                        u_rect(j, j + 1, j, j + 1),
+                        target,
+                    );
                 }
             }
         };
@@ -213,14 +250,28 @@ pub fn sylv_blocked<C: SylvCtx>(variant: SylvVariant, ctx: &mut C, m: usize, n: 
             if variant.column_panel_unblocked() {
                 let panel = x_rect(k + 1, mm, k, k + 1);
                 if eager {
-                    ctx.gemm_lx(-1.0, l_rect(k + 1, mm, k, k + 1), x_rect(k, k + 1, k, k + 1), panel);
+                    ctx.gemm_lx(
+                        -1.0,
+                        l_rect(k + 1, mm, k, k + 1),
+                        x_rect(k, k + 1, k, k + 1),
+                        panel,
+                    );
                 } else {
-                    ctx.gemm_lx(-1.0, l_rect(k + 1, mm, 0, k + 1), x_rect(0, k + 1, k, k + 1), panel);
+                    ctx.gemm_lx(
+                        -1.0,
+                        l_rect(k + 1, mm, 0, k + 1),
+                        x_rect(0, k + 1, k, k + 1),
+                        panel,
+                    );
                     if k > 0 {
                         ctx.gemm_xu(-1.0, x_rect(k + 1, mm, 0, k), u_rect(0, k, k, k + 1), panel);
                     }
                 }
-                ctx.solve(l_rect(k + 1, mm, k + 1, mm), u_rect(k, k + 1, k, k + 1), panel);
+                ctx.solve(
+                    l_rect(k + 1, mm, k + 1, mm),
+                    u_rect(k, k + 1, k, k + 1),
+                    panel,
+                );
             } else {
                 for i in (k + 1)..mm {
                     let target = x_rect(i, i + 1, k, k + 1);
@@ -229,10 +280,19 @@ pub fn sylv_blocked<C: SylvCtx>(variant: SylvVariant, ctx: &mut C, m: usize, n: 
                     } else {
                         ctx.gemm_lx(-1.0, l_rect(i, i + 1, 0, i), x_rect(0, i, k, k + 1), target);
                         if k > 0 {
-                            ctx.gemm_xu(-1.0, x_rect(i, i + 1, 0, k), u_rect(0, k, k, k + 1), target);
+                            ctx.gemm_xu(
+                                -1.0,
+                                x_rect(i, i + 1, 0, k),
+                                u_rect(0, k, k, k + 1),
+                                target,
+                            );
                         }
                     }
-                    ctx.solve(l_rect(i, i + 1, i, i + 1), u_rect(k, k + 1, k, k + 1), target);
+                    ctx.solve(
+                        l_rect(i, i + 1, i, i + 1),
+                        u_rect(k, k + 1, k, k + 1),
+                        target,
+                    );
                 }
             }
         };
@@ -289,7 +349,15 @@ impl SylvCtx for SylvCompute<'_> {
             .split_one_mut(c, &[b])
             .expect("gemm_lx: target block overlaps source block");
         let a_view = self.l.block(a).expect("gemm_lx: L block out of bounds");
-        dgemm(Trans::NoTrans, Trans::NoTrans, alpha, a_view, refs[0], 1.0, c_view);
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            alpha,
+            a_view,
+            refs[0],
+            1.0,
+            c_view,
+        );
     }
 
     fn gemm_xu(&mut self, alpha: f64, a: Rect, b: Rect, c: Rect) {
@@ -298,7 +366,15 @@ impl SylvCtx for SylvCompute<'_> {
             .split_one_mut(c, &[a])
             .expect("gemm_xu: target block overlaps source block");
         let b_view = self.u.block(b).expect("gemm_xu: U block out of bounds");
-        dgemm(Trans::NoTrans, Trans::NoTrans, alpha, refs[0], b_view, 1.0, c_view);
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            alpha,
+            refs[0],
+            b_view,
+            1.0,
+            c_view,
+        );
     }
 
     fn solve(&mut self, l: Rect, u: Rect, x: Rect) {
@@ -378,14 +454,26 @@ impl SylvCtx for SylvTrace {
 
 /// Solves `L X + X U = C` in place (`x` holds `C` on entry) with the given
 /// blocked variant and block size.
-pub fn sylv_compute(variant: SylvVariant, l: &Matrix, u: &Matrix, x: &mut Matrix, block_size: usize) {
+pub fn sylv_compute(
+    variant: SylvVariant,
+    l: &Matrix,
+    u: &Matrix,
+    x: &mut Matrix,
+    block_size: usize,
+) {
     let (m, n) = (x.rows(), x.cols());
     let mut ctx = SylvCompute::new(l, u, x);
     sylv_blocked(variant, &mut ctx, m, n, block_size);
 }
 
 /// Returns the call trace of running the given variant on an `m x n` problem.
-pub fn sylv_trace(variant: SylvVariant, m: usize, n: usize, block_size: usize, ld: usize) -> Vec<Call> {
+pub fn sylv_trace(
+    variant: SylvVariant,
+    m: usize,
+    n: usize,
+    block_size: usize,
+    ld: usize,
+) -> Vec<Call> {
     let mut ctx = SylvTrace::new(ld);
     sylv_blocked(variant, &mut ctx, m, n, block_size);
     ctx.into_calls()
@@ -437,11 +525,7 @@ mod tests {
                 let mut x = c.clone();
                 sylv_compute(variant, &l, &u, &mut x, 16);
                 let r = residual(&l, &u, &x, &c);
-                assert!(
-                    r < 1e-8,
-                    "{} m={m} n={n}: residual {r}",
-                    variant.name()
-                );
+                assert!(r < 1e-8, "{} m={m} n={n}: residual {r}", variant.name());
             }
         }
     }
@@ -470,7 +554,11 @@ mod tests {
             .filter(|v| v.is_gemm_rich())
             .map(|v| v.id())
             .collect();
-        assert_eq!(fast, vec![1, 2, 5, 6], "fast group must match the paper's indices");
+        assert_eq!(
+            fast,
+            vec![1, 2, 5, 6],
+            "fast group must match the paper's indices"
+        );
     }
 
     #[test]

@@ -169,16 +169,7 @@ impl TrinvCtx for TrinvCompute<'_> {
         if a.is_empty() || b.is_empty() || c.is_empty() {
             return;
         }
-        dgemm_blocks(
-            self.l,
-            Trans::NoTrans,
-            Trans::NoTrans,
-            alpha,
-            a,
-            b,
-            1.0,
-            c,
-        );
+        dgemm_blocks(self.l, Trans::NoTrans, Trans::NoTrans, alpha, a, b, 1.0, c);
     }
 
     fn trtri(&mut self, a: Rect) {
@@ -338,7 +329,9 @@ mod tests {
         assert_eq!(calls[6].sizes(), vec![50, 200]);
         assert_eq!(calls[8].sizes(), vec![50]);
         // Leading dimensions are the full matrix order.
-        assert!(calls.iter().all(|c| c.leading_dims().iter().all(|&ld| ld == 250)));
+        assert!(calls
+            .iter()
+            .all(|c| c.leading_dims().iter().all(|&ld| ld == 250)));
     }
 
     #[test]
@@ -375,7 +368,11 @@ mod tests {
             .map(|c| c.flops())
             .sum();
         let total = trace_flops(&calls);
-        assert!(gemm_flops / total > 0.6, "gemm share {}", gemm_flops / total);
+        assert!(
+            gemm_flops / total > 0.6,
+            "gemm share {}",
+            gemm_flops / total
+        );
         // Variant 1 contains no gemm at all.
         let v1 = trinv_trace(TrinvVariant::V1, 960, 96, 960);
         assert!(v1.iter().all(|c| c.routine() != Routine::Gemm));
@@ -392,7 +389,9 @@ mod tests {
         let mut work = l.clone();
         trinv_compute(TrinvVariant::V2, &mut work, 50);
         let reference = invert_lower_triangular(&l, false).unwrap();
-        assert!(lower_triangular(&work, false).unwrap().approx_eq(&reference, 1e-9));
+        assert!(lower_triangular(&work, false)
+            .unwrap()
+            .approx_eq(&reference, 1e-9));
     }
 
     #[test]

@@ -10,7 +10,15 @@ use dla_core::modeler::{ExpansionConfig, Modeler, RefinementConfig, Strategy};
 use dla_core::sampler::{Sampler, SamplerConfig};
 
 fn trsm_template() -> Call {
-    Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5)
+    Call::trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        8,
+        8,
+        0.5,
+    )
 }
 
 fn bench_sampler(c: &mut Criterion) {

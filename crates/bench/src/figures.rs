@@ -16,7 +16,9 @@ use dla_core::machine::presets::{
 };
 use dla_core::machine::{Locality, MachineConfig, SimExecutor};
 use dla_core::model::{Polynomial, Region};
-use dla_core::modeler::{Direction, ExpansionConfig, Modeler, RefinementConfig, SampleOracle, Strategy};
+use dla_core::modeler::{
+    Direction, ExpansionConfig, Modeler, RefinementConfig, SampleOracle, Strategy,
+};
 use dla_core::predict::modelset::Workload;
 use dla_core::predict::ranking::{kendall_tau, top_choice_agrees};
 use dla_core::predict::workloads::{
@@ -207,11 +209,24 @@ pub fn fig_iii3() {
 /// strategies on the dtrsm parameter space (region list in creation order).
 pub fn fig_iii4_iii5() {
     let machine = harpertown_openblas();
-    let template = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5);
+    let template = Call::trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        8,
+        8,
+        0.5,
+    );
     let space = Region::new(vec![8, 8], vec![1024, 1024]);
 
-    println!("# Fig III.4 — Model Expansion region construction (eps = 10%, toward origin, s_ini = 256)");
-    let mut sampler = Sampler::new(SimExecutor::new(machine.clone(), 6), SamplerConfig::in_cache(5));
+    println!(
+        "# Fig III.4 — Model Expansion region construction (eps = 10%, toward origin, s_ini = 256)"
+    );
+    let mut sampler = Sampler::new(
+        SimExecutor::new(machine.clone(), 6),
+        SamplerConfig::in_cache(5),
+    );
     let mut oracle = SampleOracle::new(&mut sampler, template.clone(), 8);
     let expansion = ExpansionConfig {
         error_bound: 0.10,
@@ -285,7 +300,15 @@ fn probe_error(
 /// `(samples, regions, probe error)`.
 fn run_strategy(strategy: Strategy) -> (usize, usize, f64) {
     let machine = harpertown_openblas();
-    let template = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5);
+    let template = Call::trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        8,
+        8,
+        0.5,
+    );
     let space = Region::new(vec![8, 8], vec![1024, 1024]);
     let mut modeler = Modeler::new(
         SimExecutor::new(machine.clone(), 8),
@@ -367,8 +390,19 @@ fn trinv_prediction_figure(title: &str, machine: MachineConfig, sizes: &[usize],
     print_header(
         title,
         &[
-            "n", "v1_meas", "v2_meas", "v3_meas", "v4_meas", "v1_pred", "v2_pred", "v3_pred",
-            "v4_pred", "v1_pred_oc", "v2_pred_oc", "v3_pred_oc", "v4_pred_oc",
+            "n",
+            "v1_meas",
+            "v2_meas",
+            "v3_meas",
+            "v4_meas",
+            "v1_pred",
+            "v2_pred",
+            "v3_pred",
+            "v4_pred",
+            "v1_pred_oc",
+            "v2_pred_oc",
+            "v3_pred_oc",
+            "v4_pred_oc",
         ],
     );
     let mut exact_rank = 0usize;
@@ -433,7 +467,15 @@ pub fn fig_iv1() {
     let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
     print_header(
         "Fig IV.1c — statistical prediction (n >= 512): per-variant bands",
-        &["n", "variant", "measured", "pred_min", "pred_median", "pred_mean", "pred_max"],
+        &[
+            "n",
+            "variant",
+            "measured",
+            "pred_min",
+            "pred_median",
+            "pred_mean",
+            "pred_max",
+        ],
     );
     let mut executor = SimExecutor::new(machine, 10);
     for &n in &[512usize, 640, 768, 896, 1024] {
@@ -466,8 +508,8 @@ pub fn fig_iv2() {
         ],
     );
     let mut executor = SimExecutor::new(machine.clone(), 11);
-    let mut best_pred = vec![(0usize, 0.0f64); 4];
-    let mut best_meas = vec![(0usize, 0.0f64); 4];
+    let mut best_pred = [(0usize, 0.0f64); 4];
+    let mut best_meas = [(0usize, 0.0f64); 4];
     for b in (1..=32).map(|i| i * 8) {
         let mut row = vec![b as f64];
         let mut meas = Vec::new();
@@ -589,7 +631,9 @@ pub fn fig_iv5() {
     for &n in &sizes {
         let mut row = vec![n as f64];
         for v in &variants {
-            let p = predict_sylv(&predictor, *v, n, 96).expect("prediction").median;
+            let p = predict_sylv(&predictor, *v, n, 96)
+                .expect("prediction")
+                .median;
             if n == *sizes.last().unwrap() {
                 predicted_at_max.push(p);
             }

@@ -47,7 +47,12 @@ pub fn cached_repository(
         })
         .collect::<Vec<_>>()
         .join("-");
-    let path = cache_dir().join(format!("{}-{}-{}.models", machine.id(), locality.name(), tag));
+    let path = cache_dir().join(format!(
+        "{}-{}-{}.models",
+        machine.id(),
+        locality.name(),
+        tag
+    ));
     if let Ok(repo) = ModelRepository::load_file(&path) {
         if !repo.is_empty() {
             return repo;
@@ -102,7 +107,10 @@ mod tests {
     #[test]
     fn cached_repository_roundtrip() {
         // Use a private cache dir to avoid clobbering the real cache.
-        std::env::set_var("DLAPERF_CACHE_DIR", std::env::temp_dir().join("dlaperf-test-cache"));
+        std::env::set_var(
+            "DLAPERF_CACHE_DIR",
+            std::env::temp_dir().join("dlaperf-test-cache"),
+        );
         let machine = harpertown_openblas();
         // A tiny configuration would still be slow here, so only exercise the
         // cache path with an empty workload list.

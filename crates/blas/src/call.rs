@@ -469,14 +469,14 @@ impl Call {
             Ok(t)
         };
         let parse_flag = |t: &str, what: &str| -> Result<char, String> {
-            t.chars()
-                .next()
-                .ok_or_else(|| format!("empty {what} flag"))
+            t.chars().next().ok_or_else(|| format!("empty {what} flag"))
         };
-        let parse_usize =
-            |t: &str, what: &str| -> Result<usize, String> { t.parse().map_err(|_| format!("bad {what} '{t}'")) };
-        let parse_f64 =
-            |t: &str, what: &str| -> Result<f64, String> { t.parse().map_err(|_| format!("bad {what} '{t}'")) };
+        let parse_usize = |t: &str, what: &str| -> Result<usize, String> {
+            t.parse().map_err(|_| format!("bad {what} '{t}'"))
+        };
+        let parse_f64 = |t: &str, what: &str| -> Result<f64, String> {
+            t.parse().map_err(|_| format!("bad {what} '{t}'"))
+        };
 
         let call = match routine {
             Routine::Gemm => {
@@ -582,7 +582,13 @@ impl Call {
                 let ldl = parse_usize(next("ldl")?, "ldl")?;
                 let ldu = parse_usize(next("ldu")?, "ldu")?;
                 let ldx = parse_usize(next("ldx")?, "ldx")?;
-                Call::SylvUnb { m, n, ldl, ldu, ldx }
+                Call::SylvUnb {
+                    m,
+                    n,
+                    ldl,
+                    ldu,
+                    ldx,
+                }
             }
         };
         if idx != toks.len() {
@@ -612,7 +618,15 @@ impl fmt::Display for Call {
 impl Call {
     /// Builds a `dgemm` call with unit leading dimensions tied to the sizes.
     #[allow(clippy::too_many_arguments)]
-    pub fn gemm(transa: Trans, transb: Trans, m: usize, n: usize, k: usize, alpha: f64, beta: f64) -> Call {
+    pub fn gemm(
+        transa: Trans,
+        transb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        beta: f64,
+    ) -> Call {
         Call::Gemm {
             transa,
             transb,
@@ -621,14 +635,30 @@ impl Call {
             k,
             alpha,
             beta,
-            lda: if matches!(transa, Trans::NoTrans) { m.max(1) } else { k.max(1) },
-            ldb: if matches!(transb, Trans::NoTrans) { k.max(1) } else { n.max(1) },
+            lda: if matches!(transa, Trans::NoTrans) {
+                m.max(1)
+            } else {
+                k.max(1)
+            },
+            ldb: if matches!(transb, Trans::NoTrans) {
+                k.max(1)
+            } else {
+                n.max(1)
+            },
             ldc: m.max(1),
         }
     }
 
     /// Builds a `dtrsm` call with leading dimensions tied to the sizes.
-    pub fn trsm(side: Side, uplo: Uplo, transa: Trans, diag: Diag, m: usize, n: usize, alpha: f64) -> Call {
+    pub fn trsm(
+        side: Side,
+        uplo: Uplo,
+        transa: Trans,
+        diag: Diag,
+        m: usize,
+        n: usize,
+        alpha: f64,
+    ) -> Call {
         let order = match side {
             Side::Left => m,
             Side::Right => n,
@@ -647,7 +677,15 @@ impl Call {
     }
 
     /// Builds a `dtrmm` call with leading dimensions tied to the sizes.
-    pub fn trmm(side: Side, uplo: Uplo, transa: Trans, diag: Diag, m: usize, n: usize, alpha: f64) -> Call {
+    pub fn trmm(
+        side: Side,
+        uplo: Uplo,
+        transa: Trans,
+        diag: Diag,
+        m: usize,
+        n: usize,
+        alpha: f64,
+    ) -> Call {
         let order = match side {
             Side::Left => m,
             Side::Right => n,
@@ -674,7 +712,11 @@ impl Call {
             k,
             alpha,
             beta,
-            lda: if matches!(trans, Trans::NoTrans) { n.max(1) } else { k.max(1) },
+            lda: if matches!(trans, Trans::NoTrans) {
+                n.max(1)
+            } else {
+                k.max(1)
+            },
             ldc: n.max(1),
         }
     }

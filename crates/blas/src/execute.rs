@@ -58,7 +58,12 @@ impl PreparedCall {
                     c: Some(c),
                 }
             }
-            Call::Trsm { side, uplo, m, n, .. } | Call::Trmm { side, uplo, m, n, .. } => {
+            Call::Trsm {
+                side, uplo, m, n, ..
+            }
+            | Call::Trmm {
+                side, uplo, m, n, ..
+            } => {
                 let order = match side {
                     Side::Left => *m,
                     Side::Right => *n,
@@ -150,7 +155,9 @@ impl PreparedCall {
                 }
             }
             Call::TrtriUnb { .. } => {
-                self.a.copy_from(&self.pristine).expect("pristine copy matches");
+                self.a
+                    .copy_from(&self.pristine)
+                    .expect("pristine copy matches");
             }
         }
     }
@@ -185,7 +192,15 @@ impl PreparedCall {
                 ..
             } => {
                 let b = self.b.as_mut().expect("trsm has a B operand");
-                dtrsm(*side, *uplo, *transa, *diag, *alpha, self.a.as_ref(), b.as_mut());
+                dtrsm(
+                    *side,
+                    *uplo,
+                    *transa,
+                    *diag,
+                    *alpha,
+                    self.a.as_ref(),
+                    b.as_mut(),
+                );
             }
             Call::Trmm {
                 side,
@@ -196,7 +211,15 @@ impl PreparedCall {
                 ..
             } => {
                 let b = self.b.as_mut().expect("trmm has a B operand");
-                dtrmm(*side, *uplo, *transa, *diag, *alpha, self.a.as_ref(), b.as_mut());
+                dtrmm(
+                    *side,
+                    *uplo,
+                    *transa,
+                    *diag,
+                    *alpha,
+                    self.a.as_ref(),
+                    b.as_mut(),
+                );
             }
             Call::Syrk {
                 uplo,

@@ -142,7 +142,15 @@ mod tests {
                 let c0 = g.general(m, n);
                 let expected = reference(transa, transb, 1.3, &a, &b, -0.7, &c0);
                 let mut c = c0.clone();
-                dgemm(transa, transb, 1.3, a.as_ref(), b.as_ref(), -0.7, c.as_mut());
+                dgemm(
+                    transa,
+                    transb,
+                    1.3,
+                    a.as_ref(),
+                    b.as_ref(),
+                    -0.7,
+                    c.as_mut(),
+                );
                 assert!(
                     c.approx_eq(&expected, 1e-11),
                     "mismatch for transa={transa:?}, transb={transb:?}: {}",
@@ -158,7 +166,15 @@ mod tests {
         let a = g.general(5, 5);
         let b = g.general(5, 5);
         let mut c = Matrix::from_fn(5, 5, |_, _| f64::NAN);
-        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
         let expected = matmul(1.0, &a, &b).unwrap();
         assert!(c.approx_eq(&expected, 1e-12));
     }
@@ -170,7 +186,15 @@ mod tests {
         let b = g.general(6, 3);
         let c0 = g.general(4, 3);
         let mut c = c0.clone();
-        dgemm(Trans::NoTrans, Trans::NoTrans, 0.0, a.as_ref(), b.as_ref(), 2.0, c.as_mut());
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            0.0,
+            a.as_ref(),
+            b.as_ref(),
+            2.0,
+            c.as_mut(),
+        );
         let mut expected = c0;
         dla_mat::ops::scale_in_place(&mut expected, 2.0);
         assert!(c.approx_eq(&expected, 1e-12));
@@ -186,7 +210,15 @@ mod tests {
         let c0 = g.general(m, n);
         let expected = reference(Trans::NoTrans, Trans::NoTrans, 1.0, &a, &b, 1.0, &c0);
         let mut c = c0;
-        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            1.0,
+            c.as_mut(),
+        );
         assert!(c.approx_eq(&expected, 1e-10));
     }
 
@@ -210,7 +242,15 @@ mod tests {
         let a = Matrix::zeros(3, 4);
         let b = Matrix::zeros(5, 2);
         let mut c = Matrix::zeros(3, 2);
-        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
     }
 
     #[test]
@@ -218,11 +258,27 @@ mod tests {
         let a = Matrix::zeros(0, 0);
         let b = Matrix::zeros(0, 0);
         let mut c = Matrix::zeros(0, 0);
-        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
         let a = Matrix::zeros(3, 0);
         let b = Matrix::zeros(0, 2);
         let mut c = Matrix::from_fn(3, 2, |_, _| 5.0);
-        dgemm(Trans::NoTrans, Trans::NoTrans, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        dgemm(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            1.0,
+            c.as_mut(),
+        );
         assert_eq!(c[(0, 0)], 5.0);
     }
 }

@@ -32,6 +32,7 @@ pub fn dgemm_blocks(
 }
 
 /// `parent[b] <- alpha * op(parent[a])^-1 * parent[b]` (or right-side variant).
+#[allow(clippy::too_many_arguments)]
 pub fn dtrsm_blocks(
     parent: &mut Matrix,
     side: Side,
@@ -49,6 +50,7 @@ pub fn dtrsm_blocks(
 }
 
 /// `parent[b] <- alpha * op(parent[a]) * parent[b]` (or right-side variant).
+#[allow(clippy::too_many_arguments)]
 pub fn dtrmm_blocks(
     parent: &mut Matrix,
     side: Side,
@@ -143,7 +145,11 @@ mod tests {
             tri.as_ref(),
             expected.as_mut(),
         );
-        assert!(parent.block(b).unwrap().to_matrix().approx_eq(&expected, 1e-12));
+        assert!(parent
+            .block(b)
+            .unwrap()
+            .to_matrix()
+            .approx_eq(&expected, 1e-12));
 
         dtrmm_blocks(
             &mut parent,

@@ -14,8 +14,8 @@
 //!   blocked algorithm variants in `dla-algos`.
 //! * A threaded `dgemm` ([`threaded::dgemm_threaded`]) built on
 //!   `std::thread::scope`, used by the shared-memory experiments.
-//! * [`Call`] — the routine-call descriptor (routine + flags + sizes + scalars
-//!   + leading dimensions) that the Sampler measures, the Modeler models and
+//! * [`Call`] — the routine-call descriptor (routine, flags, sizes, scalars
+//!   and leading dimensions) that the Sampler measures, the Modeler models and
 //!   the Predictor evaluates.  This is the exact analogue of the paper's
 //!   argument tuples such as `(dtrsm, R, L, N, U, 512, 128, 0.37, A, 256, B, 512)`.
 //! * [`flops`] — operation-count formulas per routine, used to convert ticks
@@ -30,6 +30,9 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// Triangular kernels index several operands by one loop variable over partial
+// ranges; the BLAS-style indexed form is clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
 
 mod call;
 mod flags;

@@ -9,14 +9,7 @@ use crate::{Trans, Uplo};
 /// triangle of `C` selected by `uplo`.
 ///
 /// `C` is `n x n`; `A` is `n x k` (NoTrans) or `k x n` (Trans).
-pub fn dsyrk(
-    uplo: Uplo,
-    trans: Trans,
-    alpha: f64,
-    a: MatRef<'_>,
-    beta: f64,
-    mut c: MatMut<'_>,
-) {
+pub fn dsyrk(uplo: Uplo, trans: Trans, alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
     let n = c.rows();
     assert_eq!(c.cols(), n, "dsyrk: C must be square");
     let k = match trans {
@@ -66,7 +59,14 @@ mod tests {
         let a = g.general(n, k);
         let c0 = g.general(n, n);
         let mut c = c0.clone();
-        dsyrk(Uplo::Lower, Trans::NoTrans, 2.0, a.as_ref(), 0.5, c.as_mut());
+        dsyrk(
+            Uplo::Lower,
+            Trans::NoTrans,
+            2.0,
+            a.as_ref(),
+            0.5,
+            c.as_mut(),
+        );
         let aat = matmul(2.0, &a, &a.transposed()).unwrap();
         for j in 0..n {
             for i in 0..n {
@@ -109,8 +109,22 @@ mod tests {
         let a = g.general(7, 4);
         let mut cl = Matrix::zeros(7, 7);
         let mut cu = Matrix::zeros(7, 7);
-        dsyrk(Uplo::Lower, Trans::NoTrans, 1.0, a.as_ref(), 0.0, cl.as_mut());
-        dsyrk(Uplo::Upper, Trans::NoTrans, 1.0, a.as_ref(), 0.0, cu.as_mut());
+        dsyrk(
+            Uplo::Lower,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            0.0,
+            cl.as_mut(),
+        );
+        dsyrk(
+            Uplo::Upper,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            0.0,
+            cu.as_mut(),
+        );
         for i in 0..7 {
             for j in 0..=i {
                 assert!((cl[(i, j)] - cu[(j, i)]).abs() < 1e-13);
@@ -123,6 +137,13 @@ mod tests {
     fn non_square_c_panics() {
         let a = Matrix::zeros(3, 2);
         let mut c = Matrix::zeros(3, 4);
-        dsyrk(Uplo::Lower, Trans::NoTrans, 1.0, a.as_ref(), 0.0, c.as_mut());
+        dsyrk(
+            Uplo::Lower,
+            Trans::NoTrans,
+            1.0,
+            a.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
     }
 }

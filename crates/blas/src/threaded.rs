@@ -14,6 +14,7 @@ use crate::{dgemm, Trans};
 /// `C <- alpha * op(A) * op(B) + beta * C` computed with `threads` workers.
 ///
 /// Falls back to the sequential kernel for a single thread or tiny matrices.
+#[allow(clippy::too_many_arguments)]
 pub fn dgemm_threaded(
     threads: usize,
     transa: Trans,
@@ -38,7 +39,7 @@ pub fn dgemm_threaded(
     let rows = remaining.rows();
     for t in 0..threads {
         let cols_left = n - col0;
-        let width = cols_left / (threads - t) + usize::from(cols_left % (threads - t) != 0);
+        let width = cols_left / (threads - t) + usize::from(!cols_left.is_multiple_of(threads - t));
         let width = width.min(cols_left);
         if width == 0 {
             break;

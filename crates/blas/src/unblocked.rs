@@ -26,7 +26,10 @@ pub fn dtrtri_unb(uplo: Uplo, diag: Diag, mut a: MatMut<'_>) {
         Uplo::Lower => {
             for j in 0..n {
                 let djj = if unit { 1.0 } else { a.get(j, j) };
-                assert!(djj != 0.0, "dtrtri_unb: singular matrix (zero diagonal at {j})");
+                assert!(
+                    djj != 0.0,
+                    "dtrtri_unb: singular matrix (zero diagonal at {j})"
+                );
                 let inv_jj = 1.0 / djj;
                 if !unit {
                     a.set(j, j, inv_jj);
@@ -45,7 +48,10 @@ pub fn dtrtri_unb(uplo: Uplo, diag: Diag, mut a: MatMut<'_>) {
         Uplo::Upper => {
             for j in (0..n).rev() {
                 let djj = if unit { 1.0 } else { a.get(j, j) };
-                assert!(djj != 0.0, "dtrtri_unb: singular matrix (zero diagonal at {j})");
+                assert!(
+                    djj != 0.0,
+                    "dtrtri_unb: singular matrix (zero diagonal at {j})"
+                );
                 let inv_jj = 1.0 / djj;
                 if !unit {
                     a.set(j, j, inv_jj);

@@ -133,7 +133,9 @@ impl BlasProfile {
                 diag_value = f;
                 continue;
             }
-            h ^= (f as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15).rotate_left(i as u32 * 13);
+            h ^= (f as u64 + 1)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .rotate_left(i as u32 * 13);
             h = h.wrapping_mul(0x100000001b3);
         }
         // Mix the profile name so different implementations rank flag
@@ -290,7 +292,15 @@ mod tests {
     #[test]
     fn flag_factor_is_deterministic_and_bounded() {
         let p = openblas_like();
-        let c = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 256, 256, 0.5);
+        let c = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            256,
+            256,
+            0.5,
+        );
         let f1 = p.flag_factor(&c);
         let f2 = p.flag_factor(&c);
         assert_eq!(f1, f2);
@@ -300,9 +310,33 @@ mod tests {
     #[test]
     fn diag_flag_has_minor_impact() {
         let p = openblas_like();
-        let base = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 256, 256, 0.5);
-        let unit = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 256, 256, 0.5);
-        let other = Call::trsm(Side::Right, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, 256, 256, 0.5);
+        let base = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            256,
+            256,
+            0.5,
+        );
+        let unit = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            256,
+            256,
+            0.5,
+        );
+        let other = Call::trsm(
+            Side::Right,
+            Uplo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            256,
+            256,
+            0.5,
+        );
         let d_diag = (p.flag_factor(&base) - p.flag_factor(&unit)).abs();
         let d_major = (p.flag_factor(&base) - p.flag_factor(&other)).abs();
         assert!(d_diag <= p.flag_spread * 0.1 + 1e-12);

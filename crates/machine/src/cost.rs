@@ -161,7 +161,8 @@ pub fn estimate_cost(machine: &MachineConfig, call: &Call, locality: Locality) -
     let (bw_per_core, latency) = memory_channel(machine, bytes, locality);
     // Cache bandwidth scales with the number of cores touching private
     // caches; DRAM bandwidth is shared.
-    let dram_bound = (bw_per_core - machine.cpu.dram_bandwidth_bytes_per_cycle).abs() < f64::EPSILON;
+    let dram_bound =
+        (bw_per_core - machine.cpu.dram_bandwidth_bytes_per_cycle).abs() < f64::EPSILON;
     let total_bw = if dram_bound {
         bw_per_core
     } else {
@@ -194,16 +195,21 @@ pub fn estimate_ticks(machine: &MachineConfig, call: &Call, locality: Locality) 
 }
 
 /// Derives the virtual counter set for a deterministic cost estimate.
-pub fn estimate_counters(
-    machine: &MachineConfig,
-    call: &Call,
-    locality: Locality,
-) -> CounterSet {
+pub fn estimate_counters(machine: &MachineConfig, call: &Call, locality: Locality) -> CounterSet {
     let breakdown = estimate_cost(machine, call, locality);
     let line = 64.0;
     let bytes = breakdown.bytes_moved;
-    let l1 = machine.cpu.caches.first().map(|c| c.size_bytes).unwrap_or(32 * 1024);
-    let llc = machine.cpu.last_level_cache().map(|c| c.size_bytes).unwrap_or(l1);
+    let l1 = machine
+        .cpu
+        .caches
+        .first()
+        .map(|c| c.size_bytes)
+        .unwrap_or(32 * 1024);
+    let llc = machine
+        .cpu
+        .last_level_cache()
+        .map(|c| c.size_bytes)
+        .unwrap_or(l1);
     let fits_l1 = (bytes as usize) <= l1;
     let fits_llc = (bytes as usize) <= llc;
     let out = matches!(locality, Locality::OutOfCache);
@@ -268,14 +274,33 @@ mod tests {
         );
         let ic = estimate_ticks(&m, &call, Locality::InCache);
         let oc = estimate_ticks(&m, &call, Locality::OutOfCache);
-        assert!(oc > ic * 1.2, "out-of-cache {oc} should exceed in-cache {ic}");
+        assert!(
+            oc > ic * 1.2,
+            "out-of-cache {oc} should exceed in-cache {ic}"
+        );
     }
 
     #[test]
     fn out_of_cache_gap_shrinks_for_huge_working_sets() {
         let m = harpertown_openblas();
-        let small = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
-        let huge = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 1600, 1600, 1.0);
+        let small = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            64,
+            64,
+            1.0,
+        );
+        let huge = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            1600,
+            1600,
+            1.0,
+        );
         let ratio_small = estimate_ticks(&m, &small, Locality::OutOfCache)
             / estimate_ticks(&m, &small, Locality::InCache);
         let ratio_huge = estimate_ticks(&m, &huge, Locality::OutOfCache)
@@ -343,7 +368,15 @@ mod tests {
     #[test]
     fn counters_reflect_locality() {
         let m = harpertown_openblas();
-        let call = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        let call = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            64,
+            64,
+            1.0,
+        );
         let ic = estimate_counters(&m, &call, Locality::InCache);
         let oc = estimate_counters(&m, &call, Locality::OutOfCache);
         assert_eq!(ic.dram_bytes, 0.0);

@@ -170,7 +170,10 @@ mod tests {
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let base = estimate_ticks(&machine(), &call(), Locality::InCache);
-        assert!((mean / base - 1.0).abs() < 0.1, "mean {mean} vs base {base}");
+        assert!(
+            (mean / base - 1.0).abs() < 0.1,
+            "mean {mean} vs base {base}"
+        );
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0f64, f64::max);
         assert!(max > min, "noise should spread the measurements");
@@ -186,7 +189,10 @@ mod tests {
         let a = ex.execute(&call(), Locality::InCache).ticks;
         let b = ex.execute(&call(), Locality::InCache).ticks;
         assert_eq!(a, b);
-        assert_eq!(a, estimate_ticks(&ex.machine().clone(), &call(), Locality::InCache));
+        assert_eq!(
+            a,
+            estimate_ticks(&ex.machine().clone(), &call(), Locality::InCache)
+        );
     }
 
     #[test]

@@ -113,14 +113,20 @@ impl Matrix {
     /// Reads element `(i, j)`; panics if out of bounds.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[j * self.ld + i]
     }
 
     /// Writes element `(i, j)`; panics if out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[j * self.ld + i] = v;
     }
 
@@ -160,7 +166,12 @@ impl Matrix {
         // SAFETY: the block fits, so every accessed index j*ld+i stays within
         // the allocation for i < rect.rows, j < rect.cols.
         Ok(unsafe {
-            MatRef::from_raw_parts(self.data.as_ptr().add(offset), rect.rows, rect.cols, self.ld)
+            MatRef::from_raw_parts(
+                self.data.as_ptr().add(offset),
+                rect.rows,
+                rect.cols,
+                self.ld,
+            )
         })
     }
 
@@ -317,7 +328,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[j * self.ld + i]
     }
 }
@@ -325,7 +339,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[j * self.ld + i]
     }
 }
@@ -440,7 +457,6 @@ mod tests {
         assert_eq!(ins[0].get(1, 1), 2.0);
         assert_eq!(ins[1].get(0, 0), 4.0);
         out.set(0, 0, 99.0);
-        drop(out);
         assert_eq!(m[(4, 0)], 99.0);
     }
 

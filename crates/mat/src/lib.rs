@@ -26,6 +26,9 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// QR/substitution kernels index several arrays by one loop variable over
+// partial (triangular) ranges; the indexed form is clearer than iterators.
+#![allow(clippy::needless_range_loop)]
 
 mod dense;
 mod error;

@@ -175,7 +175,9 @@ pub fn backward_substitution(u: &Matrix, b: &[f64], unit_diag: bool) -> Result<V
 pub fn invert_lower_triangular(l: &Matrix, unit_diag: bool) -> Result<Matrix> {
     let n = l.rows();
     if !l.is_square() {
-        return Err(MatError::dims("invert_lower_triangular: not square".to_string()));
+        return Err(MatError::dims(
+            "invert_lower_triangular: not square".to_string(),
+        ));
     }
     let mut inv = Matrix::zeros(n, n);
     for j in 0..n {

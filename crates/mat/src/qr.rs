@@ -84,7 +84,11 @@ impl QrFactorization {
     /// Returns the upper-triangular factor `R` as a dense `n x n` matrix.
     pub fn r(&self) -> Matrix {
         let n = self.cols();
-        Matrix::from_fn(n, n, |i, j| if i <= j { self.factors.get(i, j) } else { 0.0 })
+        Matrix::from_fn(
+            n,
+            n,
+            |i, j| if i <= j { self.factors.get(i, j) } else { 0.0 },
+        )
     }
 
     /// Applies `Q^T` to a vector in place (the vector must have `m` entries).
@@ -314,12 +318,8 @@ mod tests {
 
     #[test]
     fn residual_is_orthogonal_to_columns() {
-        let a = Matrix::from_rows(
-            5,
-            2,
-            &[1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_rows(5, 2, &[1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
         let b = vec![1.1, 1.9, 3.2, 3.9, 5.1];
         let x = lstsq(&a, &b).unwrap();
         // residual r = b - A x must satisfy A^T r ~ 0
@@ -375,13 +375,15 @@ mod tests {
         qr.apply_qt(&mut qtb).unwrap();
         let norm_after: f64 = qtb.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!((norm_before - norm_after).abs() < 1e-10);
-        assert!(qr.apply_qt(&mut vec![0.0; 3]).is_err());
+        assert!(qr.apply_qt(&mut [0.0; 3]).is_err());
     }
 
     #[test]
     fn qr_matches_naive_normal_equations_on_well_conditioned_fit() {
         // Cross-validate QR lstsq against the regularised normal-equation path.
-        let points: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let points: Vec<Vec<f64>> = (1..30)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let exps = vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![2, 0], vec![0, 2]];
         let a = design_matrix(&points, &exps).unwrap();
         let b: Vec<f64> = points

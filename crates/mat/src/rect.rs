@@ -129,7 +129,7 @@ mod tests {
         assert!(a.overlaps(&c));
         assert!(c.overlaps(&a));
         assert!(b.overlaps(&c)); // c spans rows 3..5, b rows 4..8, cols intersect
-        // Empty blocks overlap nothing.
+                                 // Empty blocks overlap nothing.
         let e = Rect::new(1, 1, 0, 10);
         assert!(!e.overlaps(&a));
         assert!(!a.overlaps(&e));

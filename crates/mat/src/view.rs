@@ -59,7 +59,10 @@ impl<'a> MatRef<'a> {
     ///
     /// Panics if the slice is shorter than `rows * cols`.
     pub fn from_slice(data: &'a [f64], rows: usize, cols: usize) -> Self {
-        assert!(data.len() >= rows * cols, "slice too short for {rows}x{cols} view");
+        assert!(
+            data.len() >= rows * cols,
+            "slice too short for {rows}x{cols} view"
+        );
         // SAFETY: length checked above; ld == rows.
         unsafe { MatRef::from_raw_parts(data.as_ptr(), rows, cols, rows.max(1)) }
     }
@@ -91,7 +94,10 @@ impl<'a> MatRef<'a> {
     /// Reads element `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         // SAFETY: bounds checked above, invariants guaranteed at construction.
         unsafe { *self.ptr.add(j * self.ld + i) }
     }
@@ -152,7 +158,10 @@ impl<'a> MatMut<'a> {
 
     /// Creates a mutable view over a contiguous column-major slice (`ld == rows`).
     pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize) -> Self {
-        assert!(data.len() >= rows * cols, "slice too short for {rows}x{cols} view");
+        assert!(
+            data.len() >= rows * cols,
+            "slice too short for {rows}x{cols} view"
+        );
         // SAFETY: length checked above; exclusivity follows from &mut.
         unsafe { MatMut::from_raw_parts(data.as_mut_ptr(), rows, cols, rows.max(1)) }
     }
@@ -184,7 +193,10 @@ impl<'a> MatMut<'a> {
     /// Reads element `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         // SAFETY: bounds checked above.
         unsafe { *self.ptr.add(j * self.ld + i) }
     }
@@ -192,7 +204,10 @@ impl<'a> MatMut<'a> {
     /// Writes element `(i, j)`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         // SAFETY: bounds checked above; we hold the exclusive borrow.
         unsafe { *self.ptr.add(j * self.ld + i) = v }
     }
@@ -263,8 +278,18 @@ impl<'a> MatMut<'a> {
         // mutable views cannot alias; both fit in the parent.
         unsafe {
             (
-                MatMut::from_raw_parts(self.ptr.add(a.col * self.ld + a.row), a.rows, a.cols, self.ld),
-                MatMut::from_raw_parts(self.ptr.add(b.col * self.ld + b.row), b.rows, b.cols, self.ld),
+                MatMut::from_raw_parts(
+                    self.ptr.add(a.col * self.ld + a.row),
+                    a.rows,
+                    a.cols,
+                    self.ld,
+                ),
+                MatMut::from_raw_parts(
+                    self.ptr.add(b.col * self.ld + b.row),
+                    b.rows,
+                    b.cols,
+                    self.ld,
+                ),
             )
         }
     }
@@ -390,7 +415,6 @@ mod tests {
         assert!(dst.approx_eq(&src, 0.0));
         let mut v = dst.as_mut();
         v.fill(7.0);
-        drop(v);
         assert_eq!(dst[(2, 2)], 7.0);
     }
 

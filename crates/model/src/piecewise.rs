@@ -28,9 +28,15 @@ impl VectorPolynomial {
     ///
     /// `points` are normalised coordinates; `summaries` are the measured
     /// statistics at those points.
-    pub fn fit(points: &[Vec<f64>], summaries: &[Summary], degree: u32) -> Result<VectorPolynomial> {
+    pub fn fit(
+        points: &[Vec<f64>],
+        summaries: &[Summary],
+        degree: u32,
+    ) -> Result<VectorPolynomial> {
         if points.len() != summaries.len() {
-            return Err(ModelError::Fit("points/summaries length mismatch".to_string()));
+            return Err(ModelError::Fit(
+                "points/summaries length mismatch".to_string(),
+            ));
         }
         let mut polys = Vec::with_capacity(Quantity::ALL.len());
         for q in Quantity::ALL {
@@ -87,10 +93,8 @@ impl RegionModel {
         samples: &[(Vec<usize>, Summary)],
         degree: u32,
     ) -> Result<RegionModel> {
-        let in_region: Vec<&(Vec<usize>, Summary)> = samples
-            .iter()
-            .filter(|(p, _)| region.contains(p))
-            .collect();
+        let in_region: Vec<&(Vec<usize>, Summary)> =
+            samples.iter().filter(|(p, _)| region.contains(p)).collect();
         let points: Vec<Vec<f64>> = in_region.iter().map(|(p, _)| region.normalize(p)).collect();
         let summaries: Vec<Summary> = in_region.iter().map(|(_, s)| *s).collect();
         if points.is_empty() {
@@ -216,10 +220,10 @@ impl PiecewiseModel {
 
 fn region_distance(region: &Region, point: &[usize]) -> f64 {
     let mut acc = 0.0;
-    for d in 0..region.dim() {
-        let p = point[d] as f64;
-        let lo = region.lo()[d] as f64;
-        let hi = region.hi()[d] as f64;
+    for (&pt, (&rlo, &rhi)) in point.iter().zip(region.lo().iter().zip(region.hi())) {
+        let p = pt as f64;
+        let lo = rlo as f64;
+        let hi = rhi as f64;
         let dd = if p < lo {
             lo - p
         } else if p > hi {

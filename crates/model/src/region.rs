@@ -111,8 +111,8 @@ impl Region {
         }
         // Enumerate all combinations of (lower half / upper half) per cut dim.
         let mut result = vec![Region::new(self.lo.clone(), self.hi.clone())];
-        for d in 0..dim {
-            if let Some(mid) = cuts[d] {
+        for (d, cut) in cuts.iter().enumerate() {
+            if let Some(mid) = *cut {
                 let mut next = Vec::with_capacity(result.len() * 2);
                 for r in result {
                     let mut low = r.clone();

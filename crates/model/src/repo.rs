@@ -71,7 +71,12 @@ impl ModelRepository {
     }
 
     /// Looks up the model for a routine / machine / locality combination.
-    pub fn get(&self, routine: Routine, machine_id: &str, locality: Locality) -> Option<&RoutineModel> {
+    pub fn get(
+        &self,
+        routine: Routine,
+        machine_id: &str,
+        locality: Locality,
+    ) -> Option<&RoutineModel> {
         self.models
             .get(&ModelKey::new(routine, machine_id, locality))
     }
@@ -215,7 +220,10 @@ fn next_line<'a>(lines: &mut Lines<'a>, what: &str) -> Result<(usize, &'a str)> 
 
 fn parse_usizes(n: usize, toks: &[&str]) -> Result<Vec<usize>> {
     toks.iter()
-        .map(|t| t.parse::<usize>().map_err(|_| parse_err(n, format!("bad integer '{t}'"))))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| parse_err(n, format!("bad integer '{t}'")))
+        })
         .collect()
 }
 
@@ -223,7 +231,12 @@ fn parse_model(lines: &mut Lines<'_>) -> Result<RoutineModel> {
     let (n, header) = next_line(lines, "model header")?;
     let toks: Vec<&str> = header.split_whitespace().collect();
     // model <routine> machine <id> locality <loc> dim <d>
-    if toks.len() != 8 || toks[0] != "model" || toks[2] != "machine" || toks[4] != "locality" || toks[6] != "dim" {
+    if toks.len() != 8
+        || toks[0] != "model"
+        || toks[2] != "machine"
+        || toks[4] != "locality"
+        || toks[6] != "dim"
+    {
         return Err(parse_err(n, format!("malformed model header '{header}'")));
     }
     let routine = Routine::from_name(toks[1])
@@ -252,14 +265,20 @@ fn parse_model(lines: &mut Lines<'_>) -> Result<RoutineModel> {
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.len() != 4 || toks[0] != "submodel" || toks[2] != "samples" {
-            return Err(parse_err(n, format!("expected submodel line, got '{line}'")));
+            return Err(parse_err(
+                n,
+                format!("expected submodel line, got '{line}'"),
+            ));
         }
         let flags: Vec<usize> = if toks[1] == "-" {
             vec![]
         } else {
             toks[1]
                 .split(',')
-                .map(|t| t.parse::<usize>().map_err(|_| parse_err(n, format!("bad flag '{t}'"))))
+                .map(|t| {
+                    t.parse::<usize>()
+                        .map_err(|_| parse_err(n, format!("bad flag '{t}'")))
+                })
                 .collect::<Result<Vec<usize>>>()?
         };
         let total_samples: usize = toks[3]
@@ -337,7 +356,10 @@ fn parse_model(lines: &mut Lines<'_>) -> Result<RoutineModel> {
                 samples_used,
             });
         }
-        model.insert_submodel(flags, PiecewiseModel::new(space.clone(), regions, total_samples));
+        model.insert_submodel(
+            flags,
+            PiecewiseModel::new(space.clone(), regions, total_samples),
+        );
     }
 }
 
@@ -372,7 +394,12 @@ mod tests {
             .collect();
         let rm = RegionModel::fit(space.clone(), &samples, 2).unwrap();
         let pw = PiecewiseModel::new(space.clone(), vec![rm], samples.len());
-        let mut model = RoutineModel::new(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache, space);
+        let mut model = RoutineModel::new(
+            Routine::Trsm,
+            "hpt+openblas-like+1t",
+            Locality::InCache,
+            space,
+        );
         model.insert_submodel(vec![0, 0, 0], pw.clone());
         model.insert_submodel(vec![1, 1, 0], pw);
         model
@@ -390,7 +417,9 @@ mod tests {
         assert!(repo
             .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::OutOfCache)
             .is_none());
-        assert!(repo.get(Routine::Gemm, "hpt+openblas-like+1t", Locality::InCache).is_none());
+        assert!(repo
+            .get(Routine::Gemm, "hpt+openblas-like+1t", Locality::InCache)
+            .is_none());
         assert!(repo.total_samples() > 0);
         assert_eq!(repo.iter().count(), 1);
     }

@@ -129,7 +129,8 @@ mod tests {
         let polys = Quantity::ALL
             .iter()
             .map(|_| {
-                crate::Polynomial::new(space.dim(), vec![vec![0; space.dim()]], vec![value]).unwrap()
+                crate::Polynomial::new(space.dim(), vec![vec![0; space.dim()]], vec![value])
+                    .unwrap()
             })
             .collect();
         let vp = VectorPolynomial::new(polys).unwrap();
@@ -144,11 +145,35 @@ mod tests {
 
     #[test]
     fn submodel_key_drops_diag() {
-        let a = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
-        let b = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 64, 64, 1.0);
+        let a = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            64,
+            64,
+            1.0,
+        );
+        let b = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            64,
+            64,
+            1.0,
+        );
         assert_eq!(submodel_key(&a), submodel_key(&b));
         assert_eq!(submodel_key(&a), vec![0, 0, 0]);
-        let c = Call::trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        let c = Call::trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            64,
+            64,
+            1.0,
+        );
         assert_ne!(submodel_key(&a), submodel_key(&c));
         let g = Call::gemm(Trans::NoTrans, Trans::Trans, 8, 8, 8, 1.0, 0.0);
         assert_eq!(submodel_key(&g), vec![0, 1]);
@@ -161,14 +186,35 @@ mod tests {
     #[test]
     fn estimate_uses_matching_submodel() {
         let space = Region::new(vec![8, 8], vec![1024, 1024]);
-        let mut model = RoutineModel::new(Routine::Trsm, "test-machine", Locality::InCache, space.clone());
+        let mut model = RoutineModel::new(
+            Routine::Trsm,
+            "test-machine",
+            Locality::InCache,
+            space.clone(),
+        );
         model.insert_submodel(vec![0, 0, 0], constant_submodel(&space, 100.0));
         model.insert_submodel(vec![1, 0, 0], constant_submodel(&space, 200.0));
         assert_eq!(model.submodel_count(), 2);
         assert_eq!(model.total_samples(), 8);
 
-        let left = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 100, 100, 1.0);
-        let right = Call::trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::Unit, 100, 100, 1.0);
+        let left = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            100,
+            100,
+            1.0,
+        );
+        let right = Call::trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            100,
+            100,
+            1.0,
+        );
         assert_eq!(model.estimate(&left).unwrap().median, 100.0);
         assert_eq!(model.estimate(&right).unwrap().median, 200.0);
     }
@@ -183,7 +229,15 @@ mod tests {
             model.estimate(&gemm),
             Err(ModelError::MissingSubmodel(_))
         ));
-        let upper = Call::trsm(Side::Left, Uplo::Upper, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        let upper = Call::trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            64,
+            64,
+            1.0,
+        );
         assert!(model.estimate(&upper).is_err());
         assert!(model.submodel(&[0, 0, 0]).is_some());
         assert!(model.submodel(&[9, 9]).is_none());
@@ -195,7 +249,15 @@ mod tests {
         let mut model = RoutineModel::new(Routine::Trsm, "m", Locality::InCache, space.clone());
         model.insert_submodel(vec![0, 0, 0], constant_submodel(&space, 42.0));
         // Sizes far outside the modelled space still produce an estimate.
-        let big = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 4000, 2, 1.0);
+        let big = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            4000,
+            2,
+            1.0,
+        );
         let est = model.estimate(&big).unwrap();
         assert_eq!(est.median, 42.0);
     }

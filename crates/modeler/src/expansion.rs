@@ -174,13 +174,13 @@ impl ExpansionConfig {
 
         while blocked.iter().any(|&b| !b) {
             let mut progressed = false;
-            for d in 0..dim {
-                if blocked[d] {
+            for (d, blocked_d) in blocked.iter_mut().enumerate() {
+                if *blocked_d {
                     continue;
                 }
                 let candidate = region.grown(d, growth, forward, space);
                 if candidate == region {
-                    blocked[d] = true;
+                    *blocked_d = true;
                     continue;
                 }
                 let fitted = self.fit_region(oracle, &candidate);
@@ -188,7 +188,7 @@ impl ExpansionConfig {
                     region = candidate;
                     progressed = true;
                 } else {
-                    blocked[d] = true;
+                    *blocked_d = true;
                 }
             }
             if !progressed {
@@ -212,9 +212,8 @@ impl ExpansionConfig {
                 // Not enough points for the requested degree (tiny regions at
                 // the fringe of the space): fall back to a constant fit, which
                 // needs a single sample.
-                let fallback = RegionModel::fit(region.clone(), &samples, 0)
-                    .expect("constant fit always succeeds with >= 1 sample");
-                fallback
+                RegionModel::fit(region.clone(), &samples, 0)
+                    .expect("constant fit always succeeds with >= 1 sample")
             }
         }
     }
@@ -236,7 +235,15 @@ mod tests {
         let template = if space.dim() == 1 {
             Call::trtri_unb(Uplo::Lower, Diag::NonUnit, 8)
         } else {
-            Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5)
+            Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                8,
+                8,
+                0.5,
+            )
         };
         let mut oracle = SampleOracle::new(&mut sampler, template, 8);
         let model = config.build(&mut oracle, &space);
@@ -315,15 +322,25 @@ mod tests {
         let (model, _) = build_with(ExpansionConfig::default(), space);
         // Compare the model's median estimate with the noiseless simulator.
         let machine = harpertown_openblas();
-        let template =
-            Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5)
-                .with_leading_dims(2500);
+        let template = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            8,
+            8,
+            0.5,
+        )
+        .with_leading_dims(2500);
         let mut worst: f64 = 0.0;
         for &m in &[64usize, 128, 256, 384, 512] {
             for &n in &[64usize, 128, 256, 384, 512] {
                 let call = template.with_sizes(&[m, n]);
-                let truth =
-                    dla_machine::cost::estimate_ticks(&machine, &call, dla_machine::Locality::InCache);
+                let truth = dla_machine::cost::estimate_ticks(
+                    &machine,
+                    &call,
+                    dla_machine::Locality::InCache,
+                );
                 let est = model.eval(&[m, n]).unwrap().median;
                 worst = worst.max((est - truth).abs() / truth);
             }
@@ -333,8 +350,14 @@ mod tests {
 
     #[test]
     fn paper_configurations_differ() {
-        assert_eq!(ExpansionConfig::paper_a().direction, Direction::AwayFromOrigin);
-        assert_eq!(ExpansionConfig::paper_b().direction, Direction::TowardOrigin);
+        assert_eq!(
+            ExpansionConfig::paper_a().direction,
+            Direction::AwayFromOrigin
+        );
+        assert_eq!(
+            ExpansionConfig::paper_b().direction,
+            Direction::TowardOrigin
+        );
         assert!(ExpansionConfig::paper_c().error_bound < ExpansionConfig::paper_b().error_bound);
         assert!(ExpansionConfig::paper_d().initial_size < ExpansionConfig::paper_c().initial_size);
     }

@@ -31,6 +31,6 @@ mod oracle;
 mod refinement;
 
 pub use expansion::{Direction, ExpansionConfig};
-pub use modeler::{ModelingReport, Modeler, Strategy};
+pub use modeler::{Modeler, ModelingReport, Strategy};
 pub use oracle::SampleOracle;
 pub use refinement::RefinementConfig;

@@ -74,7 +74,12 @@ impl<E: Executor> Modeler<E> {
     ///
     /// `locality` selects the memory-locality scenario the models describe;
     /// `repetitions` is how many measurements the Sampler takes per point.
-    pub fn new(executor: E, locality: Locality, repetitions: usize, strategy: Strategy) -> Modeler<E> {
+    pub fn new(
+        executor: E,
+        locality: Locality,
+        repetitions: usize,
+        strategy: Strategy,
+    ) -> Modeler<E> {
         let config = SamplerConfig {
             locality,
             repetitions,
@@ -150,7 +155,8 @@ impl<E: Executor> Modeler<E> {
             by_key.entry(submodel_key(t)).or_insert_with(|| t.clone());
         }
 
-        let mut model = RoutineModel::new(routine, self.machine_id(), self.locality(), space.clone());
+        let mut model =
+            RoutineModel::new(routine, self.machine_id(), self.locality(), space.clone());
         let mut total_samples = 0;
         let mut total_regions = 0;
         let mut error_acc = 0.0;
@@ -209,9 +215,33 @@ mod tests {
 
     fn trsm_templates() -> Vec<Call> {
         vec![
-            Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
-            Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::Unit, 8, 8, -1.0),
-            Call::trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
+            Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                8,
+                8,
+                1.0,
+            ),
+            Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::Unit,
+                8,
+                8,
+                -1.0,
+            ),
+            Call::trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                8,
+                8,
+                1.0,
+            ),
         ]
     }
 
@@ -257,8 +287,15 @@ mod tests {
             }),
         ] {
             let mut m = modeler(strategy);
-            let template =
-                Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0);
+            let template = Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                8,
+                8,
+                1.0,
+            );
             let (submodel, samples) = m.build_submodel(&template, &space);
             assert!(samples > 0, "{} took no samples", strategy.name());
             assert!(submodel.covers_space(5));
@@ -280,11 +317,27 @@ mod tests {
             &mut repo,
             &[
                 (
-                    vec![Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0)],
+                    vec![Call::gemm(
+                        Trans::NoTrans,
+                        Trans::NoTrans,
+                        8,
+                        8,
+                        8,
+                        1.0,
+                        1.0,
+                    )],
                     gemm_space,
                 ),
                 (
-                    vec![Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+                    vec![Call::trsm(
+                        Side::Left,
+                        Uplo::Lower,
+                        Trans::NoTrans,
+                        Diag::NonUnit,
+                        8,
+                        8,
+                        1.0,
+                    )],
                     trsm_space,
                 ),
             ],
@@ -304,8 +357,24 @@ mod tests {
         let space = Region::new(vec![8, 8], vec![64, 64]);
         let _ = m.build_routine_model(
             &[
-                Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
-                Call::trmm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
+                Call::trsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Trans::NoTrans,
+                    Diag::NonUnit,
+                    8,
+                    8,
+                    1.0,
+                ),
+                Call::trmm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Trans::NoTrans,
+                    Diag::NonUnit,
+                    8,
+                    8,
+                    1.0,
+                ),
             ],
             &space,
         );
@@ -317,7 +386,15 @@ mod tests {
         let mut m = modeler(Strategy::paper_default());
         let space = Region::new(vec![8], vec![64]);
         let _ = m.build_routine_model(
-            &[Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+            &[Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                8,
+                8,
+                1.0,
+            )],
             &space,
         );
     }

@@ -87,7 +87,15 @@ mod tests {
     use dla_sampler::SamplerConfig;
 
     fn template() -> Call {
-        Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5)
+        Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            8,
+            8,
+            0.5,
+        )
     }
 
     #[test]

@@ -126,7 +126,15 @@ mod tests {
         let template = if space.dim() == 1 {
             Call::trtri_unb(Uplo::Lower, Diag::NonUnit, 8)
         } else {
-            Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 0.5)
+            Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                8,
+                8,
+                0.5,
+            )
         };
         let mut oracle = SampleOracle::new(&mut sampler, template, 8);
         let model = config.build(&mut oracle, &space);
@@ -160,7 +168,10 @@ mod tests {
         // Shared boundaries double-count one row/column per cut, so the sum
         // slightly exceeds the area but must stay in the same ballpark.
         assert!(area_sum >= space_area * 0.99);
-        assert!(area_sum <= space_area * 1.25, "area sum {area_sum} vs {space_area}");
+        assert!(
+            area_sum <= space_area * 1.25,
+            "area sum {area_sum} vs {space_area}"
+        );
     }
 
     #[test]
@@ -188,8 +199,18 @@ mod tests {
         };
         let (coarse, _) = build_with(coarse_cfg, space.clone());
         let (fine, _) = build_with(fine_cfg, space);
-        let min_extent_coarse = coarse.regions.iter().map(|r| r.region.min_extent()).min().unwrap();
-        let min_extent_fine = fine.regions.iter().map(|r| r.region.min_extent()).min().unwrap();
+        let min_extent_coarse = coarse
+            .regions
+            .iter()
+            .map(|r| r.region.min_extent())
+            .min()
+            .unwrap();
+        let min_extent_fine = fine
+            .regions
+            .iter()
+            .map(|r| r.region.min_extent())
+            .min()
+            .unwrap();
         assert!(min_extent_fine <= min_extent_coarse);
         assert!(fine.region_count() >= coarse.region_count());
     }

@@ -75,18 +75,50 @@ pub fn workload_templates(workload: Workload, config: &ModelSetConfig) -> Vec<(V
     match workload {
         Workload::Trinv => vec![
             (
-                vec![Call::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+                vec![Call::trmm(
+                    Side::Right,
+                    Uplo::Lower,
+                    Trans::NoTrans,
+                    Diag::NonUnit,
+                    8,
+                    8,
+                    1.0,
+                )],
                 space2.clone(),
             ),
             (
                 vec![
-                    Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
-                    Call::trsm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0),
+                    Call::trsm(
+                        Side::Left,
+                        Uplo::Lower,
+                        Trans::NoTrans,
+                        Diag::NonUnit,
+                        8,
+                        8,
+                        1.0,
+                    ),
+                    Call::trsm(
+                        Side::Right,
+                        Uplo::Lower,
+                        Trans::NoTrans,
+                        Diag::NonUnit,
+                        8,
+                        8,
+                        1.0,
+                    ),
                 ],
                 space2,
             ),
             (
-                vec![Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0)],
+                vec![Call::gemm(
+                    Trans::NoTrans,
+                    Trans::NoTrans,
+                    8,
+                    8,
+                    8,
+                    1.0,
+                    1.0,
+                )],
                 gemm_space,
             ),
             (
@@ -96,7 +128,15 @@ pub fn workload_templates(workload: Workload, config: &ModelSetConfig) -> Vec<(V
         ],
         Workload::Sylv => vec![
             (
-                vec![Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0)],
+                vec![Call::gemm(
+                    Trans::NoTrans,
+                    Trans::NoTrans,
+                    8,
+                    8,
+                    8,
+                    1.0,
+                    1.0,
+                )],
                 gemm_space,
             ),
             (

@@ -3,8 +3,8 @@
 use dla_blas::flops::is_empty_call;
 use dla_blas::Call;
 use dla_machine::{Locality, MachineConfig};
-use dla_model::{ModelError, ModelRepository, Result};
 use dla_mat::stats::Summary;
+use dla_model::{ModelError, ModelRepository, Result};
 
 /// The predicted execution time of a whole trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +45,11 @@ pub struct Predictor<'a> {
 
 impl<'a> Predictor<'a> {
     /// Creates a predictor that reads models for `machine` under `locality`.
-    pub fn new(repository: &'a ModelRepository, machine: MachineConfig, locality: Locality) -> Self {
+    pub fn new(
+        repository: &'a ModelRepository,
+        machine: MachineConfig,
+        locality: Locality,
+    ) -> Self {
         Predictor {
             repository,
             machine,
@@ -161,11 +165,27 @@ mod tests {
             &mut repo,
             &[
                 (
-                    vec![Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+                    vec![Call::trsm(
+                        Side::Left,
+                        Uplo::Lower,
+                        Trans::NoTrans,
+                        Diag::NonUnit,
+                        8,
+                        8,
+                        1.0,
+                    )],
                     Region::new(vec![8, 8], vec![512, 512]),
                 ),
                 (
-                    vec![Call::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 8, 8, 1.0)],
+                    vec![Call::trmm(
+                        Side::Right,
+                        Uplo::Lower,
+                        Trans::NoTrans,
+                        Diag::NonUnit,
+                        8,
+                        8,
+                        1.0,
+                    )],
                     Region::new(vec![8, 8], vec![512, 512]),
                 ),
             ],
@@ -177,7 +197,15 @@ mod tests {
     fn predict_single_call_matches_cost_model_within_model_error() {
         let (repo, machine) = small_repo();
         let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
-        let call = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 300, 200, 1.0);
+        let call = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            300,
+            200,
+            1.0,
+        );
         let predicted = predictor.predict_call(&call).unwrap();
         let truth = dla_machine::cost::estimate_ticks(&machine, &call, Locality::InCache);
         let rel = (predicted.median - truth).abs() / truth;
@@ -189,8 +217,24 @@ mod tests {
     fn predict_trace_accumulates() {
         let (repo, machine) = small_repo();
         let predictor = Predictor::new(&repo, machine, Locality::InCache);
-        let a = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 256, 256, 1.0);
-        let b = Call::trmm(Side::Right, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 256, 256, 1.0);
+        let a = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            256,
+            256,
+            1.0,
+        );
+        let b = Call::trmm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            256,
+            256,
+            1.0,
+        );
         let single_a = predictor.predict_trace(std::slice::from_ref(&a)).unwrap();
         let single_b = predictor.predict_trace(std::slice::from_ref(&b)).unwrap();
         let both = predictor.predict_trace(&[a.clone(), b.clone()]).unwrap();
@@ -205,7 +249,15 @@ mod tests {
     fn empty_calls_are_skipped() {
         let (repo, machine) = small_repo();
         let predictor = Predictor::new(&repo, machine, Locality::InCache);
-        let empty = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 128, 0, 1.0);
+        let empty = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            128,
+            0,
+            1.0,
+        );
         let p = predictor.predict_trace(&[empty]).unwrap();
         assert_eq!(p.predicted_calls, 0);
         assert_eq!(p.skipped_calls, 1);
@@ -221,7 +273,15 @@ mod tests {
         // Wrong locality also misses.
         let (repo, machine) = small_repo();
         let predictor = Predictor::new(&repo, machine, Locality::OutOfCache);
-        let call = Call::trsm(Side::Left, Uplo::Lower, Trans::NoTrans, Diag::NonUnit, 64, 64, 1.0);
+        let call = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            64,
+            64,
+            1.0,
+        );
         assert!(predictor.predict_call(&call).is_err());
     }
 

@@ -35,7 +35,11 @@ pub fn rank_descending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
 /// candidates (identified by index).  Returns a value in `[-1, 1]`; `1` means
 /// the two scorings order every pair identically.
 pub fn kendall_tau(scores_a: &[f64], scores_b: &[f64]) -> f64 {
-    assert_eq!(scores_a.len(), scores_b.len(), "kendall_tau: length mismatch");
+    assert_eq!(
+        scores_a.len(),
+        scores_b.len(),
+        "kendall_tau: length mismatch"
+    );
     let n = scores_a.len();
     if n < 2 {
         return 1.0;
@@ -70,7 +74,11 @@ pub fn top_choice_agrees(scores_a: &[f64], scores_b: &[f64], lower_is_better: bo
     let best = |s: &[f64]| -> usize {
         let mut idx = 0;
         for (i, &v) in s.iter().enumerate() {
-            let better = if lower_is_better { v < s[idx] } else { v > s[idx] };
+            let better = if lower_is_better {
+                v < s[idx]
+            } else {
+                v > s[idx]
+            };
             if better {
                 idx = i;
             }

@@ -166,9 +166,7 @@ mod tests {
         let mut executor = SimExecutor::new(machine, 7);
         let effs: Vec<f64> = TrinvVariant::ALL
             .iter()
-            .map(|&v| {
-                measure_trinv(&mut executor, v, 512, 96, MeasurementMode::Auto).efficiency
-            })
+            .map(|&v| measure_trinv(&mut executor, v, 512, 96, MeasurementMode::Auto).efficiency)
             .collect();
         // Variant 4 performs ~2.5x the work and must be clearly slowest.
         for i in 0..3 {
@@ -200,8 +198,14 @@ mod tests {
         let measured: Vec<f64> = TrinvVariant::ALL
             .iter()
             .map(|&v| {
-                measure_trinv(&mut executor, v, n, b, MeasurementMode::Fixed(Locality::InCache))
-                    .efficiency
+                measure_trinv(
+                    &mut executor,
+                    v,
+                    n,
+                    b,
+                    MeasurementMode::Fixed(Locality::InCache),
+                )
+                .efficiency
             })
             .collect();
         assert!(
@@ -212,14 +216,8 @@ mod tests {
         // In-cache predictions bound the mixed-locality measurement from above
         // for the fastest variant (paper Fig. IV.1).
         let mut executor = SimExecutor::new(harpertown_openblas(), 13);
-        let auto = measure_trinv(
-            &mut executor,
-            TrinvVariant::V3,
-            n,
-            b,
-            MeasurementMode::Auto,
-        )
-        .efficiency;
+        let auto =
+            measure_trinv(&mut executor, TrinvVariant::V3, n, b, MeasurementMode::Auto).efficiency;
         assert!(predicted[2] >= auto * 0.8);
     }
 

@@ -32,10 +32,7 @@ pub enum LineOutcome {
 
 /// Runs a sampling script and returns one outcome per input line.
 pub fn run_script<E: Executor>(sampler: &mut Sampler<E>, script: &str) -> Vec<LineOutcome> {
-    script
-        .lines()
-        .map(|line| run_line(sampler, line))
-        .collect()
+    script.lines().map(|line| run_line(sampler, line)).collect()
 }
 
 /// Runs a single script line.
@@ -146,7 +143,10 @@ mod tests {
             run_line(&mut s, "dfrobnicate 1 2 3"),
             LineOutcome::Error(_)
         ));
-        assert!(matches!(run_line(&mut s, "@bogus 1"), LineOutcome::Error(_)));
+        assert!(matches!(
+            run_line(&mut s, "@bogus 1"),
+            LineOutcome::Error(_)
+        ));
         assert!(matches!(
             run_line(&mut s, "@locality nowhere"),
             LineOutcome::Error(_)

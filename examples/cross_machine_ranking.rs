@@ -22,8 +22,13 @@ fn rank_on(machine: MachineConfig, n: usize, b: usize) {
     println!("== {} ==", machine.id());
     let mut pipeline = Pipeline::new(machine).with_model_config(ModelSetConfig::quick(n.max(256)));
     pipeline.build_models(&[Workload::Trinv]);
-    let ranking = pipeline.rank_trinv(n, b).expect("models cover the workload");
-    println!("{:<12}{:>16}{:>16}", "variant", "predicted eff", "measured eff");
+    let ranking = pipeline
+        .rank_trinv(n, b)
+        .expect("models cover the workload");
+    println!(
+        "{:<12}{:>16}{:>16}",
+        "variant", "predicted eff", "measured eff"
+    );
     for (variant, prediction) in &ranking {
         let measured = pipeline.measure_trinv(*variant, n, b, MeasurementMode::Auto);
         println!(

@@ -35,7 +35,9 @@ fn main() {
     let n = 500;
     let b = 96;
     println!("\npredicted ranking for n = {n}, block size {b} (best first):");
-    let ranking = pipeline.rank_trinv(n, b).expect("models cover the workload");
+    let ranking = pipeline
+        .rank_trinv(n, b)
+        .expect("models cover the workload");
     for (variant, prediction) in &ranking {
         println!(
             "  {:<10} predicted efficiency {:.3}  (range {:.3} .. {:.3})",

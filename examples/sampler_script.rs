@@ -57,5 +57,8 @@ fn main() {
     let mut sampler = Sampler::new(SimExecutor::new(machine, 42), SamplerConfig::in_cache(10));
     let outcomes = run_script(&mut sampler, &script);
     print!("{}", format_report(&outcomes));
-    println!("# total raw measurements taken: {}", sampler.samples_taken());
+    println!(
+        "# total raw measurements taken: {}",
+        sampler.samples_taken()
+    );
 }

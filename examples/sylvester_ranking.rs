@@ -49,11 +49,7 @@ fn main() {
         );
     }
 
-    let predicted_fast: Vec<usize> = ranking
-        .iter()
-        .take(4)
-        .map(|(v, _)| v.id())
-        .collect();
+    let predicted_fast: Vec<usize> = ranking.iter().take(4).map(|(v, _)| v.id()).collect();
     let expected_fast: Vec<usize> = SylvVariant::all()
         .into_iter()
         .filter(|v| v.is_gemm_rich())

@@ -25,7 +25,10 @@ fn main() {
 
     let candidates: Vec<usize> = (1..=32).map(|i| i * 8).collect();
     println!("block-size tuning for n = {n} (candidates 8..256)\n");
-    println!("{:<12}{:>14}{:>18}{:>16}", "variant", "predicted b*", "predicted eff", "measured eff");
+    println!(
+        "{:<12}{:>14}{:>18}{:>16}",
+        "variant", "predicted b*", "predicted eff", "measured eff"
+    );
     for variant in TrinvVariant::ALL {
         let sweep = pipeline
             .tune_trinv_block_size(variant, n, &candidates)

@@ -39,8 +39,14 @@ fn full_pipeline_ranks_trinv_variants_correctly() {
     let measured: Vec<f64> = TrinvVariant::ALL
         .iter()
         .map(|&v| {
-            measure_trinv(&mut executor, v, n, b, MeasurementMode::Fixed(Locality::InCache))
-                .efficiency
+            measure_trinv(
+                &mut executor,
+                v,
+                n,
+                b,
+                MeasurementMode::Fixed(Locality::InCache),
+            )
+            .efficiency
         })
         .collect();
     assert!(top_choice_agrees(&predicted, &measured, false));

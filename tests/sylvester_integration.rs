@@ -50,11 +50,19 @@ fn models_separate_fast_and_slow_groups_and_rank_the_fast_group_first() {
     assert_eq!(ranking.len(), 16);
 
     // The four GEMM-rich variants must occupy the top four predicted places.
-    let top4: Vec<bool> = ranking.iter().take(4).map(|(v, _)| v.is_gemm_rich()).collect();
+    let top4: Vec<bool> = ranking
+        .iter()
+        .take(4)
+        .map(|(v, _)| v.is_gemm_rich())
+        .collect();
     assert!(
         top4.iter().all(|&fast| fast),
         "top-4 predicted variants must be the GEMM-rich ones, got {:?}",
-        ranking.iter().take(4).map(|(v, _)| v.id()).collect::<Vec<_>>()
+        ranking
+            .iter()
+            .take(4)
+            .map(|(v, _)| v.id())
+            .collect::<Vec<_>>()
     );
 
     // Predicted group separation: worst fast variant clearly ahead of the best

@@ -1,0 +1,233 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of criterion's API the workspace benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! There is no statistics engine: each benchmark is warmed up once and then
+//! timed over a fixed number of iterations, reporting the mean wall-clock
+//! time per iteration.  That keeps `cargo bench` fast and dependency-free
+//! while preserving source compatibility with the real crate.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batches are sized in [`Bencher::iter_batched`]; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier of a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id consisting only of the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+/// Number of timed iterations per benchmark.
+const ITERATIONS: u64 = 10;
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = ITERATIONS;
+    }
+
+    /// Times `routine` with a fresh `setup()` value per iteration; only the
+    /// routine is timed.
+    pub fn iter_batched<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..ITERATIONS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iterations = ITERATIONS;
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    if bencher.iterations == 0 {
+        println!("{id:<40} (not run)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    println!("{id:<40} {:>12.3} µs/iter", per_iter * 1e6);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.into_id()), &bencher);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Ends the group (a no-op, for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(id, &bencher);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("counter", |b| b.iter(|| runs += 1));
+        // one warm-up + ITERATIONS timed runs
+        assert_eq!(runs, ITERATIONS + 1);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter_batched(|| n, |x| total += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(total, 3 * (ITERATIONS + 1));
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest's API the workspace tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `name(arg in strategy, ..)` test functions,
+//! * [`Strategy`] implementations for half-open numeric ranges,
+//! * [`collection::vec`] for vectors of a strategy,
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! database: each test draws `cases` deterministic pseudo-random inputs
+//! (seeded per test name) and fails with the offending case's values.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use core::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic source of randomness handed to strategies.
+#[derive(Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A generator seeded from the test name, so every test has a stable but
+    /// distinct input stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform draw from a half-open range.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategies producing collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `len` (half-open, like proptest's size ranges).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Re-exports mirroring `proptest::test_runner`.
+pub mod test_runner {
+    pub use super::ProptestConfig;
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Fails the enclosing property (with the current case reported) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }` item
+/// becomes a `#[test]` that checks the body against `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(::core::stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let result: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(message) = result {
+                    ::core::panic!(
+                        "property `{}` failed on case {case} with inputs {}: {message}",
+                        ::core::stringify!($name),
+                        ::std::format!(
+                            ::core::concat!($("  ", ::core::stringify!($arg), " = {:?}"),+),
+                            $($arg),+
+                        ),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges produce in-range values.
+        #[test]
+        fn ranges_in_bounds(x in 0u64..10, y in 1usize..4, z in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((1..4).contains(&y), "y out of range: {y}");
+            prop_assert!((-1.0..1.0).contains(&z));
+        }
+
+        /// Vector strategies respect the length range.
+        #[test]
+        fn vec_lengths(values in collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!((2..5).contains(&values.len()));
+            prop_assert_eq!(values.iter().filter(|v| **v >= 1.0).count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

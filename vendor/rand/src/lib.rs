@@ -1,0 +1,153 @@
+//! Offline stand-in for the crates.io `rand` crate (0.8-style API subset).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides exactly the surface the workspace uses: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over `Range<f64>` /
+//! integer ranges, and [`Rng::gen_bool`].  The generator is a deterministic
+//! splitmix64/xorshift64* combination: fast, seedable, and good enough for
+//! simulated measurement noise and test-matrix generation (it is *not*
+//! cryptographic, and neither is the real `SmallRng`).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use core::ops::Range;
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open [`Range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[range.start, range.end)` using `rng`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        debug_assert!(range.start < range.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        debug_assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + rng.next_u64() % span
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        debug_assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (rng.next_u64() % span) as usize
+    }
+}
+
+/// The user-facing generator interface: raw words plus convenience samplers.
+pub trait Rng {
+    /// Returns the next 64 random bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value uniformly from the half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable, non-cryptographic generator
+    /// (xorshift64* over a splitmix64-initialised state).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scrambles the (possibly tiny) seed into a full state
+            // and guarantees a non-zero xorshift state.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            SmallRng {
+                state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z },
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&n));
+            let u = rng.gen_range(5u64..6);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&hits), "hits = {hits}");
+    }
+}
