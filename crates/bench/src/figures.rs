@@ -24,10 +24,9 @@ use dla_core::predict::ranking::{kendall_tau, top_choice_agrees};
 use dla_core::predict::workloads::{
     measure_sylv, measure_trinv, predict_sylv, predict_trinv, MeasurementMode,
 };
-use dla_core::predict::Predictor;
 use dla_core::sampler::{Sampler, SamplerConfig};
 
-use crate::support::{cached_repository, print_header, print_labeled_row, print_row};
+use crate::support::{cached_service, print_header, print_labeled_row, print_row};
 
 /// Problem sizes swept by the section-IV figures (multiples of 32 in
 /// `[32, 1024]`; the paper uses multiples of 8, which is equally supported but
@@ -383,10 +382,9 @@ pub fn fig_iii8() {
 
 /// Shared driver for the trinv prediction figures (IV.1, IV.3, IV.4).
 fn trinv_prediction_figure(title: &str, machine: MachineConfig, sizes: &[usize], block: usize) {
-    let repo_ic = cached_repository(&machine, Locality::InCache, &[Workload::Trinv]);
-    let repo_oc = cached_repository(&machine, Locality::OutOfCache, &[Workload::Trinv]);
-    let predictor_ic = Predictor::new(&repo_ic, machine.clone(), Locality::InCache);
-    let predictor_oc = Predictor::new(&repo_oc, machine.clone(), Locality::OutOfCache);
+    let service_ic = cached_service(&machine, Locality::InCache, &[Workload::Trinv]);
+    let service_oc = cached_service(&machine, Locality::OutOfCache, &[Workload::Trinv]);
+
     print_header(
         title,
         &[
@@ -418,12 +416,12 @@ fn trinv_prediction_figure(title: &str, machine: MachineConfig, sizes: &[usize],
                 measure_trinv(&mut executor, variant, n, block, MeasurementMode::Auto).efficiency,
             );
             pred_ic.push(
-                predict_trinv(&predictor_ic, variant, n, block)
+                predict_trinv(&service_ic, variant, n, block)
                     .expect("in-cache prediction")
                     .median,
             );
             pred_oc.push(
-                predict_trinv(&predictor_oc, variant, n, block)
+                predict_trinv(&service_oc, variant, n, block)
                     .expect("out-of-cache prediction")
                     .median,
             );
@@ -463,8 +461,7 @@ pub fn fig_iv1() {
         96,
     );
     // Fig IV.1c: statistical quantities for the large-size region.
-    let repo = cached_repository(&machine, Locality::InCache, &[Workload::Trinv]);
-    let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
+    let service = cached_service(&machine, Locality::InCache, &[Workload::Trinv]);
     print_header(
         "Fig IV.1c — statistical prediction (n >= 512): per-variant bands",
         &[
@@ -481,7 +478,7 @@ pub fn fig_iv1() {
     for &n in &[512usize, 640, 768, 896, 1024] {
         for variant in TrinvVariant::ALL {
             let m = measure_trinv(&mut executor, variant, n, 96, MeasurementMode::Auto);
-            let p = predict_trinv(&predictor, variant, n, 96).expect("prediction");
+            let p = predict_trinv(&service, variant, n, 96).expect("prediction");
             print_row(&[
                 n as f64,
                 variant.id() as f64,
@@ -498,8 +495,7 @@ pub fn fig_iv1() {
 /// Figure IV.2: block-size optimisation for trinv (n = 1000).
 pub fn fig_iv2() {
     let machine = harpertown_openblas();
-    let repo = cached_repository(&machine, Locality::InCache, &[Workload::Trinv]);
-    let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
+    let service = cached_service(&machine, Locality::InCache, &[Workload::Trinv]);
     print_header(
         "Fig IV.2 — block-size optimisation for trinv (n = 1000, Harpertown)",
         &[
@@ -516,7 +512,7 @@ pub fn fig_iv2() {
         let mut pred = Vec::new();
         for (vi, variant) in TrinvVariant::ALL.iter().enumerate() {
             let m = measure_trinv(&mut executor, *variant, 1000, b, MeasurementMode::Auto);
-            let p = predict_trinv(&predictor, *variant, 1000, b).expect("prediction");
+            let p = predict_trinv(&service, *variant, 1000, b).expect("prediction");
             if m.efficiency > best_meas[vi].1 {
                 best_meas[vi] = (b, m.efficiency);
             }
@@ -598,8 +594,7 @@ pub fn fig_iv4() {
 /// Figure IV.5: the sixteen Sylvester variants, predictions vs observations.
 pub fn fig_iv5() {
     let machine = harpertown_openblas();
-    let repo = cached_repository(&machine, Locality::InCache, &[Workload::Sylv]);
-    let predictor = Predictor::new(&repo, machine.clone(), Locality::InCache);
+    let service = cached_service(&machine, Locality::InCache, &[Workload::Sylv]);
     let sizes: Vec<usize> = (1..=16).map(|i| i * 64).collect();
     let variants = SylvVariant::all();
 
@@ -631,7 +626,7 @@ pub fn fig_iv5() {
     for &n in &sizes {
         let mut row = vec![n as f64];
         for v in &variants {
-            let p = predict_sylv(&predictor, *v, n, 96)
+            let p = predict_sylv(&service, *v, n, 96)
                 .expect("prediction")
                 .median;
             if n == *sizes.last().unwrap() {

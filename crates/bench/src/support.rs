@@ -6,6 +6,7 @@ use std::path::PathBuf;
 use dla_core::machine::{Locality, MachineConfig};
 use dla_core::model::ModelRepository;
 use dla_core::predict::modelset::{build_repository, ModelSetConfig, Workload};
+use dla_core::ModelService;
 
 /// Where cached model repositories are stored between figure runs.
 fn cache_dir() -> PathBuf {
@@ -24,6 +25,7 @@ pub fn figure_model_config() -> ModelSetConfig {
         gemm_k_max: 1024,
         repetitions: 5,
         strategy: dla_core::Strategy::paper_default(),
+        workers: 0,
     }
 }
 
@@ -39,6 +41,11 @@ pub fn cached_repository(
     locality: Locality,
     workloads: &[Workload],
 ) -> ModelRepository {
+    // Cache-busting tag: bump whenever model construction produces different
+    // output for the same seed/config (e.g. the per-task executor-fork noise
+    // streams of the parallel build replaced the old single sequential
+    // stream), so stale pre-change caches are never served.
+    const BUILD_SCHEME: &str = "fork1";
     let tag: String = workloads
         .iter()
         .map(|w| match w {
@@ -48,10 +55,11 @@ pub fn cached_repository(
         .collect::<Vec<_>>()
         .join("-");
     let path = cache_dir().join(format!(
-        "{}-{}-{}.models",
+        "{}-{}-{}-{}.models",
         machine.id(),
         locality.name(),
-        tag
+        tag,
+        BUILD_SCHEME
     ));
     if let Ok(repo) = ModelRepository::load_file(&path) {
         if !repo.is_empty() {
@@ -61,6 +69,17 @@ pub fn cached_repository(
     let (repo, _) = build_repository(machine, locality, 0x5eed, &figure_model_config(), workloads);
     repo.save_file(&path).ok();
     repo
+}
+
+/// A [`ModelService`] over the cached repository for a machine, locality and
+/// set of workloads — the serving-layer entry point the figure binaries use.
+pub fn cached_service(
+    machine: &MachineConfig,
+    locality: Locality,
+    workloads: &[Workload],
+) -> ModelService {
+    let repo = cached_repository(machine, locality, workloads);
+    ModelService::new(repo, machine.clone(), locality)
 }
 
 /// Prints a table header: a title line, a rule and the column names.

@@ -33,7 +33,14 @@
 //! * [`model`] — piecewise polynomial models and the model repository.
 //! * [`modeler`] — Model Expansion, Adaptive Refinement, the Modeler.
 //! * [`algos`] — the trinv and sylv blocked algorithm variants.
-//! * [`predict`] — the Predictor, ranking, block-size optimisation.
+//! * [`predict`] — the Predictor, ranking, block-size optimisation, and the
+//!   thread-safe [`ModelService`] serving layer.
+//!
+//! Model construction fans out across worker threads (configure via
+//! [`predict::modelset::ModelSetConfig::workers`]; any worker count produces
+//! a byte-identical repository), and the built models are served through a
+//! [`ModelService`] that supports concurrent queries and atomic hot-swap of a
+//! rebuilt repository.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -55,7 +62,7 @@ pub use pipeline::Pipeline;
 pub use dla_algos::{SylvVariant, TrinvVariant};
 pub use dla_blas::{Call, Routine};
 pub use dla_machine::{Locality, MachineConfig};
-pub use dla_model::ModelRepository;
+pub use dla_model::{ModelRepository, SharedRepository};
 pub use dla_modeler::Strategy;
 pub use dla_predict::modelset::Workload;
-pub use dla_predict::{EfficiencyPrediction, Predictor};
+pub use dla_predict::{EfficiencyPrediction, ModelService, Predictor};

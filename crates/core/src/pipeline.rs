@@ -1,6 +1,7 @@
 //! The high-level modeling → prediction → ranking pipeline.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use dla_algos::{SylvVariant, TrinvVariant};
 use dla_machine::{Locality, MachineConfig, SimExecutor};
@@ -8,10 +9,11 @@ use dla_model::{ModelRepository, Result};
 use dla_modeler::ModelingReport;
 use dla_predict::blocksize::{optimize_block_size_trinv, BlockSizeSweep};
 use dla_predict::modelset::{build_repository, ModelSetConfig, Workload};
+use dla_predict::ranking::by_score_desc;
 use dla_predict::workloads::{
     measure_sylv, measure_trinv, predict_sylv, predict_trinv, MeasurementMode, TraceMeasurement,
 };
-use dla_predict::{EfficiencyPrediction, Predictor};
+use dla_predict::{EfficiencyPrediction, ModelService, Predictor};
 
 /// End-to-end driver: builds models once, then answers prediction, ranking,
 /// tuning and validation queries against them.
@@ -20,12 +22,19 @@ use dla_predict::{EfficiencyPrediction, Predictor};
 /// Modeler over the routines an algorithm needs, store the models in the
 /// repository, then evaluate and combine them to rank algorithms without
 /// executing them.
+///
+/// Models are served through a [`ModelService`]: model construction fans out
+/// across worker threads (see
+/// [`ModelSetConfig::workers`](dla_predict::modelset::ModelSetConfig)), and
+/// the built repository is hot-swapped into the service, which any number of
+/// threads can query concurrently (share the pipeline behind an `Arc`, or
+/// hand out [`Pipeline::predictor`] snapshots).
 pub struct Pipeline {
     machine: MachineConfig,
     locality: Locality,
     model_config: ModelSetConfig,
     seed: u64,
-    repository: ModelRepository,
+    service: ModelService,
     reports: Vec<ModelingReport>,
 }
 
@@ -34,12 +43,13 @@ impl Pipeline {
     /// (in-cache models, paper-default Adaptive Refinement, full 1024-sized
     /// parameter spaces).
     pub fn new(machine: MachineConfig) -> Pipeline {
+        let service = ModelService::new(ModelRepository::new(), machine.clone(), Locality::InCache);
         Pipeline {
             machine,
             locality: Locality::InCache,
             model_config: ModelSetConfig::default(),
             seed: 0x5eed,
-            repository: ModelRepository::new(),
+            service,
             reports: Vec::new(),
         }
     }
@@ -47,6 +57,8 @@ impl Pipeline {
     /// Selects the memory-locality scenario the models describe.
     pub fn with_locality(mut self, locality: Locality) -> Pipeline {
         self.locality = locality;
+        let repository = (*self.service.snapshot()).clone();
+        self.service = ModelService::new(repository, self.machine.clone(), locality);
         self
     }
 
@@ -72,9 +84,16 @@ impl Pipeline {
         self.locality
     }
 
-    /// The model repository (possibly empty before [`Pipeline::build_models`]).
-    pub fn repository(&self) -> &ModelRepository {
-        &self.repository
+    /// A snapshot of the model repository (possibly empty before
+    /// [`Pipeline::build_models`]).
+    pub fn repository(&self) -> Arc<ModelRepository> {
+        self.service.snapshot()
+    }
+
+    /// The serving layer: share it (behind an `Arc`-wrapped pipeline) to
+    /// answer memoized predictions from many threads concurrently.
+    pub fn service(&self) -> &ModelService {
+        &self.service
     }
 
     /// The per-routine modeling reports of the last build.
@@ -83,35 +102,38 @@ impl Pipeline {
     }
 
     /// Builds (or extends) the model repository for the given workloads by
-    /// running the Modeler on the simulated machine.
+    /// running the Modeler on the simulated machine, fanning the per-routine
+    /// builds across `model_config.workers` threads, and hot-swaps the result
+    /// into the serving layer.
     pub fn build_models(&mut self, workloads: &[Workload]) {
-        let (repo, reports) = build_repository(
+        let (built, reports) = build_repository(
             &self.machine,
             self.locality,
             self.seed,
             &self.model_config,
             workloads,
         );
-        for (_, model) in repo.iter() {
-            self.repository.insert(model.clone());
-        }
+        self.service.merge(built);
         self.reports.extend(reports);
     }
 
     /// Loads a previously saved repository instead of rebuilding models.
     pub fn load_repository(&mut self, path: &Path) -> Result<()> {
-        self.repository = ModelRepository::load_file(path)?;
+        self.service.swap(ModelRepository::load_file(path)?);
         Ok(())
     }
 
     /// Saves the current repository to a file.
     pub fn save_repository(&self, path: &Path) -> Result<()> {
-        self.repository.save_file(path)
+        self.service.snapshot().save_file(path)
     }
 
-    /// A predictor over the current repository.
-    pub fn predictor(&self) -> Predictor<'_> {
-        Predictor::new(&self.repository, self.machine.clone(), self.locality)
+    /// A predictor over a snapshot of the current repository.
+    ///
+    /// The predictor owns its snapshot, so it can be moved to other threads
+    /// and keeps answering consistently across later rebuilds.
+    pub fn predictor(&self) -> Predictor<'static> {
+        self.service.predictor()
     }
 
     /// A fresh simulated executor for "measurements" on this machine.
@@ -121,46 +143,48 @@ impl Pipeline {
 
     /// Predicts the efficiency of every triangular-inversion variant and
     /// returns them ranked best first (by predicted median efficiency).
+    ///
+    /// Routed through the memoizing [`ModelService`], so repeated rankings
+    /// (and the shared calls between variants) hit the evaluation cache.
     pub fn rank_trinv(
         &self,
         n: usize,
         block_size: usize,
     ) -> Result<Vec<(TrinvVariant, EfficiencyPrediction)>> {
-        let predictor = self.predictor();
         let mut ranked = Vec::new();
         for variant in TrinvVariant::ALL {
-            let prediction = predict_trinv(&predictor, variant, n, block_size)?;
+            let prediction = predict_trinv(&self.service, variant, n, block_size)?;
             ranked.push((variant, prediction));
         }
-        ranked.sort_by(|a, b| b.1.median.partial_cmp(&a.1.median).expect("finite"));
+        ranked.sort_by(|a, b| by_score_desc(a.1.median, b.1.median));
         Ok(ranked)
     }
 
     /// Predicts the efficiency of every Sylvester variant and returns them
-    /// ranked best first.
+    /// ranked best first (memoized through the [`ModelService`]).
     pub fn rank_sylv(
         &self,
         n: usize,
         block_size: usize,
     ) -> Result<Vec<(SylvVariant, EfficiencyPrediction)>> {
-        let predictor = self.predictor();
         let mut ranked = Vec::new();
         for variant in SylvVariant::all() {
-            let prediction = predict_sylv(&predictor, variant, n, block_size)?;
+            let prediction = predict_sylv(&self.service, variant, n, block_size)?;
             ranked.push((variant, prediction));
         }
-        ranked.sort_by(|a, b| b.1.median.partial_cmp(&a.1.median).expect("finite"));
+        ranked.sort_by(|a, b| by_score_desc(a.1.median, b.1.median));
         Ok(ranked)
     }
 
-    /// Sweeps block sizes for a triangular-inversion variant.
+    /// Sweeps block sizes for a triangular-inversion variant (memoized
+    /// through the [`ModelService`]).
     pub fn tune_trinv_block_size(
         &self,
         variant: TrinvVariant,
         n: usize,
         candidates: &[usize],
     ) -> Result<BlockSizeSweep> {
-        optimize_block_size_trinv(&self.predictor(), variant, n, candidates)
+        optimize_block_size_trinv(&self.service, variant, n, candidates)
     }
 
     /// "Measures" a triangular-inversion variant by simulated execution.
@@ -191,7 +215,12 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dla_blas::{Call, Routine, Trans};
     use dla_machine::presets::harpertown_openblas;
+    use dla_model::{
+        submodel_key, PiecewiseModel, Polynomial, Region, RegionModel, RoutineModel,
+        VectorPolynomial,
+    };
 
     fn quick_pipeline() -> Pipeline {
         let mut p = Pipeline::new(harpertown_openblas())
@@ -199,6 +228,49 @@ mod tests {
             .with_seed(3);
         p.build_models(&[Workload::Trinv]);
         p
+    }
+
+    /// A gemm model whose every prediction is NaN, over the quick space.
+    fn nan_gemm_model(machine_id: &str) -> RoutineModel {
+        let space = Region::new(vec![8, 8, 8], vec![256, 256, 128]);
+        let nan_poly = Polynomial::new(3, vec![vec![0, 0, 0]], vec![f64::NAN]).unwrap();
+        let poly = VectorPolynomial::new(vec![nan_poly; 5]).unwrap();
+        let region = RegionModel {
+            region: space.clone(),
+            poly,
+            error: 0.0,
+            samples_used: 1,
+        };
+        let piecewise = PiecewiseModel::new(space.clone(), vec![region], 1);
+        let mut model = RoutineModel::new(Routine::Gemm, machine_id, Locality::InCache, space);
+        let template = Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0);
+        model.insert_submodel(submodel_key(&template), piecewise);
+        model
+    }
+
+    #[test]
+    fn nan_predictions_rank_last_instead_of_panicking() {
+        let p = quick_pipeline();
+        let mut poisoned = (*p.repository()).clone();
+        poisoned.insert(nan_gemm_model(&p.machine().id()));
+        p.service().swap(poisoned);
+        // Regression: this used to panic in the sort's `expect("finite")`.
+        let ranking = p.rank_trinv(224, 32).unwrap();
+        assert_eq!(ranking.len(), 4);
+        // v1 performs no gemm, so its prediction stays finite and must not be
+        // displaced by the NaN-scored variants.
+        assert!(ranking[0].1.median.is_finite());
+        let first_nan = ranking
+            .iter()
+            .position(|(_, p)| p.median.is_nan())
+            .expect("gemm-based variants must predict NaN");
+        assert!(ranking[..first_nan]
+            .iter()
+            .all(|(_, p)| p.median.is_finite()));
+        assert!(ranking[first_nan..].iter().all(|(_, p)| p.median.is_nan()));
+        assert!(ranking[..first_nan]
+            .iter()
+            .any(|(v, _)| *v == TrinvVariant::V1));
     }
 
     #[test]
@@ -214,6 +286,24 @@ mod tests {
         }
         // variant 4 is never the predicted best
         assert_ne!(ranking[0].0, TrinvVariant::V4);
+    }
+
+    #[test]
+    fn rankings_are_memoized_through_the_service() {
+        let p = quick_pipeline();
+        let first = p.rank_trinv(224, 32).unwrap();
+        let stats_after_first = p.service().cache_stats();
+        assert!(
+            stats_after_first.hits > 0,
+            "variants share calls, so even one ranking must hit the cache"
+        );
+        let second = p.rank_trinv(224, 32).unwrap();
+        let stats_after_second = p.service().cache_stats();
+        assert_eq!(
+            stats_after_second.misses, stats_after_first.misses,
+            "a repeated ranking must be answered entirely from the cache"
+        );
+        assert_eq!(first, second);
     }
 
     #[test]

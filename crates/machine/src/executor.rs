@@ -13,7 +13,10 @@ use crate::{Locality, MachineConfig, Measurement};
 ///
 /// Two implementations exist: [`SimExecutor`] (the simulated machine) and
 /// [`crate::NativeExecutor`] (wall-clock timing of the pure-Rust kernels).
-pub trait Executor {
+///
+/// Executors are `Send` so that model construction can fan out across worker
+/// threads, each owning its own executor obtained via [`Executor::fork`].
+pub trait Executor: Send {
     /// The machine configuration this executor represents.
     fn machine(&self) -> &MachineConfig;
 
@@ -21,6 +24,28 @@ pub trait Executor {
     /// the measurement.  Successive invocations of the same call may return
     /// different values (measurement noise).
     fn execute(&mut self, call: &Call, locality: Locality) -> Measurement;
+
+    /// Creates an independent executor for the given worker stream.
+    ///
+    /// Forks carry the same machine configuration but fresh library state.
+    /// For a fixed parent, the fork is a deterministic function of `stream`
+    /// alone — two forks with the same stream id behave identically, which is
+    /// what makes parallel model construction reproduce the serial build bit
+    /// for bit.  [`SimExecutor`] derives an independent child noise stream;
+    /// [`crate::NativeExecutor`] forks by clone (wall-clock timing carries no
+    /// executor-owned randomness).
+    fn fork(&self, stream: u64) -> Self
+    where
+        Self: Sized;
+}
+
+/// Mixes a base seed and a stream id into an independent child seed
+/// (splitmix64-style finalizer, so even adjacent streams are uncorrelated).
+pub(crate) fn derive_stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// The simulated-machine executor.
@@ -32,6 +57,7 @@ pub trait Executor {
 #[derive(Debug, Clone)]
 pub struct SimExecutor {
     machine: MachineConfig,
+    seed: u64,
     rng: SmallRng,
     initialised: HashSet<Routine>,
     executions: u64,
@@ -42,6 +68,7 @@ impl SimExecutor {
     pub fn new(machine: MachineConfig, seed: u64) -> SimExecutor {
         SimExecutor {
             machine,
+            seed,
             rng: SmallRng::seed_from_u64(seed),
             initialised: HashSet::new(),
             executions: 0,
@@ -117,6 +144,10 @@ impl Executor for SimExecutor {
             flops: call.flops(),
             counters,
         }
+    }
+
+    fn fork(&self, stream: u64) -> SimExecutor {
+        SimExecutor::new(self.machine.clone(), derive_stream_seed(self.seed, stream))
     }
 }
 
@@ -204,6 +235,42 @@ mod tests {
             let b = ex2.execute(&call(), Locality::OutOfCache).ticks;
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let ex = SimExecutor::new(machine(), 9);
+        let mut a = ex.fork(3);
+        let mut b = ex.fork(3);
+        let mut c = ex.fork(4);
+        let mut distinct = false;
+        for _ in 0..10 {
+            let ta = a.execute(&call(), Locality::InCache).ticks;
+            let tb = b.execute(&call(), Locality::InCache).ticks;
+            let tc = c.execute(&call(), Locality::InCache).ticks;
+            assert_eq!(ta, tb, "same stream id must replay the same noise");
+            if ta != tc {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "different streams must produce different noise");
+    }
+
+    #[test]
+    fn fork_starts_with_fresh_library_state() {
+        let mut ex = SimExecutor::new(machine(), 10);
+        let _ = ex.execute(&call(), Locality::InCache);
+        let warm = ex.execute(&call(), Locality::InCache).ticks;
+        let mut child = ex.fork(0);
+        let cold = child.execute(&call(), Locality::InCache).ticks;
+        assert!(cold > 3.0 * warm, "fork must pay the first-call penalty");
+    }
+
+    #[test]
+    fn executors_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SimExecutor>();
+        assert_send::<crate::NativeExecutor>();
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::counters::CounterSet;
 use crate::{Executor, Locality, MachineConfig, Measurement};
 
 /// Executes calls natively and measures wall-clock time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NativeExecutor {
     machine: MachineConfig,
     seed: u64,
@@ -86,6 +86,12 @@ impl Executor for NativeExecutor {
                 ..CounterSet::default()
             },
         }
+    }
+
+    fn fork(&self, _stream: u64) -> NativeExecutor {
+        // Wall-clock timing carries no executor-owned randomness, so a fork
+        // is simply a clone (each worker gets its own flush buffer).
+        self.clone()
     }
 }
 

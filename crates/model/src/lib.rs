@@ -25,7 +25,10 @@
 //!
 //! Models are stored in a [`ModelRepository`], which persists to a plain-text,
 //! versioned format so that a model built once can be reused by later runs —
-//! the paper's "repository of models".
+//! the paper's "repository of models".  For concurrent serving,
+//! [`SharedRepository`] wraps a repository in an atomically hot-swappable
+//! handle: readers take cheap `Arc` snapshots while a rebuilt repository can
+//! be swapped in underneath them.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -35,12 +38,14 @@ mod poly;
 mod region;
 mod repo;
 mod routine_model;
+mod shared;
 
 pub use piecewise::{PiecewiseModel, RegionModel, VectorPolynomial};
 pub use poly::{monomial_exponents, Polynomial};
 pub use region::Region;
 pub use repo::{ModelKey, ModelRepository};
 pub use routine_model::{submodel_key, RoutineModel};
+pub use shared::SharedRepository;
 
 /// Errors raised while building, evaluating or (de)serialising models.
 #[derive(Debug, Clone, PartialEq)]

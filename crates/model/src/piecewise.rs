@@ -50,11 +50,19 @@ impl VectorPolynomial {
     ///
     /// All quantities are clamped to be non-negative: the modelled values are
     /// execution times, so a polynomial dipping below zero between its sample
-    /// points is a fitting artefact, not a meaningful prediction.
+    /// points is a fitting artefact, not a meaningful prediction.  `NaN`
+    /// values are preserved (`f64::max` would silently turn them into `0.0`,
+    /// i.e. a degenerate fit would masquerade as a zero-cost prediction);
+    /// downstream ranking sorts `NaN` predictions last.
     pub fn eval(&self, point: &[f64]) -> Summary {
         let mut values = [0.0; 5];
         for (q, poly) in Quantity::ALL.iter().zip(self.polys.iter()) {
-            values[q.index()] = poly.eval(point).max(0.0);
+            let value = poly.eval(point);
+            values[q.index()] = if value.is_nan() {
+                value
+            } else {
+                value.max(0.0)
+            };
         }
         Summary::from_quantities(&values)
     }

@@ -70,6 +70,19 @@ impl ModelRepository {
         self.models.insert(key, model);
     }
 
+    /// Merges another repository into this one.
+    ///
+    /// Models from `other` replace models with the same key, matching the
+    /// semantics of inserting them one by one; `other`'s `BTreeMap` ordering
+    /// makes the merge deterministic.  This is how the parallel build stage
+    /// combines per-worker results and how `Pipeline::build_models` extends
+    /// an existing repository.
+    pub fn merge(&mut self, other: ModelRepository) {
+        for (key, model) in other.models {
+            self.models.insert(key, model);
+        }
+    }
+
     /// Looks up the model for a routine / machine / locality combination.
     pub fn get(
         &self,
@@ -422,6 +435,30 @@ mod tests {
             .is_none());
         assert!(repo.total_samples() > 0);
         assert_eq!(repo.iter().count(), 1);
+    }
+
+    #[test]
+    fn merge_combines_and_overwrites() {
+        let mut a = ModelRepository::new();
+        a.insert(build_model());
+        let mut gemm_model = build_model();
+        gemm_model.routine = Routine::Gemm;
+        let mut b = ModelRepository::new();
+        b.insert(gemm_model);
+        // A fresh Trsm model in `b` must overwrite the one in `a`.
+        let mut replacement = build_model();
+        replacement.insert_submodel(vec![0, 1, 0], replacement.submodels[&vec![0, 0, 0]].clone());
+        let replacement_count = replacement.submodel_count();
+        b.insert(replacement);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        let merged = a
+            .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache)
+            .unwrap();
+        assert_eq!(merged.submodel_count(), replacement_count);
+        assert!(a
+            .get(Routine::Gemm, "hpt+openblas-like+1t", Locality::InCache)
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Concurrent sharing of a model repository.
+//!
+//! The paper treats the repository as a long-lived asset: models are built
+//! once and then serve arbitrarily many downstream prediction queries.  For a
+//! multi-threaded server that shape needs two properties the plain
+//! [`ModelRepository`] does not provide: cheap read access from many threads
+//! at once, and the ability to atomically replace the whole repository with a
+//! freshly rebuilt one without disturbing in-flight readers.
+//!
+//! [`SharedRepository`] provides both with an `ArcSwap`-style
+//! `RwLock<Arc<ModelRepository>>`: readers take a [`snapshot`] — an `Arc`
+//! clone, held entirely outside the lock — and writers [`swap`] in a new
+//! repository.  Readers holding an old snapshot keep a consistent view until
+//! they drop it.
+//!
+//! [`snapshot`]: SharedRepository::snapshot
+//! [`swap`]: SharedRepository::swap
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::ModelRepository;
+
+/// An atomically swappable, shareable handle to a [`ModelRepository`].
+#[derive(Debug)]
+pub struct SharedRepository {
+    inner: RwLock<Arc<ModelRepository>>,
+    generation: AtomicU64,
+}
+
+impl SharedRepository {
+    /// Wraps a repository for concurrent sharing.
+    pub fn new(repository: ModelRepository) -> SharedRepository {
+        SharedRepository {
+            inner: RwLock::new(Arc::new(repository)),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current repository, as a cheap `Arc` clone.
+    ///
+    /// The snapshot stays valid (and internally consistent) even if another
+    /// thread swaps in a new repository afterwards.
+    pub fn snapshot(&self) -> Arc<ModelRepository> {
+        Arc::clone(&self.inner.read().expect("repository lock poisoned"))
+    }
+
+    /// Atomically replaces the repository, returning the previous one.
+    ///
+    /// In-flight readers holding a [`snapshot`](SharedRepository::snapshot)
+    /// are unaffected; new readers see the replacement.
+    pub fn swap(&self, repository: ModelRepository) -> Arc<ModelRepository> {
+        let mut guard = self.inner.write().expect("repository lock poisoned");
+        self.generation.fetch_add(1, Ordering::Release);
+        std::mem::replace(&mut *guard, Arc::new(repository))
+    }
+
+    /// Merges `other` into the current repository and swaps the result in.
+    pub fn merge(&self, other: ModelRepository) {
+        let mut guard = self.inner.write().expect("repository lock poisoned");
+        let mut merged = (**guard).clone();
+        merged.merge(other);
+        self.generation.fetch_add(1, Ordering::Release);
+        *guard = Arc::new(merged);
+    }
+
+    /// A counter incremented on every [`swap`](SharedRepository::swap) or
+    /// [`merge`](SharedRepository::merge); caches layered on top use it to
+    /// detect stale entries.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+}
+
+impl Default for SharedRepository {
+    fn default() -> SharedRepository {
+        SharedRepository::new(ModelRepository::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_survive_swaps() {
+        let shared = SharedRepository::default();
+        let before = shared.snapshot();
+        assert!(before.is_empty());
+        assert_eq!(shared.generation(), 0);
+        let old = shared.swap(ModelRepository::new());
+        assert!(Arc::ptr_eq(&before, &old));
+        assert_eq!(shared.generation(), 1);
+        // The old snapshot is still usable after the swap.
+        assert!(before.is_empty());
+        assert!(!Arc::ptr_eq(&before, &shared.snapshot()));
+    }
+
+    #[test]
+    fn concurrent_snapshots_and_swaps_do_not_panic() {
+        let shared = Arc::new(SharedRepository::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let snap = shared.snapshot();
+                        assert!(snap.is_empty());
+                    }
+                });
+            }
+            let swapper = Arc::clone(&shared);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let _ = swapper.swap(ModelRepository::new());
+                }
+            });
+        });
+        assert_eq!(shared.generation(), 50);
+    }
+
+    #[test]
+    fn shared_repository_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<SharedRepository>();
+    }
+}

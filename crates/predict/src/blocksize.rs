@@ -3,7 +3,7 @@
 use dla_algos::TrinvVariant;
 use dla_model::Result;
 
-use crate::predictor::{EfficiencyPrediction, Predictor};
+use crate::predictor::{EfficiencyPrediction, TraceEvaluator};
 use crate::workloads::predict_trinv;
 
 /// The outcome of a block-size sweep for one algorithm variant.
@@ -19,14 +19,14 @@ pub struct BlockSizeSweep {
 
 impl BlockSizeSweep {
     /// The block size with the highest predicted median efficiency.
+    ///
+    /// `NaN` predictions never win: they are skipped, and if every candidate
+    /// predicts `NaN` there is no meaningful optimum, so `None` is returned.
     pub fn best_block_size(&self) -> Option<usize> {
         self.candidates
             .iter()
-            .max_by(|a, b| {
-                a.1.median
-                    .partial_cmp(&b.1.median)
-                    .expect("finite efficiencies")
-            })
+            .filter(|(_, e)| !e.median.is_nan())
+            .max_by(|a, b| a.1.median.total_cmp(&b.1.median))
             .map(|(b, _)| *b)
     }
 
@@ -49,8 +49,13 @@ pub fn default_block_size_candidates() -> Vec<usize> {
 
 /// Sweeps candidate block sizes for a triangular-inversion variant and
 /// returns the predictions.
-pub fn optimize_block_size_trinv(
-    predictor: &Predictor<'_>,
+///
+/// Generic over the evaluator: pass a [`Predictor`](crate::Predictor) for
+/// one-shot evaluation or a [`ModelService`](crate::ModelService) for
+/// memoized serving (a sweep re-evaluates many shared calls, so the cache
+/// pays off here).
+pub fn optimize_block_size_trinv<E: TraceEvaluator>(
+    evaluator: &E,
     variant: TrinvVariant,
     n: usize,
     candidates: &[usize],
@@ -60,7 +65,7 @@ pub fn optimize_block_size_trinv(
         if b == 0 || b > n {
             continue;
         }
-        let prediction = predict_trinv(predictor, variant, n, b)?;
+        let prediction = predict_trinv(evaluator, variant, n, b)?;
         results.push((b, prediction));
     }
     Ok(BlockSizeSweep {
@@ -74,8 +79,35 @@ pub fn optimize_block_size_trinv(
 mod tests {
     use super::*;
     use crate::modelset::{build_repository, ModelSetConfig, Workload};
+    use crate::predictor::Predictor;
     use dla_machine::presets::harpertown_openblas;
     use dla_machine::Locality;
+
+    #[test]
+    fn all_nan_sweep_has_no_best_block_size() {
+        let nan = EfficiencyPrediction {
+            median: f64::NAN,
+            mean: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+        };
+        let mut sweep = BlockSizeSweep {
+            variant: TrinvVariant::V1,
+            n: 128,
+            candidates: vec![(32, nan), (64, nan)],
+        };
+        assert_eq!(sweep.best_block_size(), None);
+        assert_eq!(sweep.best_efficiency(), None);
+        // A single finite candidate wins over any number of NaN ones.
+        let finite = EfficiencyPrediction {
+            median: 0.5,
+            mean: 0.5,
+            min: 0.4,
+            max: 0.6,
+        };
+        sweep.candidates.push((96, finite));
+        assert_eq!(sweep.best_block_size(), Some(96));
+    }
 
     #[test]
     fn candidate_list_matches_paper_range() {

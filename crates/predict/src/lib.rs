@@ -23,10 +23,16 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+//! For concurrent serving, [`ModelService`] wraps the repository behind an
+//! atomically hot-swappable handle with a sharded evaluation cache, handing
+//! out snapshot-owning [`Predictor`]s to any number of threads.
+
 pub mod blocksize;
 pub mod modelset;
 pub mod predictor;
 pub mod ranking;
+pub mod service;
 pub mod workloads;
 
-pub use predictor::{EfficiencyPrediction, Predictor, TracePrediction};
+pub use predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
+pub use service::{CacheStats, ModelService};

@@ -1,8 +1,20 @@
 //! Building the standard model repository for the paper's workloads.
+//!
+//! Repository construction is split into two stages: a cheap, deterministic
+//! **enumeration** stage that lists every template/parameter-space combination
+//! to model ([`enumerate_build_tasks`]), and a **build** stage that fans the
+//! per-task model builds across worker threads ([`build_tasks`]).  Each task
+//! gets its own executor, forked from the base executor with the task index as
+//! the stream id, so every task is hermetic: the resulting repository is byte
+//! for byte identical for any worker count, including the serial `workers = 1`
+//! build.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dla_blas::{Call, Diag, Side, Trans, Uplo};
-use dla_machine::{Locality, MachineConfig, SimExecutor};
-use dla_model::{ModelRepository, Region};
+use dla_machine::{Executor, Locality, MachineConfig, SimExecutor};
+use dla_model::{ModelRepository, Region, RoutineModel};
 use dla_modeler::{Modeler, ModelingReport, Strategy};
 
 /// Which workload a repository must be able to predict.
@@ -32,6 +44,10 @@ pub struct ModelSetConfig {
     pub repetitions: usize,
     /// Model-generation strategy.
     pub strategy: Strategy,
+    /// Number of worker threads the build stage fans out across; `0` selects
+    /// [`std::thread::available_parallelism`].  Any worker count produces a
+    /// byte-identical repository.
+    pub workers: usize,
 }
 
 impl Default for ModelSetConfig {
@@ -42,6 +58,7 @@ impl Default for ModelSetConfig {
             gemm_k_max: 256,
             repetitions: 5,
             strategy: Strategy::paper_default(),
+            workers: 0,
         }
     }
 }
@@ -61,6 +78,25 @@ impl ModelSetConfig {
                 grid_per_dim: 4,
                 degree: 2,
             }),
+            workers: 0,
+        }
+    }
+
+    /// The same configuration with an explicit worker count.
+    pub fn with_workers(mut self, workers: usize) -> ModelSetConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// The effective worker count: `workers`, or the machine's available
+    /// parallelism when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -147,11 +183,116 @@ pub fn workload_templates(workload: Workload, config: &ModelSetConfig) -> Vec<(V
     }
 }
 
+/// One unit of model-construction work: a routine's call templates over a
+/// parameter space, plus the noise-stream id its worker executor is forked
+/// with (the task's position in enumeration order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildTask {
+    /// The call templates (all invoking the same routine).
+    pub templates: Vec<Call>,
+    /// The integer parameter space to model.
+    pub space: Region,
+    /// Deterministic stream id for [`dla_machine::Executor::fork`].
+    pub stream: u64,
+}
+
+/// Stage 1: enumerates the deduplicated build tasks for a set of workloads.
+///
+/// A routine/space combination shared by several workloads is listed once, so
+/// each routine is modelled exactly once per distinct parameter space.
+pub fn enumerate_build_tasks(workloads: &[Workload], config: &ModelSetConfig) -> Vec<BuildTask> {
+    let mut tasks: Vec<BuildTask> = Vec::new();
+    for &w in workloads {
+        for (templates, space) in workload_templates(w, config) {
+            let duplicate = tasks
+                .iter()
+                .any(|t| t.templates[0].routine() == templates[0].routine() && t.space == space);
+            if duplicate {
+                continue;
+            }
+            let stream = tasks.len() as u64;
+            tasks.push(BuildTask {
+                templates,
+                space,
+                stream,
+            });
+        }
+    }
+    tasks
+}
+
+fn build_one_task<E: Executor>(
+    executor: &E,
+    locality: Locality,
+    config: &ModelSetConfig,
+    task: &BuildTask,
+) -> (RoutineModel, ModelingReport) {
+    let mut modeler = Modeler::new(
+        executor.fork(task.stream),
+        locality,
+        config.repetitions,
+        config.strategy,
+    );
+    modeler.build_routine_model(&task.templates, &task.space)
+}
+
+/// Stage 2: builds every task's routine model, fanning out across
+/// `config.workers` threads (`0` = available parallelism), and merges the
+/// results in task order.
+///
+/// Each task runs on an executor forked from `executor` with the task's
+/// stream id, so the output is independent of scheduling: serial and parallel
+/// builds produce byte-identical repositories.
+pub fn build_tasks<E: Executor + Sync>(
+    executor: &E,
+    locality: Locality,
+    config: &ModelSetConfig,
+    tasks: &[BuildTask],
+) -> (ModelRepository, Vec<ModelingReport>) {
+    let workers = config.effective_workers().min(tasks.len()).max(1);
+    let mut built: Vec<Option<(RoutineModel, ModelingReport)>> = Vec::new();
+    if workers <= 1 {
+        for task in tasks {
+            built.push(Some(build_one_task(executor, locality, config, task)));
+        }
+    } else {
+        let slots: Vec<Mutex<Option<(RoutineModel, ModelingReport)>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let result = build_one_task(executor, locality, config, &tasks[i]);
+                    *slots[i].lock().expect("build slot poisoned") = Some(result);
+                });
+            }
+        });
+        built = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("build slot poisoned"))
+            .collect();
+    }
+    let mut repo = ModelRepository::new();
+    let mut reports = Vec::with_capacity(tasks.len());
+    for entry in built {
+        let (model, report) = entry.expect("every task produces a model");
+        repo.insert(model);
+        reports.push(report);
+    }
+    (repo, reports)
+}
+
 /// Builds a model repository covering the given workloads on the given machine
 /// and locality scenario, using the simulated executor.
 ///
-/// Returns the repository together with the per-routine modeling reports
-/// (samples used, regions, average error).
+/// This is the two-stage pipeline: [`enumerate_build_tasks`] followed by
+/// [`build_tasks`] with a [`SimExecutor`] seeded with `seed`.  Returns the
+/// repository together with the per-routine modeling reports (samples used,
+/// regions, average error).
 pub fn build_repository(
     machine: &MachineConfig,
     locality: Locality,
@@ -160,25 +301,8 @@ pub fn build_repository(
     workloads: &[Workload],
 ) -> (ModelRepository, Vec<ModelingReport>) {
     let executor = SimExecutor::new(machine.clone(), seed);
-    let mut modeler = Modeler::new(executor, locality, config.repetitions, config.strategy);
-    let mut repo = ModelRepository::new();
-    let mut reports = Vec::new();
-    let mut done: Vec<(Vec<Call>, Region)> = Vec::new();
-    for &w in workloads {
-        for (templates, space) in workload_templates(w, config) {
-            // Avoid rebuilding a routine/space combination shared by workloads.
-            let duplicate = done
-                .iter()
-                .any(|(t, s)| t[0].routine() == templates[0].routine() && *s == space);
-            if duplicate {
-                continue;
-            }
-            let rep = modeler.populate_repository(&mut repo, &[(templates.clone(), space.clone())]);
-            reports.extend(rep);
-            done.push((templates, space));
-        }
-    }
-    (repo, reports)
+    let tasks = enumerate_build_tasks(workloads, config);
+    build_tasks(&executor, locality, config, &tasks)
 }
 
 #[cfg(test)]
@@ -258,5 +382,38 @@ mod tests {
         assert_eq!(cfg.max_size, 1024);
         assert_eq!(cfg.unblocked_max, 256);
         assert_eq!(cfg.strategy.name(), "adaptive-refinement");
+        assert_eq!(cfg.workers, 0);
+        assert!(cfg.effective_workers() >= 1);
+        assert_eq!(cfg.with_workers(3).effective_workers(), 3);
+    }
+
+    #[test]
+    fn enumeration_dedups_and_numbers_streams() {
+        let cfg = ModelSetConfig::quick(64);
+        let tasks = enumerate_build_tasks(&[Workload::Trinv, Workload::Sylv], &cfg);
+        // 4 trinv tasks + sylv_unb; gemm is shared between the workloads.
+        assert_eq!(tasks.len(), 5);
+        for (i, task) in tasks.iter().enumerate() {
+            assert_eq!(task.stream, i as u64);
+        }
+        let gemm_tasks = tasks
+            .iter()
+            .filter(|t| t.templates[0].routine() == Routine::Gemm)
+            .count();
+        assert_eq!(gemm_tasks, 1);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        let machine = harpertown_openblas();
+        let serial_cfg = ModelSetConfig::quick(96).with_workers(1);
+        let parallel_cfg = ModelSetConfig::quick(96).with_workers(4);
+        let workloads = [Workload::Trinv, Workload::Sylv];
+        let (serial, serial_reports) =
+            build_repository(&machine, Locality::InCache, 7, &serial_cfg, &workloads);
+        let (parallel, parallel_reports) =
+            build_repository(&machine, Locality::InCache, 7, &parallel_cfg, &workloads);
+        assert_eq!(serial.to_text(), parallel.to_text());
+        assert_eq!(serial_reports, parallel_reports);
     }
 }

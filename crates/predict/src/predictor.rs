@@ -1,5 +1,7 @@
 //! Trace prediction: evaluating and accumulating per-call model estimates.
 
+use std::sync::Arc;
+
 use dla_blas::flops::is_empty_call;
 use dla_blas::Call;
 use dla_machine::{Locality, MachineConfig};
@@ -36,56 +38,44 @@ pub struct EfficiencyPrediction {
     pub max: f64,
 }
 
-/// Evaluates stored models to predict whole-algorithm performance.
-pub struct Predictor<'a> {
-    repository: &'a ModelRepository,
-    machine: MachineConfig,
-    locality: Locality,
+/// The repository a [`Predictor`] evaluates: either borrowed (the classic
+/// single-threaded shape) or an owned `Arc` snapshot handed out by a
+/// [`ModelService`](crate::ModelService) for concurrent use.
+enum RepoHandle<'a> {
+    Borrowed(&'a ModelRepository),
+    Shared(Arc<ModelRepository>),
 }
 
-impl<'a> Predictor<'a> {
-    /// Creates a predictor that reads models for `machine` under `locality`.
-    pub fn new(
-        repository: &'a ModelRepository,
-        machine: MachineConfig,
-        locality: Locality,
-    ) -> Self {
-        Predictor {
-            repository,
-            machine,
-            locality,
+impl RepoHandle<'_> {
+    fn get(&self) -> &ModelRepository {
+        match self {
+            RepoHandle::Borrowed(r) => r,
+            RepoHandle::Shared(r) => r,
         }
     }
+}
 
+/// Anything that can predict the performance of a call trace: the plain
+/// [`Predictor`] (uncached model evaluation over one repository snapshot) or
+/// the memoizing [`ModelService`](crate::ModelService) serving layer.
+///
+/// Workload-level prediction helpers ([`predict_trinv`],
+/// [`optimize_block_size_trinv`], ...) are generic over this trait, so the
+/// same code path serves both one-shot scripts and cached concurrent serving.
+///
+/// [`predict_trinv`]: crate::workloads::predict_trinv
+/// [`optimize_block_size_trinv`]: crate::blocksize::optimize_block_size_trinv
+pub trait TraceEvaluator {
     /// The machine configuration predictions refer to.
-    pub fn machine(&self) -> &MachineConfig {
-        &self.machine
-    }
-
-    /// The memory-locality scenario of the models being used.
-    pub fn locality(&self) -> Locality {
-        self.locality
-    }
+    fn machine(&self) -> &MachineConfig;
 
     /// Predicts the performance of a single call.
-    pub fn predict_call(&self, call: &Call) -> Result<Summary> {
-        let model = self
-            .repository
-            .get(call.routine(), &self.machine.id(), self.locality)
-            .ok_or_else(|| {
-                ModelError::MissingSubmodel(format!(
-                    "no model for {} on {} ({})",
-                    call.routine(),
-                    self.machine.id(),
-                    self.locality
-                ))
-            })?;
-        model.estimate(call)
-    }
+    fn predict_call(&self, call: &Call) -> Result<Summary>;
 
     /// Predicts the performance of a whole trace by accumulating the per-call
-    /// estimates (paper Section IV: "these estimates are then accumulated").
-    pub fn predict_trace(&self, trace: &[Call]) -> Result<TracePrediction> {
+    /// estimates (paper Section IV: "these estimates are then accumulated");
+    /// degenerate calls (a zero dimension) are skipped at zero cost.
+    fn predict_trace(&self, trace: &[Call]) -> Result<TracePrediction> {
         let mut ticks = Summary::zero();
         let mut flops = 0.0;
         let mut predicted = 0;
@@ -110,17 +100,118 @@ impl<'a> Predictor<'a> {
 
     /// Predicts the efficiency of a trace for an operation whose useful flop
     /// count is `useful_flops`.
-    pub fn predict_efficiency(
+    fn predict_efficiency(
         &self,
         trace: &[Call],
         useful_flops: f64,
     ) -> Result<EfficiencyPrediction> {
         let prediction = self.predict_trace(trace)?;
         Ok(efficiency_from_ticks(
-            &self.machine,
+            self.machine(),
             useful_flops,
             &prediction.ticks,
         ))
+    }
+}
+
+/// The error returned when a repository holds no model for a routine on a
+/// machine/locality combination (shared by every evaluator).
+pub(crate) fn missing_model_error(
+    routine: dla_blas::Routine,
+    machine_id: &str,
+    locality: Locality,
+) -> ModelError {
+    ModelError::MissingSubmodel(format!(
+        "no model for {routine} on {machine_id} ({locality})"
+    ))
+}
+
+/// Evaluates stored models to predict whole-algorithm performance.
+pub struct Predictor<'a> {
+    repository: RepoHandle<'a>,
+    machine: MachineConfig,
+    locality: Locality,
+}
+
+impl<'a> Predictor<'a> {
+    /// Creates a predictor that reads models for `machine` under `locality`.
+    pub fn new(
+        repository: &'a ModelRepository,
+        machine: MachineConfig,
+        locality: Locality,
+    ) -> Self {
+        Predictor {
+            repository: RepoHandle::Borrowed(repository),
+            machine,
+            locality,
+        }
+    }
+
+    /// Creates a predictor that owns an `Arc` snapshot of the repository, so
+    /// it carries no borrow and can be moved freely across threads.
+    pub fn shared(
+        repository: Arc<ModelRepository>,
+        machine: MachineConfig,
+        locality: Locality,
+    ) -> Predictor<'static> {
+        Predictor {
+            repository: RepoHandle::Shared(repository),
+            machine,
+            locality,
+        }
+    }
+
+    /// The repository being evaluated.
+    pub fn repository(&self) -> &ModelRepository {
+        self.repository.get()
+    }
+
+    /// The machine configuration predictions refer to.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The memory-locality scenario of the models being used.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// Predicts the performance of a single call.
+    pub fn predict_call(&self, call: &Call) -> Result<Summary> {
+        let model = self
+            .repository
+            .get()
+            .get(call.routine(), &self.machine.id(), self.locality)
+            .ok_or_else(|| {
+                missing_model_error(call.routine(), &self.machine.id(), self.locality)
+            })?;
+        model.estimate(call)
+    }
+
+    /// Predicts the performance of a whole trace (see
+    /// [`TraceEvaluator::predict_trace`]).
+    pub fn predict_trace(&self, trace: &[Call]) -> Result<TracePrediction> {
+        TraceEvaluator::predict_trace(self, trace)
+    }
+
+    /// Predicts the efficiency of a trace for an operation whose useful flop
+    /// count is `useful_flops`.
+    pub fn predict_efficiency(
+        &self,
+        trace: &[Call],
+        useful_flops: f64,
+    ) -> Result<EfficiencyPrediction> {
+        TraceEvaluator::predict_efficiency(self, trace, useful_flops)
+    }
+}
+
+impl TraceEvaluator for Predictor<'_> {
+    fn machine(&self) -> &MachineConfig {
+        Predictor::machine(self)
+    }
+
+    fn predict_call(&self, call: &Call) -> Result<Summary> {
+        Predictor::predict_call(self, call)
     }
 }
 
@@ -283,6 +374,29 @@ mod tests {
             1.0,
         );
         assert!(predictor.predict_call(&call).is_err());
+    }
+
+    #[test]
+    fn shared_predictor_matches_borrowed_and_moves_across_threads() {
+        let (repo, machine) = small_repo();
+        let call = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            300,
+            200,
+            1.0,
+        );
+        let borrowed = Predictor::new(&repo, machine.clone(), Locality::InCache);
+        let expected = borrowed.predict_call(&call).unwrap();
+        let shared = Predictor::shared(Arc::new(repo.clone()), machine, Locality::InCache);
+        assert_eq!(shared.predict_call(&call).unwrap(), expected);
+        assert_eq!(shared.repository().len(), repo.len());
+        let from_thread = std::thread::spawn(move || shared.predict_call(&call).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(from_thread, expected);
     }
 
     #[test]

@@ -1,6 +1,41 @@
 //! Ranking algorithms by predicted performance and validating the ranking
 //! against measurements.
 
+use std::cmp::Ordering;
+
+/// Total order for ranking scores best (largest) first, with `NaN` sorted
+/// last.
+///
+/// Predictions can turn out `NaN` (e.g. a degenerate model fit); a ranking
+/// must tolerate that instead of panicking mid-sort, and a `NaN` score should
+/// never be declared the winner.  Built on [`f64::total_cmp`].
+pub fn by_score_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.total_cmp(&a),
+        nan_order => nan_last(nan_order),
+    }
+}
+
+/// Total order for ranking scores smallest first, with `NaN` still sorted
+/// last (note: this is *not* `by_score_desc` with swapped arguments — that
+/// would sort `NaN` first).
+pub fn by_score_asc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        nan_order => nan_last(nan_order),
+    }
+}
+
+/// The shared `NaN`-last tail of both comparators; only called when at least
+/// one side is `NaN`.
+fn nan_last((a_nan, b_nan): (bool, bool)) -> Ordering {
+    match (a_nan, b_nan) {
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        _ => Ordering::Equal,
+    }
+}
+
 /// A scored candidate (algorithm variant, block size, ...).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ranked<T> {
@@ -11,8 +46,7 @@ pub struct Ranked<T> {
     pub score: f64,
 }
 
-/// Ranks candidates by ascending score (use for predicted ticks).
-pub fn rank_ascending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
+fn rank_by<T: Clone>(items: &[(T, f64)], cmp: fn(f64, f64) -> Ordering) -> Vec<Ranked<T>> {
     let mut ranked: Vec<Ranked<T>> = items
         .iter()
         .map(|(item, score)| Ranked {
@@ -20,15 +54,20 @@ pub fn rank_ascending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
             score: *score,
         })
         .collect();
-    ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    ranked.sort_by(|a, b| cmp(a.score, b.score));
     ranked
 }
 
-/// Ranks candidates by descending score (use for predicted efficiency).
+/// Ranks candidates by ascending score (use for predicted ticks); `NaN`
+/// scores sort last.
+pub fn rank_ascending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
+    rank_by(items, by_score_asc)
+}
+
+/// Ranks candidates by descending score (use for predicted efficiency);
+/// `NaN` scores sort last.
 pub fn rank_descending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
-    let mut ranked = rank_ascending(items);
-    ranked.reverse();
-    ranked
+    rank_by(items, by_score_desc)
 }
 
 /// Kendall's τ rank-correlation coefficient between two scorings of the same
@@ -127,6 +166,31 @@ mod tests {
         let desc = rank_descending(&items);
         assert_eq!(desc[0].item, "a");
         assert_eq!(desc[0].score, 3.0);
+    }
+
+    #[test]
+    fn nan_scores_sort_last_without_panicking() {
+        assert_eq!(by_score_desc(1.0, 2.0), Ordering::Greater);
+        assert_eq!(by_score_desc(2.0, 1.0), Ordering::Less);
+        assert_eq!(by_score_desc(f64::NAN, 1.0), Ordering::Greater);
+        assert_eq!(by_score_desc(1.0, f64::NAN), Ordering::Less);
+        assert_eq!(by_score_desc(f64::NAN, f64::NAN), Ordering::Equal);
+        // -0.0 and +0.0 keep a stable total order.
+        assert_eq!(by_score_desc(-0.0, 0.0), Ordering::Greater);
+        // The ascending order also keeps NaN last (it is not the reverse).
+        assert_eq!(by_score_asc(1.0, 2.0), Ordering::Less);
+        assert_eq!(by_score_asc(f64::NAN, 1.0), Ordering::Greater);
+        assert_eq!(by_score_asc(1.0, f64::NAN), Ordering::Less);
+
+        let items = vec![("nan", f64::NAN), ("low", 0.1), ("high", 0.9)];
+        let desc = rank_descending(&items);
+        assert_eq!(desc[0].item, "high");
+        assert_eq!(desc[1].item, "low");
+        assert_eq!(desc[2].item, "nan");
+        let asc = rank_ascending(&items);
+        assert_eq!(asc[0].item, "low");
+        assert_eq!(asc[1].item, "high");
+        assert_eq!(asc[2].item, "nan");
     }
 
     #[test]

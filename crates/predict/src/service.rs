@@ -1,0 +1,360 @@
+//! The serving layer: a thread-safe, read-optimized front end to the model
+//! repository.
+//!
+//! The paper's repository is a long-lived asset: models are built once and
+//! then answer many downstream queries.  [`ModelService`] is the concurrent
+//! embodiment of that shape:
+//!
+//! * it shares the repository behind a
+//!   [`SharedRepository`](dla_model::SharedRepository), so any number of
+//!   threads can take consistent snapshots and obtain [`Predictor`]s while a
+//!   freshly rebuilt repository is hot-swapped in underneath them;
+//! * it memoizes repeated `(routine, flags, sizes)` evaluations behind a
+//!   sharded cache — algorithm traces re-evaluate the same calls constantly
+//!   (every iteration of a blocked algorithm issues the same small set of
+//!   distinct calls), so a warm cache answers most queries without touching
+//!   the polynomial evaluator.
+//!
+//! The service is `Sync`: wrap it in an `Arc` and clone the handle into as
+//! many threads as needed.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use dla_blas::{Call, Routine};
+use dla_machine::{Locality, MachineConfig};
+use dla_mat::stats::Summary;
+use dla_model::{submodel_key, ModelRepository, SharedRepository};
+
+use crate::predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
+
+/// Number of cache shards when none is given: enough to keep writer
+/// contention negligible at typical thread counts.
+const DEFAULT_SHARDS: usize = 16;
+
+/// The model parameters a cached estimate depends on.  Scalars and leading
+/// dimensions are deliberately absent — the models drop them too.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CallKey {
+    routine: Routine,
+    flags: Vec<usize>,
+    sizes: Vec<usize>,
+}
+
+impl CallKey {
+    fn new(call: &Call) -> CallKey {
+        CallKey {
+            routine: call.routine(),
+            flags: submodel_key(call),
+            sizes: call.sizes(),
+        }
+    }
+
+    fn shard(&self, shards: usize) -> usize {
+        let mut hasher = DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() as usize) % shards
+    }
+}
+
+/// Hit/miss counters of the service's evaluation cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that had to consult the models.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of evaluations answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Shard = RwLock<HashMap<CallKey, (u64, Summary)>>;
+
+/// A thread-safe prediction service over a hot-swappable model repository.
+pub struct ModelService {
+    shared: SharedRepository,
+    machine: MachineConfig,
+    locality: Locality,
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelService {
+    /// Creates a service over a repository, for one machine and locality.
+    pub fn new(
+        repository: ModelRepository,
+        machine: MachineConfig,
+        locality: Locality,
+    ) -> ModelService {
+        ModelService::with_shards(repository, machine, locality, DEFAULT_SHARDS)
+    }
+
+    /// Creates a service with an explicit cache shard count.
+    pub fn with_shards(
+        repository: ModelRepository,
+        machine: MachineConfig,
+        locality: Locality,
+        shards: usize,
+    ) -> ModelService {
+        ModelService {
+            shared: SharedRepository::new(repository),
+            machine,
+            locality,
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The machine configuration predictions refer to.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The memory-locality scenario of the served models.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// A consistent snapshot of the current repository.
+    pub fn snapshot(&self) -> Arc<ModelRepository> {
+        self.shared.snapshot()
+    }
+
+    /// Atomically replaces the repository (hot swap), returning the previous
+    /// one.  In-flight predictors keep their snapshot; cached evaluations are
+    /// invalidated.
+    pub fn swap(&self, repository: ModelRepository) -> Arc<ModelRepository> {
+        let old = self.shared.swap(repository);
+        self.clear_cache();
+        old
+    }
+
+    /// Merges freshly built models into the served repository (hot swap).
+    pub fn merge(&self, other: ModelRepository) {
+        self.shared.merge(other);
+        self.clear_cache();
+    }
+
+    /// A predictor over the current snapshot.
+    ///
+    /// The predictor owns its snapshot (`'static`), so it can be handed to
+    /// other threads and outlives later [`swap`](ModelService::swap)s.
+    pub fn predictor(&self) -> Predictor<'static> {
+        Predictor::shared(self.snapshot(), self.machine.clone(), self.locality)
+    }
+
+    /// Predicts the performance of a single call, memoized.
+    pub fn predict_call(&self, call: &Call) -> dla_model::Result<Summary> {
+        let key = CallKey::new(call);
+        let shard = &self.shards[key.shard(self.shards.len())];
+        let generation = self.shared.generation();
+        if let Some(&(stored_generation, summary)) =
+            shard.read().expect("cache shard poisoned").get(&key)
+        {
+            if stored_generation == generation {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(summary);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.shared.snapshot();
+        let model = snapshot
+            .get(call.routine(), &self.machine.id(), self.locality)
+            .ok_or_else(|| {
+                crate::predictor::missing_model_error(
+                    call.routine(),
+                    &self.machine.id(),
+                    self.locality,
+                )
+            })?;
+        let summary = model.estimate(call)?;
+        // Only cache if no swap happened while we evaluated; a racing entry
+        // from a stale snapshot must not survive the swap's invalidation.
+        if self.shared.generation() == generation {
+            shard
+                .write()
+                .expect("cache shard poisoned")
+                .insert(key, (generation, summary));
+        }
+        Ok(summary)
+    }
+
+    /// Predicts a whole trace by accumulating memoized per-call estimates
+    /// (see [`TraceEvaluator::predict_trace`]).
+    pub fn predict_trace(&self, trace: &[Call]) -> dla_model::Result<TracePrediction> {
+        TraceEvaluator::predict_trace(self, trace)
+    }
+
+    /// Predicts the efficiency of a trace for an operation with the given
+    /// useful flop count (memoized per call).
+    pub fn predict_efficiency(
+        &self,
+        trace: &[Call],
+        useful_flops: f64,
+    ) -> dla_model::Result<EfficiencyPrediction> {
+        TraceEvaluator::predict_efficiency(self, trace, useful_flops)
+    }
+
+    /// Hit/miss counters of the evaluation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently cached across all shards.
+    pub fn cached_evaluations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Drops every cached evaluation (the hit/miss counters are kept).
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+impl TraceEvaluator for ModelService {
+    fn machine(&self) -> &MachineConfig {
+        ModelService::machine(self)
+    }
+
+    fn predict_call(&self, call: &Call) -> dla_model::Result<Summary> {
+        ModelService::predict_call(self, call)
+    }
+}
+
+impl std::fmt::Debug for ModelService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelService")
+            .field("machine", &self.machine.id())
+            .field("locality", &self.locality)
+            .field("models", &self.snapshot().len())
+            .field("shards", &self.shards.len())
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelset::{build_repository, ModelSetConfig, Workload};
+    use dla_blas::Trans;
+    use dla_machine::presets::harpertown_openblas;
+
+    fn quick_service() -> ModelService {
+        let machine = harpertown_openblas();
+        let cfg = ModelSetConfig::quick(128);
+        let (repo, _) = build_repository(&machine, Locality::InCache, 1, &cfg, &[Workload::Trinv]);
+        ModelService::new(repo, machine, Locality::InCache)
+    }
+
+    fn gemm(n: usize) -> Call {
+        Call::gemm(Trans::NoTrans, Trans::NoTrans, n, n, n.min(64), 1.0, 1.0)
+    }
+
+    #[test]
+    fn service_is_sync_and_send() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ModelService>();
+    }
+
+    #[test]
+    fn memoized_predictions_match_the_predictor() {
+        let service = quick_service();
+        let predictor = service.predictor();
+        let call = gemm(96);
+        let direct = predictor.predict_call(&call).unwrap();
+        let first = service.predict_call(&call).unwrap();
+        let second = service.predict_call(&call).unwrap();
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+        assert_eq!(service.cached_evaluations(), 1);
+    }
+
+    #[test]
+    fn scalars_and_leading_dims_do_not_split_cache_entries() {
+        let service = quick_service();
+        let a = Call::gemm(Trans::NoTrans, Trans::NoTrans, 96, 96, 64, 1.0, 1.0);
+        let b = Call::gemm(Trans::NoTrans, Trans::NoTrans, 96, 96, 64, -2.5, 0.0)
+            .with_leading_dims(4000);
+        let _ = service.predict_call(&a).unwrap();
+        let _ = service.predict_call(&b).unwrap();
+        assert_eq!(service.cache_stats().hits, 1);
+        assert_eq!(service.cached_evaluations(), 1);
+    }
+
+    #[test]
+    fn swap_invalidates_the_cache_but_not_snapshots() {
+        let service = quick_service();
+        let call = gemm(80);
+        let expected = service.predict_call(&call).unwrap();
+        let old_predictor = service.predictor();
+        let old = service.swap(ModelRepository::new());
+        assert!(!old.is_empty());
+        assert_eq!(service.cached_evaluations(), 0);
+        // The service now serves the empty repository...
+        assert!(service.predict_call(&call).is_err());
+        assert!(service.snapshot().is_empty());
+        // ...but the predictor handed out before the swap still answers.
+        assert_eq!(old_predictor.predict_call(&call).unwrap(), expected);
+        // Swapping the old repository back restores service.
+        service.swap((*old).clone());
+        assert_eq!(service.predict_call(&call).unwrap(), expected);
+    }
+
+    #[test]
+    fn merge_extends_the_served_repository() {
+        let machine = harpertown_openblas();
+        let cfg = ModelSetConfig::quick(96);
+        let (trinv_repo, _) =
+            build_repository(&machine, Locality::InCache, 1, &cfg, &[Workload::Trinv]);
+        let (sylv_repo, _) =
+            build_repository(&machine, Locality::InCache, 1, &cfg, &[Workload::Sylv]);
+        let service = ModelService::new(trinv_repo, machine, Locality::InCache);
+        let before = service.snapshot().len();
+        service.merge(sylv_repo);
+        assert!(service.snapshot().len() > before);
+        let sylv_call = Call::sylv_unb(64, 64);
+        assert!(service.predict_call(&sylv_call).is_ok());
+    }
+
+    #[test]
+    fn trace_prediction_uses_the_cache() {
+        let service = quick_service();
+        let trace: Vec<Call> = (0..50).map(|_| gemm(96)).collect();
+        let prediction = service.predict_trace(&trace).unwrap();
+        assert_eq!(prediction.predicted_calls, 50);
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 49);
+        let predictor = service.predictor();
+        let direct = predictor.predict_trace(&trace).unwrap();
+        assert_eq!(prediction, direct);
+    }
+}

@@ -14,7 +14,7 @@ use dla_blas::Call;
 use dla_machine::{Executor, Locality};
 use dla_model::Result;
 
-use crate::predictor::{EfficiencyPrediction, Predictor};
+use crate::predictor::{EfficiencyPrediction, TraceEvaluator};
 
 /// How operand locality is chosen when "measuring" a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,14 +106,18 @@ pub fn sylv_useful_flops_total(m: usize, n: usize) -> f64 {
 }
 
 /// Predicts the efficiency of one triangular-inversion variant.
-pub fn predict_trinv(
-    predictor: &Predictor<'_>,
+///
+/// Generic over the evaluator: pass a [`Predictor`](crate::Predictor) for
+/// one-shot evaluation or a [`ModelService`](crate::ModelService) for
+/// memoized serving.
+pub fn predict_trinv<E: TraceEvaluator>(
+    evaluator: &E,
     variant: TrinvVariant,
     n: usize,
     block_size: usize,
 ) -> Result<EfficiencyPrediction> {
     let trace = trinv_trace(variant, n, block_size, n);
-    predictor.predict_efficiency(&trace, trinv_useful_flops(n))
+    evaluator.predict_efficiency(&trace, trinv_useful_flops(n))
 }
 
 /// Measures (by simulated execution) the efficiency of one
@@ -130,14 +134,14 @@ pub fn measure_trinv<E: Executor>(
 }
 
 /// Predicts the efficiency of one Sylvester variant on an `n x n` problem.
-pub fn predict_sylv(
-    predictor: &Predictor<'_>,
+pub fn predict_sylv<E: TraceEvaluator>(
+    evaluator: &E,
     variant: SylvVariant,
     n: usize,
     block_size: usize,
 ) -> Result<EfficiencyPrediction> {
     let trace = sylv_trace(variant, n, n, block_size, n);
-    predictor.predict_efficiency(&trace, sylv_useful_flops_total(n, n))
+    evaluator.predict_efficiency(&trace, sylv_useful_flops_total(n, n))
 }
 
 /// Measures (by simulated execution) the efficiency of one Sylvester variant.
@@ -156,6 +160,7 @@ pub fn measure_sylv<E: Executor>(
 mod tests {
     use super::*;
     use crate::modelset::{build_repository, ModelSetConfig, Workload};
+    use crate::predictor::Predictor;
     use crate::ranking::{kendall_tau, top_choice_agrees};
     use dla_machine::presets::harpertown_openblas;
     use dla_machine::SimExecutor;

@@ -7,11 +7,28 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--workers N` to pin the model-construction worker count; the example
+//! then also rebuilds with the default (parallel) worker count and verifies
+//! that both builds produce a byte-identical repository — the determinism
+//! guarantee CI relies on.
 
 use dlaperf::machine::presets::harpertown_openblas;
 use dlaperf::predict::modelset::ModelSetConfig;
 use dlaperf::predict::workloads::MeasurementMode;
 use dlaperf::{Pipeline, TrinvVariant, Workload};
+
+/// Parses an optional `--workers N` command-line argument.
+fn workers_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let value = args.next().expect("--workers requires a value");
+            return Some(value.parse().expect("--workers value must be an integer"));
+        }
+    }
+    None
+}
 
 fn main() {
     let machine = harpertown_openblas();
@@ -19,8 +36,37 @@ fn main() {
 
     // 1. Build models for the routines the trinv variants are built on
     //    (dtrmm, dtrsm, dgemm and the unblocked triangular inversion).
-    let mut pipeline = Pipeline::new(machine).with_model_config(ModelSetConfig::quick(512));
+    //    Construction fans out across worker threads; any worker count yields
+    //    a byte-identical repository.
+    let workers = workers_arg();
+    let config = ModelSetConfig::quick(512).with_workers(workers.unwrap_or(0));
+    println!(
+        "building models with {} worker(s)",
+        config.effective_workers()
+    );
+    let mut pipeline = Pipeline::new(machine.clone()).with_model_config(config);
     pipeline.build_models(&[Workload::Trinv]);
+
+    if workers.is_some() {
+        // Determinism check: rebuild with an explicitly parallel worker count
+        // (pinned, so the check stays meaningful on single-core hosts where
+        // the default would also resolve to one worker) and require a
+        // byte-identical repository.
+        let reference_workers = if workers == Some(4) { 3 } else { 4 };
+        let mut reference = Pipeline::new(machine)
+            .with_model_config(ModelSetConfig::quick(512).with_workers(reference_workers));
+        reference.build_models(&[Workload::Trinv]);
+        assert_eq!(
+            pipeline.repository().to_text(),
+            reference.repository().to_text(),
+            "builds with different worker counts must be byte-identical"
+        );
+        println!(
+            "determinism check passed: {} and {} workers agree byte for byte",
+            config.effective_workers(),
+            reference_workers
+        );
+    }
     for report in pipeline.reports() {
         println!(
             "modelled {:<12} with {:>5} samples, {:>3} regions, avg worst-case fit error {:.2}%",

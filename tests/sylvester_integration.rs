@@ -40,6 +40,7 @@ fn models_separate_fast_and_slow_groups_and_rank_the_fast_group_first() {
             gemm_k_max: 768,
             repetitions: 3,
             strategy: dlaperf::Strategy::paper_default(),
+            workers: 0,
         })
         .with_seed(17);
     pipeline.build_models(&[Workload::Sylv]);
