@@ -60,6 +60,19 @@ impl Routine {
         Routine::ALL.into_iter().find(|r| r.name() == name)
     }
 
+    /// Stable position of the routine in [`Routine::ALL`] (used by the
+    /// compiled evaluation engine's pre-resolved routing tables).
+    pub fn index(&self) -> usize {
+        match self {
+            Routine::Gemm => 0,
+            Routine::Trsm => 1,
+            Routine::Trmm => 2,
+            Routine::Syrk => 3,
+            Routine::TrtriUnb => 4,
+            Routine::SylvUnb => 5,
+        }
+    }
+
     /// Number of flag arguments the routine takes.
     pub fn flag_count(&self) -> usize {
         match self {
@@ -215,6 +228,12 @@ pub enum Call {
 }
 
 impl Call {
+    /// The largest number of flag arguments any routine takes.
+    pub const MAX_FLAGS: usize = 4;
+
+    /// The largest number of integer size arguments any routine takes.
+    pub const MAX_SIZES: usize = 3;
+
     /// The routine this call invokes.
     pub fn routine(&self) -> Routine {
         match self {
@@ -259,6 +278,55 @@ impl Call {
         }
     }
 
+    /// The flag indices written into a fixed-size array, returning the array
+    /// and the number of valid entries.
+    ///
+    /// This is the allocation-free counterpart of [`Call::flag_indices`]: no
+    /// routine has more than [`Call::MAX_FLAGS`] flags, and every flag index
+    /// fits in a `u8`, so per-call model lookups need not touch the heap.
+    pub fn flag_indices_fixed(&self) -> ([u8; Call::MAX_FLAGS], usize) {
+        let mut flags = [0u8; Call::MAX_FLAGS];
+        let len = match self {
+            Call::Gemm { transa, transb, .. } => {
+                flags[0] = transa.as_index() as u8;
+                flags[1] = transb.as_index() as u8;
+                2
+            }
+            Call::Trsm {
+                side,
+                uplo,
+                transa,
+                diag,
+                ..
+            }
+            | Call::Trmm {
+                side,
+                uplo,
+                transa,
+                diag,
+                ..
+            } => {
+                flags[0] = side.as_index() as u8;
+                flags[1] = uplo.as_index() as u8;
+                flags[2] = transa.as_index() as u8;
+                flags[3] = diag.as_index() as u8;
+                4
+            }
+            Call::Syrk { uplo, trans, .. } => {
+                flags[0] = uplo.as_index() as u8;
+                flags[1] = trans.as_index() as u8;
+                2
+            }
+            Call::TrtriUnb { uplo, diag, .. } => {
+                flags[0] = uplo.as_index() as u8;
+                flags[1] = diag.as_index() as u8;
+                2
+            }
+            Call::SylvUnb { .. } => 0,
+        };
+        (flags, len)
+    }
+
     /// The flag arguments as their BLAS character spelling.
     pub fn flag_chars(&self) -> String {
         match self {
@@ -292,6 +360,42 @@ impl Call {
             Call::TrtriUnb { n, .. } => vec![*n],
             Call::SylvUnb { m, n, .. } => vec![*m, *n],
         }
+    }
+
+    /// The integer size arguments written into a fixed-size array, returning
+    /// the array and the number of valid entries (the allocation-free
+    /// counterpart of [`Call::sizes`]; no routine has more than
+    /// [`Call::MAX_SIZES`] sizes).
+    pub fn sizes_fixed(&self) -> ([usize; Call::MAX_SIZES], usize) {
+        let mut sizes = [0usize; Call::MAX_SIZES];
+        let len = match self {
+            Call::Gemm { m, n, k, .. } => {
+                sizes[0] = *m;
+                sizes[1] = *n;
+                sizes[2] = *k;
+                3
+            }
+            Call::Trsm { m, n, .. } | Call::Trmm { m, n, .. } => {
+                sizes[0] = *m;
+                sizes[1] = *n;
+                2
+            }
+            Call::Syrk { n, k, .. } => {
+                sizes[0] = *n;
+                sizes[1] = *k;
+                2
+            }
+            Call::TrtriUnb { n, .. } => {
+                sizes[0] = *n;
+                1
+            }
+            Call::SylvUnb { m, n, .. } => {
+                sizes[0] = *m;
+                sizes[1] = *n;
+                2
+            }
+        };
+        (sizes, len)
     }
 
     /// The scalar arguments (`alpha`, `beta`).
@@ -774,6 +878,46 @@ mod tests {
         assert_eq!(c.scalars(), vec![0.37]);
         // side=R so the triangular operand has order n=128
         assert_eq!(c.operand_dims(), vec![(128, 128), (512, 128)]);
+    }
+
+    #[test]
+    fn fixed_accessors_match_allocating_ones() {
+        let calls = [
+            Call::gemm(Trans::Trans, Trans::NoTrans, 10, 20, 30, 1.0, 0.0),
+            Call::trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::Trans,
+                Diag::Unit,
+                512,
+                128,
+                0.37,
+            ),
+            Call::trmm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                64,
+                32,
+                1.0,
+            ),
+            Call::syrk(Uplo::Upper, Trans::Trans, 40, 50, 1.0, 0.5),
+            Call::trtri_unb(Uplo::Upper, Diag::Unit, 32),
+            Call::sylv_unb(8, 16),
+        ];
+        for c in &calls {
+            let (flags, flag_len) = c.flag_indices_fixed();
+            assert!(flag_len <= Call::MAX_FLAGS);
+            let as_vec: Vec<usize> = flags[..flag_len].iter().map(|&f| f as usize).collect();
+            assert_eq!(as_vec, c.flag_indices(), "flags of {c}");
+            let (sizes, size_len) = c.sizes_fixed();
+            assert!(size_len <= Call::MAX_SIZES);
+            assert_eq!(sizes[..size_len].to_vec(), c.sizes(), "sizes of {c}");
+        }
+        for (i, r) in Routine::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
     }
 
     #[test]

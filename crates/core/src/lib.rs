@@ -40,7 +40,10 @@
 //! [`predict::modelset::ModelSetConfig::workers`]; any worker count produces
 //! a byte-identical repository), and the built models are served through a
 //! [`ModelService`] that supports concurrent queries and atomic hot-swap of a
-//! rebuilt repository.
+//! rebuilt repository.  Evaluation runs on the compiled engine
+//! ([`CompiledRepository`]): repositories are compiled once per build/swap
+//! into indexed, fused, zero-allocation evaluators, with the naive model
+//! evaluators retained as the equivalence-tested reference.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -62,7 +65,7 @@ pub use pipeline::Pipeline;
 pub use dla_algos::{SylvVariant, TrinvVariant};
 pub use dla_blas::{Call, Routine};
 pub use dla_machine::{Locality, MachineConfig};
-pub use dla_model::{ModelRepository, SharedRepository};
+pub use dla_model::{CompiledRepository, ModelRepository, SharedRepository};
 pub use dla_modeler::Strategy;
 pub use dla_predict::modelset::Workload;
 pub use dla_predict::{EfficiencyPrediction, ModelService, Predictor};

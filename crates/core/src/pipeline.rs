@@ -9,9 +9,9 @@ use dla_model::{ModelRepository, Result};
 use dla_modeler::ModelingReport;
 use dla_predict::blocksize::{optimize_block_size_trinv, BlockSizeSweep};
 use dla_predict::modelset::{build_repository, ModelSetConfig, Workload};
-use dla_predict::ranking::by_score_desc;
 use dla_predict::workloads::{
-    measure_sylv, measure_trinv, predict_sylv, predict_trinv, MeasurementMode, TraceMeasurement,
+    measure_sylv, measure_trinv, rank_sylv_variants, rank_trinv_variants, MeasurementMode,
+    TraceMeasurement,
 };
 use dla_predict::{EfficiencyPrediction, ModelService, Predictor};
 
@@ -151,13 +151,7 @@ impl Pipeline {
         n: usize,
         block_size: usize,
     ) -> Result<Vec<(TrinvVariant, EfficiencyPrediction)>> {
-        let mut ranked = Vec::new();
-        for variant in TrinvVariant::ALL {
-            let prediction = predict_trinv(&self.service, variant, n, block_size)?;
-            ranked.push((variant, prediction));
-        }
-        ranked.sort_by(|a, b| by_score_desc(a.1.median, b.1.median));
-        Ok(ranked)
+        rank_trinv_variants(&self.service, n, block_size)
     }
 
     /// Predicts the efficiency of every Sylvester variant and returns them
@@ -167,13 +161,7 @@ impl Pipeline {
         n: usize,
         block_size: usize,
     ) -> Result<Vec<(SylvVariant, EfficiencyPrediction)>> {
-        let mut ranked = Vec::new();
-        for variant in SylvVariant::all() {
-            let prediction = predict_sylv(&self.service, variant, n, block_size)?;
-            ranked.push((variant, prediction));
-        }
-        ranked.sort_by(|a, b| by_score_desc(a.1.median, b.1.median));
-        Ok(ranked)
+        rank_sylv_variants(&self.service, n, block_size)
     }
 
     /// Sweeps block sizes for a triangular-inversion variant (memoized

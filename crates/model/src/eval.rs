@@ -1,0 +1,955 @@
+//! The compiled evaluation engine: indexed region lookup and fused,
+//! zero-allocation polynomial evaluation.
+//!
+//! [`PiecewiseModel::eval`] is the *reference* implementation: it scans every
+//! region linearly, heap-allocates the normalised coordinates per call, and
+//! re-computes monomial powers for each of the five quantity polynomials.
+//! That is fine for one-off queries, but rankings and block-size sweeps
+//! evaluate models thousands of times per request, so the cold path itself
+//! has to be fast.  This module compiles a repository **once** — at build or
+//! hot-swap time — into a form that answers point queries without allocating:
+//!
+//! * **Fused polynomials** ([`CompiledVectorPolynomial`]): the five quantity
+//!   polynomials of a [`VectorPolynomial`] share one monomial plan; each
+//!   monomial is computed once per point from per-dimension power ladders
+//!   (no `powi`) and feeds five fused dot products against an SoA
+//!   coefficient matrix.
+//! * **Region index** ([`CompiledPiecewise`]): refinement regions stem from
+//!   axis-aligned splits, so their boundaries induce per-dimension sorted cut
+//!   arrays.  A query point maps to a grid cell by binary search; every cell
+//!   precomputes its best (minimum-error) containing region, and uncovered
+//!   cells precompute the candidate set for the nearest-region fallback.
+//! * **Zero-allocation path**: normalised coordinates live in fixed scratch
+//!   ([`MAX_DIM`]), submodel lookup uses the fixed-size
+//!   [`FlagKey`](crate::FlagKey), and [`CompiledRepository::resolve`]
+//!   pre-resolves machine/locality into a [`RoutineTable`] so the per-call
+//!   path performs no hashing and no string comparison.
+//!
+//! Shapes the fast path cannot represent (dimension above [`MAX_DIM`],
+//! exponents beyond the power ladder, oversized cell tables) transparently
+//! fall back to the reference implementation, so compiled evaluation is
+//! always *available*, merely not always accelerated.  Equivalence between
+//! the two implementations is enforced by property tests
+//! (`crates/core/tests/eval_equivalence.rs`).
+
+// The evaluators below are index-heavy numeric loops over fixed-size scratch
+// arrays; iterator rewrites obscure the per-dimension structure (same policy
+// as the kernel crates).
+#![allow(clippy::needless_range_loop)]
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use dla_blas::{Call, Routine};
+use dla_machine::Locality;
+use dla_mat::stats::Summary;
+
+use crate::piecewise::error_order;
+use crate::routine_model::{submodel_key_fixed, FlagKey};
+use crate::{
+    ModelError, ModelKey, ModelRepository, PiecewiseModel, Region, Result, RoutineModel,
+    VectorPolynomial,
+};
+
+/// Dimensionality bound of the zero-allocation scratch buffers (the modelled
+/// routines have at most 3 integer parameters).
+pub const MAX_DIM: usize = 4;
+
+/// Largest monomial exponent the power ladder supports; polynomials with
+/// higher exponents fall back to the reference evaluator.
+const MAX_EXP: usize = 7;
+
+/// Upper bound on the size of a cell table; larger index grids degrade to an
+/// in-order (but still allocation-free) region scan.
+const CELL_CAP: usize = 1 << 18;
+
+/// The five quantity polynomials of a [`VectorPolynomial`] compiled into one
+/// shared monomial plan with an SoA coefficient matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledVectorPolynomial {
+    dim: usize,
+    term_count: usize,
+    /// Term-major exponent matrix, `term_count * dim` entries.
+    exponents: Vec<u8>,
+    /// Term-major coefficient matrix, `term_count * 5` entries; column `q`
+    /// holds the coefficient of quantity `q` (zero where a quantity's
+    /// polynomial lacks the term).
+    coefficients: Vec<f64>,
+    /// Per-dimension largest exponent (power-ladder length).
+    max_exp: [u8; MAX_DIM],
+}
+
+impl CompiledVectorPolynomial {
+    /// Compiles a vector polynomial; `None` when the shape does not fit the
+    /// fast path (wrong arity, dimension above [`MAX_DIM`], exponent above
+    /// the ladder bound).
+    pub fn compile(vp: &VectorPolynomial, dim: usize) -> Option<CompiledVectorPolynomial> {
+        if dim == 0 || dim > MAX_DIM {
+            return None;
+        }
+        // The shared plan: union of the five exponent lists, first-seen order
+        // (the polynomials of one fit share the same basis, so the common
+        // case is plan == basis of the first polynomial).
+        let mut plan: Vec<&[u32]> = Vec::new();
+        for poly in vp.polynomials() {
+            if poly.dim() != dim {
+                return None;
+            }
+            for e in poly.exponents() {
+                if e.iter().any(|&x| x as usize > MAX_EXP) {
+                    return None;
+                }
+                if !plan.contains(&e.as_slice()) {
+                    plan.push(e);
+                }
+            }
+        }
+        let term_count = plan.len();
+        let mut exponents = Vec::with_capacity(term_count * dim);
+        let mut max_exp = [0u8; MAX_DIM];
+        for e in &plan {
+            for (d, &x) in e.iter().enumerate() {
+                exponents.push(x as u8);
+                max_exp[d] = max_exp[d].max(x as u8);
+            }
+        }
+        let mut coefficients = vec![0.0; term_count * 5];
+        for (q, poly) in vp.polynomials().iter().enumerate() {
+            for (e, &c) in poly.exponents().iter().zip(poly.coefficients()) {
+                let t = plan
+                    .iter()
+                    .position(|p| *p == e.as_slice())
+                    .expect("every exponent tuple is in the plan");
+                // `+=`, not `=`: duplicate tuples within one polynomial sum,
+                // matching the reference evaluator.
+                coefficients[t * 5 + q] += c;
+            }
+        }
+        Some(CompiledVectorPolynomial {
+            dim,
+            term_count,
+            exponents,
+            coefficients,
+            max_exp,
+        })
+    }
+
+    /// Number of terms in the shared monomial plan.
+    pub fn term_count(&self) -> usize {
+        self.term_count
+    }
+
+    /// Evaluates all five quantities at a normalised point, with the same
+    /// non-negativity clamp and NaN preservation as
+    /// [`VectorPolynomial::eval`].
+    #[inline]
+    pub fn eval(&self, x: &[f64; MAX_DIM]) -> [f64; 5] {
+        // Power ladders: pows[d][e] = x[d]^e, built with one multiply per
+        // entry instead of a `powi` per term and quantity.
+        let mut pows = [[1.0f64; MAX_EXP + 1]; MAX_DIM];
+        for d in 0..self.dim {
+            let mut p = 1.0;
+            for e in 1..=self.max_exp[d] as usize {
+                p *= x[d];
+                pows[d][e] = p;
+            }
+        }
+        let mut acc = [0.0f64; 5];
+        for t in 0..self.term_count {
+            let exps = &self.exponents[t * self.dim..(t + 1) * self.dim];
+            let mut basis = 1.0;
+            for (d, &e) in exps.iter().enumerate() {
+                basis *= pows[d][e as usize];
+            }
+            let coeffs = &self.coefficients[t * 5..t * 5 + 5];
+            for (a, &c) in acc.iter_mut().zip(coeffs) {
+                *a += c * basis;
+            }
+        }
+        for v in &mut acc {
+            if !v.is_nan() {
+                *v = v.max(0.0);
+            }
+        }
+        acc
+    }
+}
+
+/// One region with precomputed bounds and its compiled polynomial.
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledRegion {
+    lo: [usize; MAX_DIM],
+    hi: [usize; MAX_DIM],
+    lo_f: [f64; MAX_DIM],
+    hi_f: [f64; MAX_DIM],
+    extent_f: [f64; MAX_DIM],
+    error: f64,
+    poly: CompiledVectorPolynomial,
+}
+
+impl CompiledRegion {
+    fn compile(region: &Region, poly: CompiledVectorPolynomial, error: f64) -> CompiledRegion {
+        let dim = region.dim();
+        let mut r = CompiledRegion {
+            lo: [0; MAX_DIM],
+            hi: [0; MAX_DIM],
+            lo_f: [0.0; MAX_DIM],
+            hi_f: [0.0; MAX_DIM],
+            extent_f: [0.0; MAX_DIM],
+            error,
+            poly,
+        };
+        for d in 0..dim {
+            r.lo[d] = region.lo()[d];
+            r.hi[d] = region.hi()[d];
+            r.lo_f[d] = region.lo()[d] as f64;
+            r.hi_f[d] = region.hi()[d] as f64;
+            r.extent_f[d] = region.extent(d) as f64;
+        }
+        r
+    }
+
+    #[inline]
+    fn contains(&self, dim: usize, point: &[usize]) -> bool {
+        (0..dim).all(|d| point[d] >= self.lo[d] && point[d] <= self.hi[d])
+    }
+
+    /// Same arithmetic as the reference `region_distance`.
+    #[inline]
+    fn distance(&self, dim: usize, point: &[usize]) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..dim {
+            let p = point[d] as f64;
+            let dd = if p < self.lo_f[d] {
+                self.lo_f[d] - p
+            } else if p > self.hi_f[d] {
+                p - self.hi_f[d]
+            } else {
+                0.0
+            };
+            acc += dd * dd;
+        }
+        acc.sqrt()
+    }
+
+    /// Normalises into fixed scratch (same arithmetic as
+    /// [`Region::normalize`]) and evaluates the fused polynomial.
+    #[inline]
+    fn eval(&self, dim: usize, point: &[usize]) -> Summary {
+        let mut x = [0.0f64; MAX_DIM];
+        for d in 0..dim {
+            x[d] = if self.extent_f[d] == 0.0 {
+                0.0
+            } else {
+                (point[d] as f64 - self.lo_f[d]) / self.extent_f[d]
+            };
+        }
+        Summary::from_quantities(&self.poly.eval(&x))
+    }
+}
+
+/// A [`PiecewiseModel`] compiled into an indexed, allocation-free evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPiecewise {
+    dim: usize,
+    regions: Vec<CompiledRegion>,
+    /// Per-dimension sorted cut coordinates; cell `i` along dimension `d`
+    /// spans `[cuts[d][i], cuts[d][i + 1] - 1]`.
+    cuts: Vec<Vec<usize>>,
+    /// Row-major cell table.  A value `v < regions.len()` is the cell's
+    /// precomputed best region; `v >= regions.len()` indexes
+    /// `fallbacks[v - regions.len()]`, the candidate set of the
+    /// nearest-region fallback for an uncovered cell.
+    cells: Vec<u32>,
+    strides: [usize; MAX_DIM],
+    /// Candidate region sets for uncovered cells.
+    fallbacks: Vec<Vec<u32>>,
+    /// `false` when the cell table would exceed [`CELL_CAP`]: point location
+    /// then degrades to an in-order region scan (still allocation-free).
+    indexed: bool,
+}
+
+impl CompiledPiecewise {
+    /// Compiles a piecewise model; `None` when the shape does not fit the
+    /// fast path (no regions, dimension 0 or above [`MAX_DIM`], arity
+    /// mismatches, exponents beyond the power ladder).
+    pub fn compile(model: &PiecewiseModel) -> Option<CompiledPiecewise> {
+        let dim = model.space.dim();
+        if dim == 0 || dim > MAX_DIM || model.regions.is_empty() {
+            return None;
+        }
+        let mut regions = Vec::with_capacity(model.regions.len());
+        for rm in &model.regions {
+            if rm.region.dim() != dim {
+                return None;
+            }
+            let poly = CompiledVectorPolynomial::compile(&rm.poly, dim)?;
+            regions.push(CompiledRegion::compile(&rm.region, poly, rm.error));
+        }
+        // The cut arrays: every region boundary starts (lo) or ends (hi + 1)
+        // a cell, so containment is uniform within a cell.
+        let mut cuts: Vec<Vec<usize>> = vec![Vec::new(); dim];
+        for rm in &model.regions {
+            for d in 0..dim {
+                cuts[d].push(rm.region.lo()[d]);
+                cuts[d].push(rm.region.hi()[d].checked_add(1)?);
+            }
+        }
+        for c in &mut cuts {
+            c.sort_unstable();
+            c.dedup();
+        }
+        let cells_per_dim: Vec<usize> = cuts.iter().map(|c| c.len() - 1).collect();
+        // Checked product: a degenerate model with enough region boundaries
+        // could overflow, which must degrade to the scan path, not wrap.
+        let total_cells = cells_per_dim
+            .iter()
+            .try_fold(1usize, |acc, &c| acc.checked_mul(c));
+        let indexed = matches!(total_cells, Some(t) if (1..=CELL_CAP).contains(&t));
+
+        let mut compiled = CompiledPiecewise {
+            dim,
+            regions,
+            cuts,
+            cells: Vec::new(),
+            strides: [0; MAX_DIM],
+            fallbacks: Vec::new(),
+            indexed,
+        };
+        if !indexed {
+            return Some(compiled);
+        }
+        let total_cells = total_cells.expect("indexed implies a valid cell count");
+        // Row-major strides: last dimension contiguous.
+        let mut stride = 1;
+        for d in (0..dim).rev() {
+            compiled.strides[d] = stride;
+            stride *= cells_per_dim[d];
+        }
+        // Walk every cell (odometer over per-dimension cell indices) and
+        // precompute its winner or its fallback candidate set.
+        let mut cells = vec![0u32; total_cells];
+        let mut idx = [0usize; MAX_DIM];
+        for cell in cells.iter_mut() {
+            let mut rep = [0usize; MAX_DIM];
+            let mut cell_hi = [0usize; MAX_DIM];
+            for d in 0..dim {
+                rep[d] = compiled.cuts[d][idx[d]];
+                cell_hi[d] = compiled.cuts[d][idx[d] + 1] - 1;
+            }
+            *cell = match best_containing(&compiled.regions, dim, &rep[..dim]) {
+                Some(winner) => winner as u32,
+                None => {
+                    let candidates = fallback_candidates(&compiled.regions, dim, &rep, &cell_hi);
+                    compiled.fallbacks.push(candidates);
+                    (compiled.regions.len() + compiled.fallbacks.len() - 1) as u32
+                }
+            };
+            // Advance the odometer (last dimension fastest, matching the
+            // row-major strides).
+            for d in (0..dim).rev() {
+                idx[d] += 1;
+                if idx[d] < cells_per_dim[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        compiled.cells = cells;
+        Some(compiled)
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` when point location uses the precomputed cell table
+    /// (as opposed to the scan fallback for oversized grids).
+    pub fn is_indexed(&self) -> bool {
+        self.indexed
+    }
+
+    /// Number of cells in the index (0 when not indexed).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Evaluates the compiled model at a raw integer point — the fast,
+    /// allocation-free equivalent of [`PiecewiseModel::eval`].
+    pub fn eval(&self, point: &[usize]) -> Result<Summary> {
+        if point.len() != self.dim {
+            return Err(ModelError::OutOfDomain(format!(
+                "point arity {} does not match model dimension {}",
+                point.len(),
+                self.dim
+            )));
+        }
+        if !self.indexed {
+            if let Some(best) = best_containing(&self.regions, self.dim, point) {
+                return Ok(self.regions[best].eval(self.dim, point));
+            }
+            return Ok(self.nearest(point, None));
+        }
+        let mut cell = 0usize;
+        for d in 0..self.dim {
+            let cuts = &self.cuts[d];
+            let p = point[d];
+            if p < cuts[0] || p >= *cuts.last().expect("non-empty cuts") {
+                // Outside the indexed range in this dimension, hence outside
+                // every region: exact nearest-region fallback.
+                return Ok(self.nearest(point, None));
+            }
+            cell += (cuts.partition_point(|&b| b <= p) - 1) * self.strides[d];
+        }
+        let v = self.cells[cell] as usize;
+        if v < self.regions.len() {
+            return Ok(self.regions[v].eval(self.dim, point));
+        }
+        Ok(self.nearest(point, Some(&self.fallbacks[v - self.regions.len()])))
+    }
+
+    /// Evaluates the model at every point of a batch (one output allocation,
+    /// zero allocations per point).
+    pub fn eval_batch(&self, points: &[Vec<usize>]) -> Result<Vec<Summary>> {
+        points.iter().map(|p| self.eval(p)).collect()
+    }
+
+    /// Nearest-region fallback over a candidate subset (or all regions),
+    /// with the same first-minimum semantics as the reference evaluator.
+    fn nearest(&self, point: &[usize], candidates: Option<&[u32]>) -> Summary {
+        let mut best = 0usize;
+        let mut best_distance = f64::INFINITY;
+        let mut consider = |i: usize| {
+            let d = self.regions[i].distance(self.dim, point);
+            if d.total_cmp(&best_distance) == Ordering::Less {
+                best = i;
+                best_distance = d;
+            }
+        };
+        match candidates {
+            Some(list) => list.iter().for_each(|&i| consider(i as usize)),
+            None => (0..self.regions.len()).for_each(&mut consider),
+        }
+        self.regions[best].eval(self.dim, point)
+    }
+}
+
+/// The best (minimum-error, NaN-last, first-wins) region containing `point`,
+/// iterating in stored order exactly like the reference evaluator.
+fn best_containing(regions: &[CompiledRegion], dim: usize, point: &[usize]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, r) in regions.iter().enumerate() {
+        if !r.contains(dim, point) {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                if error_order(r.error, regions[b].error) == Ordering::Less {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The regions that can be nearest to *some* point of the cell
+/// `[cell_lo, cell_hi]`: region `r` qualifies iff its minimum possible
+/// squared distance over the cell does not exceed the smallest maximum
+/// squared distance of any region (interval arithmetic per dimension; both
+/// bounds are attained at cell corners, so the bounds are tight).
+fn fallback_candidates(
+    regions: &[CompiledRegion],
+    dim: usize,
+    cell_lo: &[usize; MAX_DIM],
+    cell_hi: &[usize; MAX_DIM],
+) -> Vec<u32> {
+    let dd = |p: f64, lo: f64, hi: f64| {
+        if p < lo {
+            lo - p
+        } else if p > hi {
+            p - hi
+        } else {
+            0.0
+        }
+    };
+    let mut min2 = Vec::with_capacity(regions.len());
+    let mut max2 = Vec::with_capacity(regions.len());
+    for r in regions {
+        let mut dmin2 = 0.0;
+        let mut dmax2 = 0.0;
+        for d in 0..dim {
+            let (clo, chi) = (cell_lo[d] as f64, cell_hi[d] as f64);
+            let lo_d = if chi < r.lo_f[d] {
+                r.lo_f[d] - chi
+            } else if clo > r.hi_f[d] {
+                clo - r.hi_f[d]
+            } else {
+                0.0
+            };
+            let hi_d = dd(clo, r.lo_f[d], r.hi_f[d]).max(dd(chi, r.lo_f[d], r.hi_f[d]));
+            dmin2 += lo_d * lo_d;
+            dmax2 += hi_d * hi_d;
+        }
+        min2.push(dmin2);
+        max2.push(dmax2);
+    }
+    let threshold = max2.iter().cloned().fold(f64::INFINITY, f64::min);
+    (0..regions.len())
+        .filter(|&i| min2[i] <= threshold)
+        .map(|i| i as u32)
+        .collect()
+}
+
+/// One submodel in compiled form, or the reference model when the fast path
+/// cannot represent it.
+#[derive(Debug, Clone, PartialEq)]
+enum CompiledSubmodel {
+    Fast(CompiledPiecewise),
+    Reference(PiecewiseModel),
+}
+
+impl CompiledSubmodel {
+    fn compile(model: &PiecewiseModel) -> CompiledSubmodel {
+        match CompiledPiecewise::compile(model) {
+            Some(fast) => CompiledSubmodel::Fast(fast),
+            None => CompiledSubmodel::Reference(model.clone()),
+        }
+    }
+
+    fn eval(&self, point: &[usize]) -> Result<Summary> {
+        match self {
+            CompiledSubmodel::Fast(c) => c.eval(point),
+            CompiledSubmodel::Reference(m) => m.eval(point),
+        }
+    }
+
+    fn is_fast(&self) -> bool {
+        matches!(self, CompiledSubmodel::Fast(_))
+    }
+}
+
+/// A [`RoutineModel`] compiled for allocation-free call estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledRoutineModel {
+    routine: Routine,
+    space_lo: [usize; MAX_DIM],
+    space_hi: [usize; MAX_DIM],
+    /// Submodels under fixed-size keys; the handful of flag combinations per
+    /// routine makes an in-order scan faster than hashing.
+    submodels: Vec<(FlagKey, CompiledSubmodel)>,
+}
+
+impl CompiledRoutineModel {
+    /// Compiles a routine model.  Submodel keys that do not fit a
+    /// [`FlagKey`] are dropped: no key produced from an actual [`Call`] can
+    /// collide with them, so they are unreachable through [`estimate`].
+    ///
+    /// [`estimate`]: CompiledRoutineModel::estimate
+    pub fn compile(model: &RoutineModel) -> CompiledRoutineModel {
+        let mut space_lo = [0usize; MAX_DIM];
+        let mut space_hi = [usize::MAX; MAX_DIM];
+        let dims = model.space.dim().min(MAX_DIM);
+        space_lo[..dims].copy_from_slice(&model.space.lo()[..dims]);
+        space_hi[..dims].copy_from_slice(&model.space.hi()[..dims]);
+        // Sort keys for a deterministic compiled form.
+        let mut keys: Vec<&Vec<usize>> = model.submodels.keys().collect();
+        keys.sort();
+        let submodels = keys
+            .into_iter()
+            .filter_map(|key| {
+                let fixed = FlagKey::from_slice(key)?;
+                Some((fixed, CompiledSubmodel::compile(&model.submodels[key])))
+            })
+            .collect();
+        CompiledRoutineModel {
+            routine: model.routine,
+            space_lo,
+            space_hi,
+            submodels,
+        }
+    }
+
+    /// The modelled routine.
+    pub fn routine(&self) -> Routine {
+        self.routine
+    }
+
+    /// Number of compiled submodels.
+    pub fn submodel_count(&self) -> usize {
+        self.submodels.len()
+    }
+
+    /// Number of submodels on the fast (indexed, fused) path.
+    pub fn fast_submodel_count(&self) -> usize {
+        self.submodels.iter().filter(|(_, s)| s.is_fast()).count()
+    }
+
+    /// Estimates the performance of `call` — the allocation-free equivalent
+    /// of [`RoutineModel::estimate`], with identical clamping semantics.
+    pub fn estimate(&self, call: &Call) -> Result<Summary> {
+        if call.routine() != self.routine {
+            return Err(ModelError::MissingSubmodel(format!(
+                "model is for {}, call is {}",
+                self.routine,
+                call.routine()
+            )));
+        }
+        let key = submodel_key_fixed(call);
+        let submodel = self
+            .submodels
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, s)| s)
+            .ok_or_else(|| {
+                ModelError::MissingSubmodel(format!(
+                    "no submodel for {} flags {:?} ({})",
+                    self.routine,
+                    key.to_vec(),
+                    call.flag_chars()
+                ))
+            })?;
+        let (sizes, len) = call.sizes_fixed();
+        let mut clamped = [0usize; MAX_DIM];
+        for d in 0..len.min(MAX_DIM) {
+            clamped[d] = sizes[d].clamp(self.space_lo[d], self.space_hi[d]);
+        }
+        submodel.eval(&clamped[..len])
+    }
+}
+
+/// A fully compiled [`ModelRepository`]: the source repository plus one
+/// [`CompiledRoutineModel`] per stored model.
+///
+/// Compilation happens once — [`SharedRepository`](crate::SharedRepository)
+/// compiles at construction and on every swap/merge, so every reader
+/// snapshot is already compiled.
+#[derive(Debug, Clone)]
+pub struct CompiledRepository {
+    source: Arc<ModelRepository>,
+    entries: Vec<(ModelKey, CompiledRoutineModel)>,
+}
+
+impl CompiledRepository {
+    /// Compiles a repository, taking ownership of the source.
+    pub fn compile(repository: ModelRepository) -> CompiledRepository {
+        CompiledRepository::compile_arc(Arc::new(repository))
+    }
+
+    /// Compiles an already-shared repository snapshot.
+    pub fn compile_arc(source: Arc<ModelRepository>) -> CompiledRepository {
+        let entries = source
+            .iter()
+            .map(|(key, model)| (key.clone(), CompiledRoutineModel::compile(model)))
+            .collect();
+        CompiledRepository { source, entries }
+    }
+
+    /// The uncompiled source repository (the reference implementation).
+    pub fn source(&self) -> &Arc<ModelRepository> {
+        &self.source
+    }
+
+    /// Number of compiled models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the repository holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the compiled model for a routine / machine / locality
+    /// combination.
+    pub fn get(
+        &self,
+        routine: Routine,
+        machine_id: &str,
+        locality: Locality,
+    ) -> Option<&CompiledRoutineModel> {
+        let routine_name = routine.name();
+        let locality_name = locality.name();
+        self.entries
+            .iter()
+            .find(|(key, _)| {
+                key.routine == routine_name
+                    && key.locality == locality_name
+                    && key.machine_id == machine_id
+            })
+            .map(|(_, model)| model)
+    }
+
+    /// Pre-resolves one machine/locality combination into a per-routine
+    /// routing table, so per-call lookups are a plain array index.
+    pub fn resolve(&self, machine_id: &str, locality: Locality) -> RoutineTable {
+        let mut table = RoutineTable::default();
+        for routine in Routine::ALL {
+            table.slots[routine.index()] = self
+                .entries
+                .iter()
+                .position(|(key, _)| {
+                    key.routine == routine.name()
+                        && key.locality == locality.name()
+                        && key.machine_id == machine_id
+                })
+                .map(|i| i as u32);
+        }
+        table
+    }
+
+    /// The compiled model at a [`RoutineTable`] slot.
+    pub fn model_at(&self, slot: usize) -> &CompiledRoutineModel {
+        &self.entries[slot].1
+    }
+}
+
+/// A pre-resolved (machine, locality) routing table: one optional
+/// [`CompiledRepository`] slot per routine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoutineTable {
+    slots: [Option<u32>; Routine::ALL.len()],
+}
+
+impl RoutineTable {
+    /// The repository slot of `routine`'s model, if present.
+    pub fn slot(&self, routine: Routine) -> Option<usize> {
+        self.slots[routine.index()].map(|i| i as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Polynomial, RegionModel};
+    use dla_mat::stats::Quantity;
+
+    fn quadratic_summary(p: &[usize]) -> Summary {
+        let x = p[0] as f64;
+        let y = p.get(1).map(|&v| v as f64).unwrap_or(0.0);
+        let median = 900.0 + 1.7 * x + 2.3 * y + 0.013 * x * y;
+        Summary {
+            min: median * 0.9,
+            mean: median * 1.02,
+            median,
+            max: median * 1.2,
+            std_dev: median * 0.03,
+            count: 9,
+        }
+    }
+
+    fn fitted_region(region: &Region, grid: usize) -> RegionModel {
+        let samples: Vec<(Vec<usize>, Summary)> = region
+            .sample_grid(grid, 8)
+            .into_iter()
+            .map(|p| {
+                let s = quadratic_summary(&p);
+                (p, s)
+            })
+            .collect();
+        RegionModel::fit(region.clone(), &samples, 2).unwrap()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        if a.is_nan() || b.is_nan() {
+            return a.is_nan() && b.is_nan();
+        }
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    fn assert_matches(naive: &PiecewiseModel, compiled: &CompiledPiecewise, point: &[usize]) {
+        let n = naive.eval(point).unwrap();
+        let c = compiled.eval(point).unwrap();
+        for q in Quantity::ALL {
+            assert!(
+                close(n.get(q), c.get(q)),
+                "{q:?} at {point:?}: naive {} vs compiled {}",
+                n.get(q),
+                c.get(q)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_polynomial_matches_reference() {
+        let region = Region::new(vec![8, 8], vec![512, 512]);
+        let rm = fitted_region(&region, 5);
+        let compiled = CompiledVectorPolynomial::compile(&rm.poly, 2).unwrap();
+        for p in region.sample_grid(7, 8) {
+            let x_vec = region.normalize(&p);
+            let mut x = [0.0; MAX_DIM];
+            x[..2].copy_from_slice(&x_vec);
+            let reference = rm.poly.eval(&x_vec);
+            let fused = compiled.eval(&x);
+            for q in Quantity::ALL {
+                assert!(
+                    close(reference.get(q), fused[q.index()]),
+                    "{q:?}: {} vs {}",
+                    reference.get(q),
+                    fused[q.index()]
+                );
+            }
+        }
+        assert!(compiled.term_count() >= 6);
+    }
+
+    #[test]
+    fn compiled_piecewise_matches_reference_on_split_regions() {
+        let space = Region::new(vec![8, 8], vec![512, 512]);
+        let mut regions: Vec<RegionModel> = space
+            .split(32, 8)
+            .iter()
+            .map(|r| fitted_region(r, 4))
+            .collect();
+        // Give the overlap boundaries a deterministic winner ordering.
+        for (i, r) in regions.iter_mut().enumerate() {
+            r.error = 0.01 * (i + 1) as f64;
+        }
+        let model = PiecewiseModel::new(space.clone(), regions, 64);
+        let compiled = CompiledPiecewise::compile(&model).unwrap();
+        assert!(compiled.is_indexed());
+        assert!(compiled.cell_count() >= 4);
+        assert_eq!(compiled.region_count(), model.region_count());
+        for p in space.sample_grid(9, 1) {
+            assert_matches(&model, &compiled, &p);
+        }
+        // Batch evaluation agrees with pointwise evaluation.
+        let points = space.sample_grid(5, 8);
+        let batch = compiled.eval_batch(&points).unwrap();
+        for (p, b) in points.iter().zip(&batch) {
+            assert_eq!(compiled.eval(p).unwrap(), *b);
+        }
+    }
+
+    #[test]
+    fn compiled_fallback_matches_reference_outside_coverage() {
+        let space = Region::new(vec![8], vec![1024]);
+        let left = Region::new(vec![8], vec![256]);
+        let right = Region::new(vec![640], vec![1024]);
+        let model = PiecewiseModel::new(
+            space.clone(),
+            vec![fitted_region(&left, 6), fitted_region(&right, 6)],
+            12,
+        );
+        let compiled = CompiledPiecewise::compile(&model).unwrap();
+        // Covered, uncovered-between, and outside-the-space points.
+        for p in [8usize, 100, 256, 300, 448, 500, 639, 640, 1024, 1500, 2000] {
+            assert_matches(&model, &compiled, &[p]);
+        }
+    }
+
+    #[test]
+    fn compiled_piecewise_rejects_bad_arity_and_prefers_low_error() {
+        let space = Region::new(vec![8, 8], vec![256, 256]);
+        let mut a = fitted_region(&space, 4);
+        let mut b = fitted_region(&space, 4);
+        a.error = 0.5;
+        b.error = 0.01;
+        let model = PiecewiseModel::new(space, vec![a, b.clone()], 32);
+        let compiled = CompiledPiecewise::compile(&model).unwrap();
+        assert!(compiled.eval(&[64]).is_err());
+        assert_eq!(compiled.eval(&[64, 64]).unwrap(), b.eval(&[64, 64]));
+        // NaN-error region sorts last here too.
+        let mut c = b.clone();
+        c.error = f64::NAN;
+        let model = PiecewiseModel::new(
+            Region::new(vec![8, 8], vec![256, 256]),
+            vec![c, b.clone()],
+            32,
+        );
+        let compiled = CompiledPiecewise::compile(&model).unwrap();
+        assert_eq!(compiled.eval(&[64, 64]).unwrap(), b.eval(&[64, 64]));
+    }
+
+    #[test]
+    fn uncompilable_shapes_fall_back_to_reference() {
+        // Degree-9 exponents exceed the power ladder.
+        let region = Region::new(vec![8], vec![128]);
+        let tall = Polynomial::new(1, vec![vec![9]], vec![1.0]).unwrap();
+        let vp = VectorPolynomial::new(vec![tall; 5]).unwrap();
+        assert!(CompiledVectorPolynomial::compile(&vp, 1).is_none());
+        let rm = RegionModel {
+            region: region.clone(),
+            poly: vp,
+            error: 0.0,
+            samples_used: 1,
+        };
+        let model = PiecewiseModel::new(region, vec![rm], 1);
+        assert!(CompiledPiecewise::compile(&model).is_none());
+        // An empty model cannot be compiled either.
+        let empty = PiecewiseModel::new(Region::new(vec![8], vec![128]), vec![], 0);
+        assert!(CompiledPiecewise::compile(&empty).is_none());
+        // The submodel wrapper still evaluates through the reference path.
+        let sub = CompiledSubmodel::compile(&model);
+        assert!(!sub.is_fast());
+        assert!(close(
+            sub.eval(&[64]).unwrap().median,
+            model.eval(&[64]).unwrap().median
+        ));
+    }
+
+    #[test]
+    fn compiled_repository_resolves_and_estimates() {
+        use dla_blas::{Diag, Side, Trans, Uplo};
+
+        let space = Region::new(vec![8, 8], vec![512, 512]);
+        let mut model =
+            RoutineModel::new(Routine::Trsm, "machine-a", Locality::InCache, space.clone());
+        let rm = fitted_region(&space, 5);
+        let pw = PiecewiseModel::new(space.clone(), vec![rm], 25);
+        model.insert_submodel(vec![0, 0, 0], pw.clone());
+        let mut repo = ModelRepository::new();
+        repo.insert(model.clone());
+        let compiled = CompiledRepository::compile(repo);
+        assert_eq!(compiled.len(), 1);
+        assert!(!compiled.is_empty());
+        assert_eq!(compiled.source().len(), 1);
+
+        let call = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            300,
+            700,
+            1.0,
+        );
+        let table = compiled.resolve("machine-a", Locality::InCache);
+        let slot = table.slot(Routine::Trsm).unwrap();
+        let fast = compiled.model_at(slot);
+        assert_eq!(fast.routine(), Routine::Trsm);
+        assert_eq!(fast.submodel_count(), 1);
+        assert_eq!(fast.fast_submodel_count(), 1);
+        let estimate = fast.estimate(&call).unwrap();
+        let reference = model.estimate(&call).unwrap();
+        assert!(close(estimate.median, reference.median));
+        // Clamping matches the reference too (700 > 512).
+        assert!(close(estimate.max, reference.max));
+
+        // Missing pieces surface exactly like the reference.
+        assert!(table.slot(Routine::Gemm).is_none());
+        assert!(compiled
+            .get(Routine::Trsm, "machine-b", Locality::InCache)
+            .is_none());
+        assert!(compiled
+            .get(Routine::Trsm, "machine-a", Locality::OutOfCache)
+            .is_none());
+        let upper = Call::trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            64,
+            64,
+            1.0,
+        );
+        assert!(matches!(
+            fast.estimate(&upper),
+            Err(ModelError::MissingSubmodel(_))
+        ));
+        let gemm = Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 0.0);
+        assert!(fast.estimate(&gemm).is_err());
+    }
+}

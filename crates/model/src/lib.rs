@@ -29,10 +29,19 @@
 //! [`SharedRepository`] wraps a repository in an atomically hot-swappable
 //! handle: readers take cheap `Arc` snapshots while a rebuilt repository can
 //! be swapped in underneath them.
+//!
+//! Evaluation has two implementations: the allocating *reference* path on the
+//! model types themselves ([`PiecewiseModel::eval`],
+//! [`RoutineModel::estimate`]), and the **compiled evaluation engine**
+//! ([`CompiledRepository`]) which the serving layers use — repositories are
+//! compiled once (at build or hot-swap time) into indexed, fused,
+//! zero-allocation evaluators that answer the same queries several times
+//! faster.  The reference path is kept as the equivalence baseline for tests.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod eval;
 mod piecewise;
 mod poly;
 mod region;
@@ -40,11 +49,15 @@ mod repo;
 mod routine_model;
 mod shared;
 
-pub use piecewise::{PiecewiseModel, RegionModel, VectorPolynomial};
+pub use eval::{
+    CompiledPiecewise, CompiledRepository, CompiledRoutineModel, CompiledVectorPolynomial,
+    RoutineTable, MAX_DIM,
+};
+pub use piecewise::{error_order, PiecewiseModel, RegionModel, VectorPolynomial};
 pub use poly::{monomial_exponents, Polynomial};
 pub use region::Region;
 pub use repo::{ModelKey, ModelRepository};
-pub use routine_model::{submodel_key, RoutineModel};
+pub use routine_model::{submodel_key, submodel_key_fixed, FlagKey, RoutineModel};
 pub use shared::SharedRepository;
 
 /// Errors raised while building, evaluating or (de)serialising models.

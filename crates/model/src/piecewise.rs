@@ -1,8 +1,27 @@
 //! Piecewise, vector-valued polynomial models.
 
+use std::cmp::Ordering;
+
 use dla_mat::stats::{Quantity, Summary};
 
 use crate::{ModelError, Polynomial, Region, Result};
+
+/// Ascending total order on fit errors with `NaN` sorted last.
+///
+/// A region whose fit degenerated to a `NaN` error must never be preferred
+/// over a region with a finite error, and sorting by error must not panic
+/// mid-comparison.  This comparator is shared by [`PiecewiseModel::eval`],
+/// the compiled evaluation engine and the Modeler's region sort.  Note that
+/// plain [`f64::total_cmp`] is not enough: it orders *negative* `NaN` before
+/// every number.
+pub fn error_order(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (true, true) => Ordering::Equal,
+    }
+}
 
 /// One polynomial per statistical quantity (min / mean / median / max / std).
 #[derive(Debug, Clone, PartialEq)]
@@ -190,14 +209,11 @@ impl PiecewiseModel {
                 self.space.dim()
             )));
         }
-        let containing: Vec<&RegionModel> = self
+        if let Some(best) = self
             .regions
             .iter()
             .filter(|r| r.region.contains(point))
-            .collect();
-        if let Some(best) = containing
-            .iter()
-            .min_by(|a, b| a.error.partial_cmp(&b.error).expect("no NaN errors"))
+            .min_by(|a, b| error_order(a.error, b.error))
         {
             return Ok(best.eval(point));
         }
@@ -210,7 +226,7 @@ impl PiecewiseModel {
             .min_by(|a, b| {
                 let da = region_distance(&a.region, point);
                 let db = region_distance(&b.region, point);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .expect("non-empty regions");
         Ok(best.eval(point))
@@ -342,6 +358,35 @@ mod tests {
         assert_eq!(est, expected);
         assert_eq!(model.region_count(), 2);
         assert!(model.covers_space(5));
+    }
+
+    #[test]
+    fn nan_error_region_never_beats_a_finite_one() {
+        let space = Region::new(vec![8, 8], vec![1024, 1024]);
+        let mut rm_nan = RegionModel::fit(space.clone(), &samples_on(&space, 5), 2).unwrap();
+        let mut rm_ok = RegionModel::fit(space.clone(), &samples_on(&space, 5), 2).unwrap();
+        rm_nan.error = f64::NAN;
+        rm_ok.error = 0.3;
+        // Regression: selecting the best of two overlapping regions used to
+        // panic in `partial_cmp(...).expect("no NaN errors")` when one fit
+        // error was NaN; now the NaN region sorts last in either order.
+        for regions in [
+            vec![rm_nan.clone(), rm_ok.clone()],
+            vec![rm_ok.clone(), rm_nan.clone()],
+        ] {
+            let model = PiecewiseModel::new(space.clone(), regions, 50);
+            let est = model.eval(&[512, 512]).unwrap();
+            assert_eq!(est, rm_ok.eval(&[512, 512]));
+        }
+        // All-NaN errors still evaluate (there is no better region to prefer).
+        let model = PiecewiseModel::new(space.clone(), vec![rm_nan.clone()], 50);
+        assert!(model.eval(&[512, 512]).is_ok());
+        // The comparator itself: ascending, NaN last, no panic.
+        assert_eq!(error_order(0.1, 0.2), std::cmp::Ordering::Less);
+        assert_eq!(error_order(f64::NAN, 0.2), std::cmp::Ordering::Greater);
+        assert_eq!(error_order(0.2, f64::NAN), std::cmp::Ordering::Less);
+        assert_eq!(error_order(-f64::NAN, 0.2), std::cmp::Ordering::Greater);
+        assert_eq!(error_order(f64::NAN, f64::NAN), std::cmp::Ordering::Equal);
     }
 
     #[test]

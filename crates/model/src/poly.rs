@@ -19,13 +19,11 @@ pub fn monomial_exponents(dim: usize, degree: u32) -> Vec<Vec<u32>> {
             current.pop();
         }
     }
-    let mut out = Vec::new();
     let mut all = Vec::new();
     rec(dim, degree, &mut Vec::new(), &mut all);
     // Sort by total degree, then lexicographically, for a stable, readable order.
     all.sort_by_key(|e| (e.iter().sum::<u32>(), e.clone()));
-    out.extend(all);
-    out
+    all
 }
 
 /// A multivariate polynomial `p(x) = sum_t c_t * prod_d x_d^{e_{t,d}}`.
@@ -179,6 +177,31 @@ mod tests {
     fn monomials_3d_count() {
         // C(3+2, 2) = 10 monomials of total degree <= 2 in 3 variables
         assert_eq!(monomial_exponents(3, 2).len(), 10);
+    }
+
+    #[test]
+    fn monomial_count_is_binomial() {
+        // There are C(d + k, k) monomials of total degree <= k in d variables.
+        fn binomial(n: u64, k: u64) -> u64 {
+            (1..=k).fold(1, |acc, i| acc * (n - k + i) / i)
+        }
+        for dim in 1..=4usize {
+            for degree in 0..=4u32 {
+                let monomials = monomial_exponents(dim, degree);
+                let expected = binomial((dim as u64) + u64::from(degree), u64::from(degree));
+                assert_eq!(
+                    monomials.len() as u64,
+                    expected,
+                    "dim {dim} degree {degree}"
+                );
+                // All distinct and within the degree bound.
+                let mut unique = monomials.clone();
+                unique.sort();
+                unique.dedup();
+                assert_eq!(unique.len(), monomials.len());
+                assert!(monomials.iter().all(|e| e.iter().sum::<u32>() <= degree));
+            }
+        }
     }
 
     #[test]

@@ -104,6 +104,13 @@ impl ModelRepository {
         self.models.values().map(|m| m.total_samples()).sum()
     }
 
+    /// Runs the repository through the compiled evaluation engine (see
+    /// [`CompiledRepository`](crate::CompiledRepository)); the compiled form
+    /// keeps a clone of this repository as its reference source.
+    pub fn compiled(&self) -> crate::CompiledRepository {
+        crate::CompiledRepository::compile(self.clone())
+    }
+
     /// Serialises the repository to the versioned text format.
     pub fn to_text(&self) -> String {
         let mut out = String::new();

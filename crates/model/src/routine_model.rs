@@ -15,19 +15,84 @@ use crate::{ModelError, PiecewiseModel, Region, Result};
 /// is minor; folding it halves the number of submodels for the triangular
 /// routines.
 pub fn submodel_key(call: &Call) -> Vec<usize> {
-    let mut flags = call.flag_indices();
-    match call.routine() {
-        Routine::Trsm | Routine::Trmm => {
-            // side, uplo, transA, diag -> drop diag
-            flags.truncate(3);
-        }
-        Routine::TrtriUnb => {
-            // uplo, diag -> drop diag
-            flags.truncate(1);
-        }
-        _ => {}
+    submodel_key_fixed(call).to_vec()
+}
+
+/// The number of flags kept in a submodel key for `routine` (the routine's
+/// flag count, with the `diag` flag folded away where applicable).
+fn submodel_flag_count(routine: Routine) -> usize {
+    match routine {
+        // side, uplo, transA, diag -> drop diag
+        Routine::Trsm | Routine::Trmm => 3,
+        // uplo, diag -> drop diag
+        Routine::TrtriUnb => 1,
+        other => other.flag_count(),
     }
-    flags
+}
+
+/// A fixed-capacity, allocation-free form of [`submodel_key`].
+///
+/// No routine keeps more than [`Call::MAX_FLAGS`] flags in its key and every
+/// flag index fits in a `u8`, so per-call submodel lookups in the compiled
+/// evaluation engine never touch the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlagKey {
+    len: u8,
+    flags: [u8; Call::MAX_FLAGS],
+}
+
+impl FlagKey {
+    /// Converts a heap-allocated submodel key; `None` if it does not fit
+    /// (only possible for hand-crafted repositories — every key produced by
+    /// [`submodel_key`] fits).
+    pub fn from_slice(key: &[usize]) -> Option<FlagKey> {
+        if key.len() > Call::MAX_FLAGS {
+            return None;
+        }
+        let mut flags = [0u8; Call::MAX_FLAGS];
+        for (slot, &f) in flags.iter_mut().zip(key) {
+            *slot = u8::try_from(f).ok()?;
+        }
+        Some(FlagKey {
+            len: key.len() as u8,
+            flags,
+        })
+    }
+
+    /// Number of flags in the key.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the key holds no flags.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The key as a heap-allocated [`submodel_key`]-style vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.flags[..self.len()]
+            .iter()
+            .map(|&f| f as usize)
+            .collect()
+    }
+}
+
+/// The submodel key of a call as a fixed-size [`FlagKey`] — the
+/// allocation-free counterpart of [`submodel_key`], used by the compiled
+/// evaluation engine's per-call lookups.
+pub fn submodel_key_fixed(call: &Call) -> FlagKey {
+    let (mut flags, len) = call.flag_indices_fixed();
+    let kept = len.min(submodel_flag_count(call.routine()));
+    // Zero the dropped flags: derived equality/hashing covers the whole
+    // array, so a folded `diag` flag must not distinguish two keys.
+    for f in &mut flags[kept..] {
+        *f = 0;
+    }
+    FlagKey {
+        len: kept as u8,
+        flags,
+    }
 }
 
 /// A performance model of one routine on one machine configuration and
@@ -181,6 +246,47 @@ mod tests {
         assert_eq!(submodel_key(&t), vec![1]);
         let s = Call::sylv_unb(8, 8);
         assert!(submodel_key(&s).is_empty());
+    }
+
+    #[test]
+    fn fixed_key_matches_vec_key() {
+        let calls = [
+            Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::NonUnit,
+                64,
+                64,
+                1.0,
+            ),
+            Call::trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::NoTrans,
+                Diag::Unit,
+                64,
+                64,
+                1.0,
+            ),
+            Call::gemm(Trans::NoTrans, Trans::Trans, 8, 8, 8, 1.0, 0.0),
+            Call::trtri_unb(Uplo::Upper, Diag::Unit, 32),
+            Call::sylv_unb(8, 8),
+        ];
+        for call in &calls {
+            let fixed = submodel_key_fixed(call);
+            assert_eq!(fixed.to_vec(), submodel_key(call), "{call}");
+            assert_eq!(fixed.len(), submodel_key(call).len());
+            assert_eq!(FlagKey::from_slice(&submodel_key(call)), Some(fixed));
+        }
+        // Folding diag must make the unit/non-unit keys *equal*, including
+        // under derived Eq/Hash.
+        assert_eq!(submodel_key_fixed(&calls[0]), submodel_key_fixed(&calls[1]));
+        assert!(submodel_key_fixed(&calls[4]).is_empty());
+        // Keys that cannot fit are rejected, not truncated.
+        assert_eq!(FlagKey::from_slice(&[1, 2, 3, 4, 5]), None);
+        assert_eq!(FlagKey::from_slice(&[300]), None);
+        assert!(FlagKey::from_slice(&[0, 1, 0, 1]).is_some());
     }
 
     #[test]

@@ -8,31 +8,37 @@
 //! freshly rebuilt one without disturbing in-flight readers.
 //!
 //! [`SharedRepository`] provides both with an `ArcSwap`-style
-//! `RwLock<Arc<ModelRepository>>`: readers take a [`snapshot`] — an `Arc`
-//! clone, held entirely outside the lock — and writers [`swap`] in a new
-//! repository.  Readers holding an old snapshot keep a consistent view until
-//! they drop it.
+//! `RwLock<Arc<CompiledRepository>>`: readers take a [`snapshot`] (the source
+//! repository) or a [`compiled`] handle — `Arc` clones held entirely outside
+//! the lock — and writers [`swap`] in a new repository.  Repositories are run
+//! through the compiled evaluation engine **here**, once per swap, so every
+//! reader gets the indexed, zero-allocation evaluators for free and no query
+//! ever pays compilation latency.  Readers holding an old snapshot keep a
+//! consistent view until they drop it.
 //!
 //! [`snapshot`]: SharedRepository::snapshot
+//! [`compiled`]: SharedRepository::compiled
 //! [`swap`]: SharedRepository::swap
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use crate::ModelRepository;
+use crate::{CompiledRepository, ModelRepository};
 
-/// An atomically swappable, shareable handle to a [`ModelRepository`].
+/// An atomically swappable, shareable handle to a [`ModelRepository`] and its
+/// compiled form.
 #[derive(Debug)]
 pub struct SharedRepository {
-    inner: RwLock<Arc<ModelRepository>>,
+    inner: RwLock<Arc<CompiledRepository>>,
     generation: AtomicU64,
 }
 
 impl SharedRepository {
-    /// Wraps a repository for concurrent sharing.
+    /// Wraps a repository for concurrent sharing, compiling it for the fast
+    /// evaluation path.
     pub fn new(repository: ModelRepository) -> SharedRepository {
         SharedRepository {
-            inner: RwLock::new(Arc::new(repository)),
+            inner: RwLock::new(Arc::new(CompiledRepository::compile(repository))),
             generation: AtomicU64::new(0),
         }
     }
@@ -42,26 +48,53 @@ impl SharedRepository {
     /// The snapshot stays valid (and internally consistent) even if another
     /// thread swaps in a new repository afterwards.
     pub fn snapshot(&self) -> Arc<ModelRepository> {
+        Arc::clone(self.compiled().source())
+    }
+
+    /// The current repository's compiled form, as a cheap `Arc` clone.
+    pub fn compiled(&self) -> Arc<CompiledRepository> {
         Arc::clone(&self.inner.read().expect("repository lock poisoned"))
     }
 
     /// Atomically replaces the repository, returning the previous one.
     ///
-    /// In-flight readers holding a [`snapshot`](SharedRepository::snapshot)
-    /// are unaffected; new readers see the replacement.
+    /// The replacement is compiled before the lock is taken, so in-flight
+    /// readers are never blocked on compilation; readers holding a
+    /// [`snapshot`](SharedRepository::snapshot) are unaffected, and new
+    /// readers see the replacement.
     pub fn swap(&self, repository: ModelRepository) -> Arc<ModelRepository> {
+        let compiled = Arc::new(CompiledRepository::compile(repository));
         let mut guard = self.inner.write().expect("repository lock poisoned");
         self.generation.fetch_add(1, Ordering::Release);
-        std::mem::replace(&mut *guard, Arc::new(repository))
+        let previous = std::mem::replace(&mut *guard, compiled);
+        Arc::clone(previous.source())
     }
 
-    /// Merges `other` into the current repository and swaps the result in.
+    /// Merges `other` into the current repository, recompiles, and swaps the
+    /// result in.
+    ///
+    /// Like [`swap`](SharedRepository::swap), the merge and its compilation
+    /// run *outside* the lock so readers are never blocked on compilation; a
+    /// generation check under the write lock detects a racing writer, in
+    /// which case the merge is redone against the newer repository.
     pub fn merge(&self, other: ModelRepository) {
-        let mut guard = self.inner.write().expect("repository lock poisoned");
-        let mut merged = (**guard).clone();
-        merged.merge(other);
-        self.generation.fetch_add(1, Ordering::Release);
-        *guard = Arc::new(merged);
+        loop {
+            // Generation first: if a writer lands between the two reads, the
+            // check under the write lock fails and the merge is redone.
+            let generation = self.generation();
+            let base = self.compiled();
+            let mut merged = (**base.source()).clone();
+            merged.merge(other.clone());
+            let compiled = Arc::new(CompiledRepository::compile(merged));
+            let mut guard = self.inner.write().expect("repository lock poisoned");
+            if self.generation.load(Ordering::Acquire) != generation {
+                // A concurrent swap/merge landed first: redo against it.
+                continue;
+            }
+            self.generation.fetch_add(1, Ordering::Release);
+            *guard = compiled;
+            return;
+        }
     }
 
     /// A counter incremented on every [`swap`](SharedRepository::swap) or
@@ -94,6 +127,17 @@ mod tests {
         // The old snapshot is still usable after the swap.
         assert!(before.is_empty());
         assert!(!Arc::ptr_eq(&before, &shared.snapshot()));
+    }
+
+    #[test]
+    fn compiled_handle_tracks_the_source() {
+        let shared = SharedRepository::default();
+        let compiled = shared.compiled();
+        assert!(compiled.is_empty());
+        assert!(Arc::ptr_eq(compiled.source(), &shared.snapshot()));
+        shared.swap(ModelRepository::new());
+        // A fresh handle follows the swap; the old one keeps its view.
+        assert!(!Arc::ptr_eq(compiled.source(), &shared.snapshot()));
     }
 
     #[test]

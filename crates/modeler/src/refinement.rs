@@ -1,7 +1,7 @@
 //! Adaptive Refinement (paper Section III-C2).
 
 use dla_machine::Executor;
-use dla_model::{PiecewiseModel, Region, RegionModel};
+use dla_model::{error_order, PiecewiseModel, Region, RegionModel};
 
 use crate::SampleOracle;
 
@@ -91,7 +91,9 @@ impl RefinementConfig {
         }
 
         let total = oracle.unique_samples();
-        regions.sort_by(|a, b| a.error.partial_cmp(&b.error).expect("finite errors"));
+        // NaN fit errors (degenerate fits) sort last instead of panicking
+        // mid-sort in `partial_cmp(...).expect(...)`.
+        regions.sort_by(|a, b| error_order(a.error, b.error));
         PiecewiseModel::new(space.clone(), regions, total)
     }
 
@@ -231,6 +233,24 @@ mod tests {
         for n in [8usize, 96, 250, 768, 1024] {
             assert!(model.eval(&[n]).unwrap().median > 0.0);
         }
+    }
+
+    #[test]
+    fn nan_error_regions_sort_last_in_region_order() {
+        // Regression for the `partial_cmp(...).expect("finite errors")` sort:
+        // a degenerate fit can leave a NaN error, and the most-accurate-first
+        // region order must tolerate it (NaN last) instead of panicking.
+        let space = Region::new(vec![8, 8], vec![256, 256]);
+        let (model, _) = build_with(RefinementConfig::default(), space);
+        let mut regions: Vec<_> = model.regions.clone();
+        let mut poisoned = regions[0].clone();
+        poisoned.error = f64::NAN;
+        regions.insert(0, poisoned);
+        regions.sort_by(|a, b| dla_model::error_order(a.error, b.error));
+        assert!(regions.last().unwrap().error.is_nan());
+        assert!(regions[..regions.len() - 1]
+            .windows(2)
+            .all(|w| w[0].error <= w[1].error));
     }
 
     #[test]

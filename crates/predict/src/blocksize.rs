@@ -1,10 +1,11 @@
 //! Block-size optimisation from performance models (paper Section IV-A2).
 
-use dla_algos::TrinvVariant;
+use dla_algos::{trinv_trace, TrinvVariant};
+use dla_blas::flops::trinv_useful_flops;
+use dla_blas::Call;
 use dla_model::Result;
 
-use crate::predictor::{EfficiencyPrediction, TraceEvaluator};
-use crate::workloads::predict_trinv;
+use crate::predictor::{efficiency_from_ticks, EfficiencyPrediction, TraceEvaluator};
 
 /// The outcome of a block-size sweep for one algorithm variant.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,14 +61,30 @@ pub fn optimize_block_size_trinv<E: TraceEvaluator>(
     n: usize,
     candidates: &[usize],
 ) -> Result<BlockSizeSweep> {
-    let mut results = Vec::with_capacity(candidates.len());
-    for &b in candidates {
-        if b == 0 || b > n {
-            continue;
-        }
-        let prediction = predict_trinv(evaluator, variant, n, b)?;
-        results.push((b, prediction));
-    }
+    let kept: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&b| b > 0 && b <= n)
+        .collect();
+    // One batched pass over all candidate traces (the compiled engine's bulk
+    // entry point) instead of a predict call per candidate.
+    let traces: Vec<Vec<Call>> = kept
+        .iter()
+        .map(|&b| trinv_trace(variant, n, b, n))
+        .collect();
+    let trace_refs: Vec<&[Call]> = traces.iter().map(|t| t.as_slice()).collect();
+    let predictions = evaluator.predict_traces(&trace_refs)?;
+    let useful_flops = trinv_useful_flops(n);
+    let results = kept
+        .into_iter()
+        .zip(predictions)
+        .map(|(b, p)| {
+            (
+                b,
+                efficiency_from_ticks(evaluator.machine(), useful_flops, &p.ticks),
+            )
+        })
+        .collect();
     Ok(BlockSizeSweep {
         variant,
         n,

@@ -26,6 +26,12 @@
 //! For concurrent serving, [`ModelService`] wraps the repository behind an
 //! atomically hot-swappable handle with a sharded evaluation cache, handing
 //! out snapshot-owning [`Predictor`]s to any number of threads.
+//!
+//! All evaluators run on the compiled evaluation engine
+//! ([`dla_model::CompiledRepository`]): repositories are compiled once (at
+//! predictor construction or, for the service, at swap/merge time) into
+//! indexed, fused, zero-allocation models, and rankings / block-size sweeps
+//! go through the batched [`TraceEvaluator::predict_traces`] entry point.
 
 pub mod blocksize;
 pub mod modelset;

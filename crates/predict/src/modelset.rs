@@ -305,6 +305,22 @@ pub fn build_repository(
     build_tasks(&executor, locality, config, &tasks)
 }
 
+/// Builds a repository and wraps it in a ready-to-serve
+/// [`ModelService`](crate::ModelService): per-routine model construction fans
+/// out across worker threads, and the result is run through the compiled
+/// evaluation engine exactly once, as the service takes ownership.
+pub fn build_service(
+    machine: &MachineConfig,
+    locality: Locality,
+    seed: u64,
+    config: &ModelSetConfig,
+    workloads: &[Workload],
+) -> (crate::ModelService, Vec<ModelingReport>) {
+    let (repository, reports) = build_repository(machine, locality, seed, config, workloads);
+    let service = crate::ModelService::new(repository, machine.clone(), locality);
+    (service, reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,12 +1,13 @@
 //! Trace prediction: evaluating and accumulating per-call model estimates.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use dla_blas::flops::is_empty_call;
 use dla_blas::Call;
 use dla_machine::{Locality, MachineConfig};
 use dla_mat::stats::Summary;
-use dla_model::{ModelError, ModelRepository, Result};
+use dla_model::{CompiledRepository, ModelError, ModelRepository, Result, RoutineTable};
 
 /// The predicted execution time of a whole trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,23 +37,6 @@ pub struct EfficiencyPrediction {
     pub min: f64,
     /// Upper bound: efficiency at the minimum predicted ticks.
     pub max: f64,
-}
-
-/// The repository a [`Predictor`] evaluates: either borrowed (the classic
-/// single-threaded shape) or an owned `Arc` snapshot handed out by a
-/// [`ModelService`](crate::ModelService) for concurrent use.
-enum RepoHandle<'a> {
-    Borrowed(&'a ModelRepository),
-    Shared(Arc<ModelRepository>),
-}
-
-impl RepoHandle<'_> {
-    fn get(&self) -> &ModelRepository {
-        match self {
-            RepoHandle::Borrowed(r) => r,
-            RepoHandle::Shared(r) => r,
-        }
-    }
 }
 
 /// Anything that can predict the performance of a call trace: the plain
@@ -98,6 +82,12 @@ pub trait TraceEvaluator {
         })
     }
 
+    /// Predicts a batch of traces — the bulk entry point used by rankings
+    /// and block-size sweeps, which evaluate many related traces at once.
+    fn predict_traces(&self, traces: &[&[Call]]) -> Result<Vec<TracePrediction>> {
+        traces.iter().map(|t| self.predict_trace(t)).collect()
+    }
+
     /// Predicts the efficiency of a trace for an operation whose useful flop
     /// count is `useful_flops`.
     fn predict_efficiency(
@@ -127,24 +117,33 @@ pub(crate) fn missing_model_error(
 }
 
 /// Evaluates stored models to predict whole-algorithm performance.
+///
+/// Evaluation runs on the compiled engine
+/// ([`CompiledRepository`](dla_model::CompiledRepository)): the repository is
+/// compiled once at predictor construction (or inherited, already compiled,
+/// from a [`ModelService`](crate::ModelService) snapshot), and the
+/// machine/locality combination is pre-resolved into a routing table, so the
+/// per-call path performs no allocation and no hashing.
 pub struct Predictor<'a> {
-    repository: RepoHandle<'a>,
+    compiled: Arc<CompiledRepository>,
+    table: RoutineTable,
     machine: MachineConfig,
     locality: Locality,
+    /// Keeps the historical borrowed-repository lifetime in the type, so the
+    /// classic `Predictor::new(&repo, ...)` shape still reads naturally.
+    _borrow: PhantomData<&'a ModelRepository>,
 }
 
 impl<'a> Predictor<'a> {
-    /// Creates a predictor that reads models for `machine` under `locality`.
+    /// Creates a predictor that reads models for `machine` under `locality`,
+    /// compiling the repository for fast evaluation.
     pub fn new(
         repository: &'a ModelRepository,
         machine: MachineConfig,
         locality: Locality,
     ) -> Self {
-        Predictor {
-            repository: RepoHandle::Borrowed(repository),
-            machine,
-            locality,
-        }
+        let compiled = Arc::new(repository.compiled());
+        Predictor::with_compiled(compiled, machine, locality)
     }
 
     /// Creates a predictor that owns an `Arc` snapshot of the repository, so
@@ -154,16 +153,44 @@ impl<'a> Predictor<'a> {
         machine: MachineConfig,
         locality: Locality,
     ) -> Predictor<'static> {
+        let compiled = Arc::new(CompiledRepository::compile_arc(repository));
+        Predictor::with_compiled(compiled, machine, locality)
+    }
+
+    /// Creates a predictor over an already-compiled repository (no
+    /// recompilation; this is how [`ModelService`](crate::ModelService)
+    /// hands out snapshot predictors).
+    pub fn from_compiled(
+        compiled: Arc<CompiledRepository>,
+        machine: MachineConfig,
+        locality: Locality,
+    ) -> Predictor<'static> {
+        Predictor::with_compiled(compiled, machine, locality)
+    }
+
+    fn with_compiled<'b>(
+        compiled: Arc<CompiledRepository>,
+        machine: MachineConfig,
+        locality: Locality,
+    ) -> Predictor<'b> {
+        let table = compiled.resolve(&machine.id(), locality);
         Predictor {
-            repository: RepoHandle::Shared(repository),
+            compiled,
+            table,
             machine,
             locality,
+            _borrow: PhantomData,
         }
     }
 
     /// The repository being evaluated.
     pub fn repository(&self) -> &ModelRepository {
-        self.repository.get()
+        self.compiled.source().as_ref()
+    }
+
+    /// The compiled form the predictor evaluates.
+    pub fn compiled(&self) -> &Arc<CompiledRepository> {
+        &self.compiled
     }
 
     /// The machine configuration predictions refer to.
@@ -176,12 +203,14 @@ impl<'a> Predictor<'a> {
         self.locality
     }
 
-    /// Predicts the performance of a single call.
+    /// Predicts the performance of a single call (compiled, allocation-free
+    /// fast path: routing-table lookup, fixed-size submodel key, indexed
+    /// region location, fused polynomial evaluation).
     pub fn predict_call(&self, call: &Call) -> Result<Summary> {
         let model = self
-            .repository
-            .get()
-            .get(call.routine(), &self.machine.id(), self.locality)
+            .table
+            .slot(call.routine())
+            .map(|slot| self.compiled.model_at(slot))
             .ok_or_else(|| {
                 missing_model_error(call.routine(), &self.machine.id(), self.locality)
             })?;
@@ -192,6 +221,11 @@ impl<'a> Predictor<'a> {
     /// [`TraceEvaluator::predict_trace`]).
     pub fn predict_trace(&self, trace: &[Call]) -> Result<TracePrediction> {
         TraceEvaluator::predict_trace(self, trace)
+    }
+
+    /// Predicts a batch of traces (see [`TraceEvaluator::predict_traces`]).
+    pub fn predict_traces(&self, traces: &[&[Call]]) -> Result<Vec<TracePrediction>> {
+        TraceEvaluator::predict_traces(self, traces)
     }
 
     /// Predicts the efficiency of a trace for an operation whose useful flop

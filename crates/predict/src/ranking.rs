@@ -3,6 +3,11 @@
 
 use std::cmp::Ordering;
 
+use dla_blas::Call;
+use dla_model::Result;
+
+use crate::predictor::{efficiency_from_ticks, EfficiencyPrediction, TraceEvaluator};
+
 /// Total order for ranking scores best (largest) first, with `NaN` sorted
 /// last.
 ///
@@ -68,6 +73,33 @@ pub fn rank_ascending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
 /// `NaN` scores sort last.
 pub fn rank_descending<T: Clone>(items: &[(T, f64)]) -> Vec<Ranked<T>> {
     rank_by(items, by_score_desc)
+}
+
+/// Ranks labelled traces by predicted median efficiency, best first, in one
+/// batched evaluation pass over the evaluator.
+///
+/// Each candidate is `(label, trace, useful_flops)`; the traces are predicted
+/// through [`TraceEvaluator::predict_traces`] — the batch entry point of the
+/// compiled evaluation engine — converted to efficiencies, and sorted with
+/// [`by_score_desc`] (`NaN` predictions last).  This is the shared core of
+/// the pipeline's variant rankings.
+pub fn rank_traces_by_efficiency<T, E: TraceEvaluator>(
+    evaluator: &E,
+    candidates: Vec<(T, Vec<Call>, f64)>,
+) -> Result<Vec<(T, EfficiencyPrediction)>> {
+    let traces: Vec<&[Call]> = candidates.iter().map(|(_, t, _)| t.as_slice()).collect();
+    let predictions = evaluator.predict_traces(&traces)?;
+    let mut ranked: Vec<(T, EfficiencyPrediction)> = candidates
+        .into_iter()
+        .zip(predictions)
+        .map(|((label, _, useful_flops), prediction)| {
+            let efficiency =
+                efficiency_from_ticks(evaluator.machine(), useful_flops, &prediction.ticks);
+            (label, efficiency)
+        })
+        .collect();
+    ranked.sort_by(|a, b| by_score_desc(a.1.median, b.1.median));
+    Ok(ranked)
 }
 
 /// Kendall's τ rank-correlation coefficient between two scorings of the same

@@ -13,7 +13,11 @@
 //!   sharded cache — algorithm traces re-evaluate the same calls constantly
 //!   (every iteration of a blocked algorithm issues the same small set of
 //!   distinct calls), so a warm cache answers most queries without touching
-//!   the polynomial evaluator.
+//!   the polynomial evaluator;
+//! * cache *misses* — the cold path — run on the compiled evaluation engine
+//!   ([`CompiledRepository`](dla_model::CompiledRepository)): repositories
+//!   are compiled once per swap/merge inside the shared handle, so even the
+//!   first evaluation of a call is an indexed, allocation-free lookup.
 //!
 //! The service is `Sync`: wrap it in an `Arc` and clone the handle into as
 //! many threads as needed.
@@ -83,12 +87,23 @@ impl CacheStats {
 
 type Shard = RwLock<HashMap<CallKey, (u64, Summary)>>;
 
+/// The service's pre-resolved evaluation state for one repository
+/// generation: the compiled snapshot together with its machine/locality
+/// routing table, so the cache-miss path is a plain array index (no string
+/// comparison, no allocation).
+struct Resolved {
+    generation: u64,
+    compiled: Arc<dla_model::CompiledRepository>,
+    table: dla_model::RoutineTable,
+}
+
 /// A thread-safe prediction service over a hot-swappable model repository.
 pub struct ModelService {
     shared: SharedRepository,
     machine: MachineConfig,
     locality: Locality,
     shards: Vec<Shard>,
+    resolved: RwLock<Option<Resolved>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -115,9 +130,37 @@ impl ModelService {
             machine,
             locality,
             shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            resolved: RwLock::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The compiled snapshot and routing table for `generation`, from the
+    /// resolver cache when fresh, re-resolved (and re-cached) after a
+    /// swap/merge.  The returned pair is always internally consistent (the
+    /// table was computed from that exact compiled snapshot).
+    fn resolved(
+        &self,
+        generation: u64,
+    ) -> (Arc<dla_model::CompiledRepository>, dla_model::RoutineTable) {
+        if let Some(r) = self.resolved.read().expect("resolver poisoned").as_ref() {
+            if r.generation == generation {
+                return (Arc::clone(&r.compiled), r.table);
+            }
+        }
+        let compiled = self.shared.compiled();
+        let table = compiled.resolve(&self.machine.id(), self.locality);
+        // Only cache when no swap happened since the caller observed
+        // `generation`; a racing entry must not outlive the swap.
+        if self.shared.generation() == generation {
+            *self.resolved.write().expect("resolver poisoned") = Some(Resolved {
+                generation,
+                compiled: Arc::clone(&compiled),
+                table,
+            });
+        }
+        (compiled, table)
     }
 
     /// The machine configuration predictions refer to.
@@ -153,9 +196,11 @@ impl ModelService {
     /// A predictor over the current snapshot.
     ///
     /// The predictor owns its snapshot (`'static`), so it can be handed to
-    /// other threads and outlives later [`swap`](ModelService::swap)s.
+    /// other threads and outlives later [`swap`](ModelService::swap)s.  The
+    /// snapshot is already compiled (compilation happened at the last
+    /// swap/merge), so this is cheap.
     pub fn predictor(&self) -> Predictor<'static> {
-        Predictor::shared(self.snapshot(), self.machine.clone(), self.locality)
+        Predictor::from_compiled(self.shared.compiled(), self.machine.clone(), self.locality)
     }
 
     /// Predicts the performance of a single call, memoized.
@@ -172,9 +217,14 @@ impl ModelService {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let snapshot = self.shared.snapshot();
-        let model = snapshot
-            .get(call.routine(), &self.machine.id(), self.locality)
+        // Cache miss: evaluate on the compiled engine through the cached
+        // routing table (the snapshot was compiled at the last swap/merge
+        // and the table resolved once per generation, so the cold path does
+        // no compilation, no hashing and no string comparison).
+        let (compiled, table) = self.resolved(generation);
+        let model = table
+            .slot(call.routine())
+            .map(|slot| compiled.model_at(slot))
             .ok_or_else(|| {
                 crate::predictor::missing_model_error(
                     call.routine(),
@@ -198,6 +248,12 @@ impl ModelService {
     /// (see [`TraceEvaluator::predict_trace`]).
     pub fn predict_trace(&self, trace: &[Call]) -> dla_model::Result<TracePrediction> {
         TraceEvaluator::predict_trace(self, trace)
+    }
+
+    /// Predicts a batch of traces, memoized per call (see
+    /// [`TraceEvaluator::predict_traces`]).
+    pub fn predict_traces(&self, traces: &[&[Call]]) -> dla_model::Result<Vec<TracePrediction>> {
+        TraceEvaluator::predict_traces(self, traces)
     }
 
     /// Predicts the efficiency of a trace for an operation with the given
@@ -226,11 +282,14 @@ impl ModelService {
             .sum()
     }
 
-    /// Drops every cached evaluation (the hit/miss counters are kept).
+    /// Drops every cached evaluation and the resolver cache (the hit/miss
+    /// counters are kept).  Called on swap/merge, which also releases the
+    /// resolver's reference to the previous compiled snapshot.
     pub fn clear_cache(&self) {
         for shard in &self.shards {
             shard.write().expect("cache shard poisoned").clear();
         }
+        *self.resolved.write().expect("resolver poisoned") = None;
     }
 }
 

@@ -15,6 +15,7 @@ use dla_machine::{Executor, Locality};
 use dla_model::Result;
 
 use crate::predictor::{EfficiencyPrediction, TraceEvaluator};
+use crate::ranking::rank_traces_by_efficiency;
 
 /// How operand locality is chosen when "measuring" a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +119,37 @@ pub fn predict_trinv<E: TraceEvaluator>(
 ) -> Result<EfficiencyPrediction> {
     let trace = trinv_trace(variant, n, block_size, n);
     evaluator.predict_efficiency(&trace, trinv_useful_flops(n))
+}
+
+/// Predicts the efficiency of every triangular-inversion variant and returns
+/// them ranked best first (by predicted median efficiency, `NaN` last), in
+/// one batched evaluation pass.
+pub fn rank_trinv_variants<E: TraceEvaluator>(
+    evaluator: &E,
+    n: usize,
+    block_size: usize,
+) -> Result<Vec<(TrinvVariant, EfficiencyPrediction)>> {
+    let useful_flops = trinv_useful_flops(n);
+    let candidates: Vec<(TrinvVariant, Vec<Call>, f64)> = TrinvVariant::ALL
+        .iter()
+        .map(|&v| (v, trinv_trace(v, n, block_size, n), useful_flops))
+        .collect();
+    rank_traces_by_efficiency(evaluator, candidates)
+}
+
+/// Predicts the efficiency of every Sylvester variant on an `n x n` problem
+/// and returns them ranked best first, in one batched evaluation pass.
+pub fn rank_sylv_variants<E: TraceEvaluator>(
+    evaluator: &E,
+    n: usize,
+    block_size: usize,
+) -> Result<Vec<(SylvVariant, EfficiencyPrediction)>> {
+    let useful_flops = sylv_useful_flops_total(n, n);
+    let candidates: Vec<(SylvVariant, Vec<Call>, f64)> = SylvVariant::all()
+        .into_iter()
+        .map(|v| (v, sylv_trace(v, n, n, block_size, n), useful_flops))
+        .collect();
+    rank_traces_by_efficiency(evaluator, candidates)
 }
 
 /// Measures (by simulated execution) the efficiency of one
