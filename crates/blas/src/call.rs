@@ -462,9 +462,66 @@ impl Call {
         }
     }
 
+    /// The operand dimensions as a fixed-size array plus the operand count
+    /// (no routine touches more than 3 matrices) — the allocation-free
+    /// counterpart of [`Call::operand_dims`] for per-measurement hot paths.
+    pub fn operand_dims_fixed(&self) -> ([(usize, usize); 3], usize) {
+        let mut dims = [(0usize, 0usize); 3];
+        let len = match self {
+            Call::Gemm {
+                transa,
+                transb,
+                m,
+                n,
+                k,
+                ..
+            } => {
+                dims[0] = match transa {
+                    Trans::NoTrans => (*m, *k),
+                    Trans::Trans => (*k, *m),
+                };
+                dims[1] = match transb {
+                    Trans::NoTrans => (*k, *n),
+                    Trans::Trans => (*n, *k),
+                };
+                dims[2] = (*m, *n);
+                3
+            }
+            Call::Trsm { side, m, n, .. } | Call::Trmm { side, m, n, .. } => {
+                let order = match side {
+                    Side::Left => *m,
+                    Side::Right => *n,
+                };
+                dims[0] = (order, order);
+                dims[1] = (*m, *n);
+                2
+            }
+            Call::Syrk { trans, n, k, .. } => {
+                dims[0] = match trans {
+                    Trans::NoTrans => (*n, *k),
+                    Trans::Trans => (*k, *n),
+                };
+                dims[1] = (*n, *n);
+                2
+            }
+            Call::TrtriUnb { n, .. } => {
+                dims[0] = (*n, *n);
+                1
+            }
+            Call::SylvUnb { m, n, .. } => {
+                dims[0] = (*m, *m);
+                dims[1] = (*n, *n);
+                dims[2] = (*m, *n);
+                3
+            }
+        };
+        (dims, len)
+    }
+
     /// Total operand footprint in bytes (double precision).
     pub fn operand_bytes(&self) -> usize {
-        self.operand_dims()
+        let (dims, len) = self.operand_dims_fixed();
+        dims[..len]
             .iter()
             .map(|(r, c)| r * c * std::mem::size_of::<f64>())
             .sum()
@@ -914,6 +971,8 @@ mod tests {
             let (sizes, size_len) = c.sizes_fixed();
             assert!(size_len <= Call::MAX_SIZES);
             assert_eq!(sizes[..size_len].to_vec(), c.sizes(), "sizes of {c}");
+            let (dims, dim_len) = c.operand_dims_fixed();
+            assert_eq!(dims[..dim_len].to_vec(), c.operand_dims(), "dims of {c}");
         }
         for (i, r) in Routine::ALL.into_iter().enumerate() {
             assert_eq!(r.index(), i);

@@ -88,7 +88,8 @@ pub fn trace_flops(calls: &[Call]) -> f64 {
 /// Returns `true` if the call performs no floating-point work (some algorithm
 /// traces contain degenerate calls with a zero dimension in early iterations).
 pub fn is_empty_call(call: &Call) -> bool {
-    call.sizes().contains(&0)
+    let (sizes, len) = call.sizes_fixed();
+    sizes[..len].contains(&0)
 }
 
 #[cfg(test)]

@@ -116,7 +116,8 @@ impl BlasProfile {
     /// where the last flag of `dtrsm`/`dtrmm` (`diag`) is given a much smaller
     /// weight.
     pub fn flag_factor(&self, call: &Call) -> f64 {
-        let flags = call.flag_indices();
+        let (flags, flag_len) = call.flag_indices_fixed();
+        let flags = &flags[..flag_len];
         if flags.is_empty() || self.flag_spread == 0.0 {
             return 1.0;
         }
@@ -130,7 +131,7 @@ impl BlasProfile {
         let mut diag_value = 0usize;
         for (i, &f) in flags.iter().enumerate() {
             if Some(i) == diag_position {
-                diag_value = f;
+                diag_value = f as usize;
                 continue;
             }
             h ^= (f as u64 + 1)

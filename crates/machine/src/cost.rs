@@ -34,7 +34,8 @@ use crate::{Locality, MachineConfig};
 pub fn kernel_efficiency(machine: &MachineConfig, call: &Call) -> f64 {
     let profile = &machine.blas;
     let params = profile.routine_params(call.routine());
-    let sizes = call.sizes();
+    let (sizes, size_len) = call.sizes_fixed();
+    let sizes = &sizes[..size_len];
     let min_dim = sizes.iter().copied().filter(|&s| s > 0).min().unwrap_or(0);
     if min_dim == 0 {
         return params.peak_efficiency * 0.01;
@@ -196,7 +197,23 @@ pub fn estimate_ticks(machine: &MachineConfig, call: &Call, locality: Locality) 
 
 /// Derives the virtual counter set for a deterministic cost estimate.
 pub fn estimate_counters(machine: &MachineConfig, call: &Call, locality: Locality) -> CounterSet {
-    let breakdown = estimate_cost(machine, call, locality);
+    counters_from_cost(
+        machine,
+        call,
+        locality,
+        &estimate_cost(machine, call, locality),
+    )
+}
+
+/// Derives the virtual counter set from an **already computed** cost
+/// breakdown, so callers that need both (the simulated executor, on every
+/// single measurement) run the cost model once instead of twice.
+pub fn counters_from_cost(
+    machine: &MachineConfig,
+    call: &Call,
+    locality: Locality,
+    breakdown: &CostBreakdown,
+) -> CounterSet {
     let line = 64.0;
     let bytes = breakdown.bytes_moved;
     let l1 = machine

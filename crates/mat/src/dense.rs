@@ -75,6 +75,36 @@ impl Matrix {
         Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
     }
 
+    /// Wraps an existing column-major buffer as a `rows x cols` matrix with
+    /// `ld == rows`, without copying.
+    ///
+    /// The inverse of [`Matrix::into_data`]; together they let hot loops
+    /// (e.g. the fit engine's design-matrix workspace) recycle one allocation
+    /// across many matrices.  Returns an error unless
+    /// `data.len() == rows * cols` with `rows >= 1`.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || data.len() != rows * cols {
+            return Err(MatError::dims(format!(
+                "from_data: buffer of {} values cannot back a {}x{} matrix",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            ld: rows,
+            data,
+        })
+    }
+
+    /// Consumes the matrix and returns its backing buffer (column-major,
+    /// including any leading-dimension padding).
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

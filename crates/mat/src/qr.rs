@@ -2,8 +2,17 @@
 //!
 //! The paper's Modeler fits polynomials to measurements with SciPy's
 //! `linalg.lstsq`.  This module is the from-scratch Rust substitute: a dense
-//! Householder QR factorisation with an optional column-norm check, and a
-//! least-squares driver that solves `min ||A x - b||_2` for tall systems.
+//! Householder QR factorisation with an optional column-norm check, and
+//! least-squares drivers that solve `min ||A x - b||_2` for tall systems.
+//!
+//! Model construction solves the *same* system against five right-hand sides
+//! (one per statistical quantity), so the factorisation and the solve are
+//! deliberately decoupled: [`QrFactorization::new`] factors once,
+//! [`QrFactorization::solve_into`] / [`QrFactorization::solve_many`] back-solve
+//! any number of right-hand sides against the shared factors, and the
+//! rank-deficient ridge fallback ([`QrFactorization::ridge_factorization`])
+//! is likewise derived from the stored `R` instead of re-reducing the
+//! original matrix.
 
 use crate::{MatError, Matrix, Result};
 
@@ -31,11 +40,18 @@ impl QrFactorization {
             )));
         }
         let mut tau = vec![0.0; n];
+        // The reduction works on whole column slices: the inner loops below
+        // are zips over contiguous `&[f64]` ranges, which the optimiser can
+        // keep free of per-element bounds checks (this factorisation runs
+        // once per region fit — it is the flop core of model construction).
+        let ld = a.ld();
+        let data = a.as_mut_slice();
         for k in 0..n {
             // Build the Householder reflector for column k, rows k..m.
+            let (head, tail) = data.split_at_mut(k * ld + ld);
+            let col_k = &mut head[k * ld..k * ld + m];
             let mut norm = 0.0;
-            for i in k..m {
-                let v = a.get(i, k);
+            for &v in &col_k[k..] {
                 norm += v * v;
             }
             norm = norm.sqrt();
@@ -43,28 +59,27 @@ impl QrFactorization {
                 tau[k] = 0.0;
                 continue;
             }
-            let alpha = a.get(k, k);
+            let alpha = col_k[k];
             let beta = -alpha.signum() * norm;
             let tau_k = (beta - alpha) / beta;
             tau[k] = tau_k;
             let inv = 1.0 / (alpha - beta);
-            for i in (k + 1)..m {
-                let v = a.get(i, k) * inv;
-                a.set(i, k, v);
+            for v in &mut col_k[k + 1..] {
+                *v *= inv;
             }
-            a.set(k, k, beta);
+            col_k[k] = beta;
             // Apply the reflector to the trailing columns: A <- (I - tau v v^T) A.
+            let v_tail = &col_k[k + 1..];
             for j in (k + 1)..n {
-                let mut dot = a.get(k, j);
-                for i in (k + 1)..m {
-                    dot += a.get(i, k) * a.get(i, j);
+                let col_j = &mut tail[(j - k - 1) * ld..(j - k - 1) * ld + m];
+                let mut dot = col_j[k];
+                for (&vi, &aj) in v_tail.iter().zip(&col_j[k + 1..]) {
+                    dot += vi * aj;
                 }
                 dot *= tau_k;
-                let v = a.get(k, j) - dot;
-                a.set(k, j, v);
-                for i in (k + 1)..m {
-                    let v = a.get(i, j) - a.get(i, k) * dot;
-                    a.set(i, j, v);
+                col_j[k] -= dot;
+                for (&vi, aj) in v_tail.iter().zip(&mut col_j[k + 1..]) {
+                    *aj -= vi * dot;
                 }
             }
         }
@@ -91,6 +106,12 @@ impl QrFactorization {
         )
     }
 
+    /// Consumes the factorisation and returns the packed factor matrix,
+    /// handing its backing buffer back to the caller (workspace recycling).
+    pub fn into_factors(self) -> Matrix {
+        self.factors
+    }
+
     /// Applies `Q^T` to a vector in place (the vector must have `m` entries).
     pub fn apply_qt(&self, b: &mut [f64]) -> Result<()> {
         let m = self.rows();
@@ -101,26 +122,33 @@ impl QrFactorization {
                 b.len()
             )));
         }
+        let ld = self.factors.ld();
+        let data = self.factors.as_slice();
         for k in 0..n {
             let tau_k = self.tau[k];
             if tau_k == 0.0 {
                 continue;
             }
+            let v_tail = &data[k * ld + k + 1..k * ld + m];
             let mut dot = b[k];
-            for i in (k + 1)..m {
-                dot += self.factors.get(i, k) * b[i];
+            for (&vi, &bi) in v_tail.iter().zip(&b[k + 1..]) {
+                dot += vi * bi;
             }
             dot *= tau_k;
             b[k] -= dot;
-            for i in (k + 1)..m {
-                b[i] -= self.factors.get(i, k) * dot;
+            for (&vi, bi) in v_tail.iter().zip(&mut b[k + 1..]) {
+                *bi -= vi * dot;
             }
         }
         Ok(())
     }
 
-    /// Solves the least-squares problem `min ||A x - b||` using the stored factors.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+    /// Solves `min ||A x - b||` in place against the stored factors.
+    ///
+    /// `b` (length `m`) is overwritten with `Q^T b`; the solution lands in
+    /// `x` (length `n`).  This is the allocation-free core the multi-RHS
+    /// drivers are built on.
+    pub fn solve_into(&self, b: &mut [f64], x: &mut [f64]) -> Result<()> {
         let m = self.rows();
         let n = self.cols();
         if b.len() != m {
@@ -129,16 +157,23 @@ impl QrFactorization {
                 b.len()
             )));
         }
-        let mut qtb = b.to_vec();
-        self.apply_qt(&mut qtb)?;
-        // Back substitution with R.
-        let mut x = vec![0.0; n];
+        if x.len() != n {
+            return Err(MatError::dims(format!(
+                "solve: solution has {} entries, expected {n}",
+                x.len()
+            )));
+        }
+        self.apply_qt(b)?;
+        // Back substitution with R (row i of the upper triangle is a stride-ld
+        // walk through the packed factors).
+        let ld = self.factors.ld();
+        let data = self.factors.as_slice();
         for i in (0..n).rev() {
-            let mut acc = qtb[i];
+            let mut acc = b[i];
             for j in (i + 1)..n {
-                acc -= self.factors.get(i, j) * x[j];
+                acc -= data[j * ld + i] * x[j];
             }
-            let d = self.factors.get(i, i);
+            let d = data[i * ld + i];
             if d.abs() < 1e-300 {
                 return Err(MatError::numerical(
                     "rank-deficient least-squares system (zero diagonal in R)",
@@ -146,7 +181,86 @@ impl QrFactorization {
             }
             x[i] = acc / d;
         }
+        Ok(())
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut qtb = b.to_vec();
+        let mut x = vec![0.0; self.cols()];
+        self.solve_into(&mut qtb, &mut x)?;
         Ok(x)
+    }
+
+    /// Solves the least-squares problem for several right-hand sides against
+    /// the factors of a **single** factorisation (the multi-RHS driver the
+    /// fit engine uses: one QR, five back-solves).
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let n = self.cols();
+        let mut qtb = vec![0.0; self.rows()];
+        let mut solutions = Vec::with_capacity(rhs.len());
+        for b in rhs {
+            if b.len() != self.rows() {
+                return Err(MatError::dims(format!(
+                    "solve_many: rhs has {} entries, expected {}",
+                    b.len(),
+                    self.rows()
+                )));
+            }
+            qtb.copy_from_slice(b);
+            let mut x = vec![0.0; n];
+            self.solve_into(&mut qtb, &mut x)?;
+            solutions.push(x);
+        }
+        Ok(solutions)
+    }
+
+    /// QR factorisation of the ridge-regularised normal matrix
+    /// `R^T R + lambda I` (which equals `A^T A + lambda I`, since `A = Q R`).
+    ///
+    /// This is the rank-deficient fallback: instead of re-reducing the
+    /// original `m x n` matrix into fresh normal equations (`O(m n^2)` work
+    /// plus a second traversal of `A`), the `n x n` normal matrix is derived
+    /// from the already-computed `R` in `O(n^3)`.
+    pub fn ridge_factorization(&self, lambda: f64) -> Result<QrFactorization> {
+        let n = self.cols();
+        let mut normal = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..=i.min(j) {
+                    acc += self.factors.get(k, i) * self.factors.get(k, j);
+                }
+                if i == j {
+                    acc += lambda;
+                }
+                normal.set(i, j, acc);
+            }
+        }
+        QrFactorization::new(normal)
+    }
+
+    /// Computes `R^T y` from the leading `n` entries of `qtb` into `out`.
+    ///
+    /// With `qtb = Q^T b` this is `A^T b`, i.e. the right-hand side of the
+    /// normal equations, again without touching the original matrix.
+    pub fn rt_apply(&self, qtb: &[f64], out: &mut [f64]) -> Result<()> {
+        let n = self.cols();
+        if qtb.len() < n || out.len() != n {
+            return Err(MatError::dims(format!(
+                "rt_apply: got {} rhs / {} out entries for n = {n}",
+                qtb.len(),
+                out.len()
+            )));
+        }
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, &q) in qtb.iter().enumerate().take(j + 1) {
+                acc += self.factors.get(k, j) * q;
+            }
+            *o = acc;
+        }
+        Ok(())
     }
 
     /// Estimates the rank of the factored matrix by counting diagonal entries
@@ -166,24 +280,86 @@ impl QrFactorization {
     }
 }
 
+/// Ridge parameter applied when a least-squares system is numerically rank
+/// deficient (mirrors the robustness of SVD-based `lstsq`).
+pub const LSTSQ_RIDGE_LAMBDA: f64 = 1e-10;
+
 /// Solves the dense least-squares problem `min_x ||A x - b||_2`.
 ///
-/// `a` is an `m x n` matrix with `m >= n`; `b` has `m` entries.  A thin
-/// regularisation is applied when the system is numerically rank deficient so
-/// the Modeler never aborts mid-fit on a degenerate sample set (mirroring the
-/// robustness of SVD-based `lstsq`).
-pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
-    match QrFactorization::new(a.clone()).and_then(|qr| qr.solve(b)) {
-        Ok(x) => Ok(x),
-        Err(MatError::Numerical { .. }) => lstsq_regularized(a, b, 1e-10),
+/// `a` is an `m x n` matrix with `m >= n` (consumed — the factorisation
+/// overwrites it in place, so no defensive copy is taken); `b` has `m`
+/// entries.  A thin regularisation is applied when the system is numerically
+/// rank deficient so the Modeler never aborts mid-fit on a degenerate sample
+/// set.
+pub fn lstsq(a: Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let qr = QrFactorization::new(a)?;
+    let mut qtb = b.to_vec();
+    let mut x = vec![0.0; qr.cols()];
+    match qr.solve_into(&mut qtb, &mut x) {
+        Ok(()) => Ok(x),
+        // `solve_into` fails only in back substitution, after `qtb` already
+        // holds `Q^T b`, so the ridge fallback can reuse it as-is.
+        Err(MatError::Numerical { .. }) => ridge_solve_from(&qr, &qtb, LSTSQ_RIDGE_LAMBDA),
         Err(e) => Err(e),
     }
 }
 
+/// Solves `min ||A x - b||_2` for several right-hand sides with a **single**
+/// factorisation of `a` (consumed).
+///
+/// Equivalent to calling [`lstsq`] once per right-hand side — including the
+/// ridge fallback for rank-deficient systems, whose regularised normal
+/// factorisation is likewise computed only once — at a fifth of the cost for
+/// the Modeler's five quantity fits.
+pub fn lstsq_multi(a: Matrix, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    let qr = QrFactorization::new(a)?;
+    let n = qr.cols();
+    let mut qtb = vec![0.0; qr.rows()];
+    let mut ridge: Option<QrFactorization> = None;
+    let mut solutions = Vec::with_capacity(rhs.len());
+    for b in rhs {
+        if b.len() != qr.rows() {
+            return Err(MatError::dims(format!(
+                "lstsq_multi: rhs has {} entries, expected {}",
+                b.len(),
+                qr.rows()
+            )));
+        }
+        qtb.copy_from_slice(b);
+        let mut x = vec![0.0; n];
+        match qr.solve_into(&mut qtb, &mut x) {
+            Ok(()) => solutions.push(x),
+            Err(MatError::Numerical { .. }) => {
+                // Rank deficiency is a property of `A` alone, so the ridge
+                // factorisation is shared across every right-hand side.
+                if ridge.is_none() {
+                    ridge = Some(qr.ridge_factorization(LSTSQ_RIDGE_LAMBDA)?);
+                }
+                let rqr = ridge.as_ref().expect("just installed");
+                let mut atb = vec![0.0; n];
+                qr.rt_apply(&qtb, &mut atb)?;
+                solutions.push(rqr.solve(&atb)?);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(solutions)
+}
+
+/// Ridge fallback shared by [`lstsq`] and [`lstsq_multi`]: solves
+/// `(R^T R + lambda I) x = R^T (Q^T b)` from the stored factors.
+fn ridge_solve_from(qr: &QrFactorization, qtb: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    let rqr = qr.ridge_factorization(lambda)?;
+    let mut atb = vec![0.0; qr.cols()];
+    qr.rt_apply(qtb, &mut atb)?;
+    rqr.solve(&atb)
+}
+
 /// Ridge-regularised least squares: solves `(A^T A + lambda I) x = A^T b`.
 ///
-/// Used as the fallback for rank-deficient systems and directly useful for
-/// noisy fits with nearly collinear basis functions.
+/// Directly useful for noisy fits with nearly collinear basis functions; the
+/// rank-deficient fallback inside [`lstsq`] computes the same system from the
+/// QR factors instead of re-reducing `a`.
 pub fn lstsq_regularized(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
     let m = a.rows();
     let n = a.cols();
@@ -215,11 +391,172 @@ pub fn lstsq_regularized(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>>
     qr.solve(&atb)
 }
 
+/// A reusable Vandermonde design-matrix builder for a fixed monomial basis.
+///
+/// Row filling uses a per-point **power ladder**: for every dimension the
+/// powers `x^0 .. x^max_exp` are produced with one multiplication each, and
+/// every matrix entry is then a product of ladder lookups — no `powi` per
+/// entry.  The ladder scratch lives in the builder, so filling a matrix of
+/// any size performs no allocation.
+#[derive(Debug, Clone)]
+pub struct DesignBuilder {
+    dim: usize,
+    /// Number of monomial terms (matrix columns).
+    terms: usize,
+    /// Term-major exponent table, `terms * dim` entries.
+    exponents: Vec<u32>,
+    /// Per-dimension largest exponent.
+    max_exp: Vec<u32>,
+    /// Ladder scratch, `dim * stride` entries with `stride = max(max_exp)+1`.
+    pows: Vec<f64>,
+    stride: usize,
+    /// Power-column scratch for [`DesignBuilder::fill_matrix`]:
+    /// `dim * stride` columns of `m` entries each, column `(d, e)` holding
+    /// `x_d^e` for every point.
+    powcols: Vec<f64>,
+    /// Gather scratch for one coordinate column (`m` entries).
+    xcol: Vec<f64>,
+}
+
+impl DesignBuilder {
+    /// Creates a builder for the given monomial basis.
+    ///
+    /// Returns an error when the basis is empty or an exponent tuple does not
+    /// match `dim`.  A zero-dimensional basis (the single empty tuple) is
+    /// valid and produces all-ones columns, matching the constant fits the
+    /// plain `powi` design loop supported.
+    pub fn new(dim: usize, exponents: &[Vec<u32>]) -> Result<DesignBuilder> {
+        if exponents.is_empty() {
+            return Err(MatError::dims("design basis: empty input".to_string()));
+        }
+        let mut flat = Vec::with_capacity(exponents.len() * dim);
+        let mut max_exp = vec![0u32; dim];
+        for e in exponents {
+            if e.len() != dim {
+                return Err(MatError::dims(
+                    "design_matrix: exponent arity does not match point dimension".to_string(),
+                ));
+            }
+            for (d, &x) in e.iter().enumerate() {
+                flat.push(x);
+                max_exp[d] = max_exp[d].max(x);
+            }
+        }
+        let stride = max_exp.iter().max().copied().unwrap_or(0) as usize + 1;
+        Ok(DesignBuilder {
+            dim,
+            terms: exponents.len(),
+            exponents: flat,
+            max_exp,
+            pows: vec![1.0; dim * stride],
+            stride,
+            powcols: Vec::new(),
+            xcol: Vec::new(),
+        })
+    }
+
+    /// Number of monomial terms (matrix columns).
+    pub fn terms(&self) -> usize {
+        self.terms
+    }
+
+    /// Point dimensionality the basis expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Fills row `row` of `a` with the basis evaluated at `point`.
+    ///
+    /// Panics if the point arity or the matrix shape does not match the basis
+    /// (`a` must have at least `row + 1` rows and exactly [`terms`] columns).
+    ///
+    /// [`terms`]: DesignBuilder::terms
+    pub fn fill_row(&mut self, a: &mut Matrix, row: usize, point: &[f64]) {
+        assert_eq!(point.len(), self.dim, "design point has wrong arity");
+        assert_eq!(a.cols(), self.terms(), "design matrix has wrong width");
+        assert!(row < a.rows(), "design row out of range");
+        for d in 0..self.dim {
+            let ladder = &mut self.pows[d * self.stride..(d + 1) * self.stride];
+            let mut p = 1.0;
+            ladder[0] = 1.0;
+            for e in 1..=self.max_exp[d] as usize {
+                p *= point[d];
+                ladder[e] = p;
+            }
+        }
+        let ld = a.ld();
+        let data = a.as_mut_slice();
+        for t in 0..self.terms() {
+            let exps = &self.exponents[t * self.dim..(t + 1) * self.dim];
+            let mut v = 1.0;
+            for (d, &e) in exps.iter().enumerate() {
+                v *= self.pows[d * self.stride + e as usize];
+            }
+            data[t * ld + row] = v;
+        }
+    }
+
+    /// Fills the whole design matrix from flat point-major coordinates
+    /// (`a.rows() * dim` entries, point `i` at `points[i*dim..(i+1)*dim]`).
+    ///
+    /// Column-oriented counterpart of [`DesignBuilder::fill_row`] producing
+    /// bit-identical values: per-dimension power **columns** are laddered once
+    /// (`x^e = x^(e-1) * x`, the same multiplication chain as the row
+    /// ladders), and each term column is then an elementwise product of power
+    /// columns — contiguous loads and stores the optimiser can vectorise.
+    pub fn fill_matrix(&mut self, a: &mut Matrix, points: &[f64]) {
+        let m = a.rows();
+        assert_eq!(points.len(), m * self.dim, "flat points have wrong length");
+        assert_eq!(a.cols(), self.terms(), "design matrix has wrong width");
+        self.powcols.clear();
+        self.powcols.resize(self.dim * self.stride * m, 0.0);
+        self.xcol.resize(m, 0.0);
+        for d in 0..self.dim {
+            for (i, x) in self.xcol.iter_mut().enumerate() {
+                *x = points[i * self.dim + d];
+            }
+            let cols = &mut self.powcols[d * self.stride * m..(d + 1) * self.stride * m];
+            let (ones, rest) = cols.split_at_mut(m);
+            ones.fill(1.0);
+            let mut prev: &[f64] = ones;
+            let mut rest = rest;
+            for _e in 1..=self.max_exp[d] as usize {
+                let (cur, tail) = rest.split_at_mut(m);
+                for ((c, &p), &x) in cur.iter_mut().zip(prev).zip(&self.xcol) {
+                    *c = p * x;
+                }
+                prev = cur;
+                rest = tail;
+            }
+        }
+        let ld = a.ld();
+        let data = a.as_mut_slice();
+        for t in 0..self.terms() {
+            let exps = &self.exponents[t * self.dim..(t + 1) * self.dim];
+            let col = &mut data[t * ld..t * ld + m];
+            let Some(&e0) = exps.first() else {
+                // Zero-dimensional basis: the empty product is 1.
+                col.fill(1.0);
+                continue;
+            };
+            let first = &self.powcols[(e0 as usize) * m..(e0 as usize + 1) * m];
+            col.copy_from_slice(first);
+            for (d, &e) in exps.iter().enumerate().skip(1) {
+                let offset = (d * self.stride + e as usize) * m;
+                for (c, &p) in col.iter_mut().zip(&self.powcols[offset..offset + m]) {
+                    *c *= p;
+                }
+            }
+        }
+    }
+}
+
 /// Builds the Vandermonde-style design matrix for a polynomial basis.
 ///
 /// `points` holds one row per sample (each row is a point in `dim` dimensions)
 /// and `exponents` lists the monomials as exponent tuples.  Entry `(s, t)` of
-/// the result is `prod_d points[s][d] ^ exponents[t][d]`.
+/// the result is `prod_d points[s][d] ^ exponents[t][d]`, computed via
+/// [`DesignBuilder`]'s power ladder.
 pub fn design_matrix(points: &[Vec<f64>], exponents: &[Vec<u32>]) -> Result<Matrix> {
     let m = points.len();
     let n = exponents.len();
@@ -227,13 +564,7 @@ pub fn design_matrix(points: &[Vec<f64>], exponents: &[Vec<u32>]) -> Result<Matr
         return Err(MatError::dims("design_matrix: empty input".to_string()));
     }
     let dim = points[0].len();
-    for e in exponents {
-        if e.len() != dim {
-            return Err(MatError::dims(
-                "design_matrix: exponent arity does not match point dimension".to_string(),
-            ));
-        }
-    }
+    let mut builder = DesignBuilder::new(dim, exponents)?;
     let mut a = Matrix::zeros(m, n);
     for (s, p) in points.iter().enumerate() {
         if p.len() != dim {
@@ -241,13 +572,7 @@ pub fn design_matrix(points: &[Vec<f64>], exponents: &[Vec<u32>]) -> Result<Matr
                 "design_matrix: inconsistent point dimension".to_string(),
             ));
         }
-        for (t, e) in exponents.iter().enumerate() {
-            let mut v = 1.0;
-            for d in 0..dim {
-                v *= p[d].powi(e[d] as i32);
-            }
-            a.set(s, t, v);
-        }
+        builder.fill_row(&mut a, s, p);
     }
     Ok(a)
 }
@@ -296,7 +621,7 @@ mod tests {
                 b[i] += a[(i, j)] * x_true[j];
             }
         }
-        let x = lstsq(&a, &b).unwrap();
+        let x = lstsq(a, &b).unwrap();
         for i in 0..3 {
             assert!((x[i] - x_true[i]).abs() < 1e-10, "x[{i}] = {}", x[i]);
         }
@@ -310,7 +635,7 @@ mod tests {
         let exps = vec![vec![0u32], vec![1], vec![2]];
         let a = design_matrix(&points, &exps).unwrap();
         let b: Vec<f64> = ts.iter().map(|&t| 2.0 + 3.0 * t + 0.5 * t * t).collect();
-        let c = lstsq(&a, &b).unwrap();
+        let c = lstsq(a, &b).unwrap();
         assert!((c[0] - 2.0).abs() < 1e-8);
         assert!((c[1] - 3.0).abs() < 1e-8);
         assert!((c[2] - 0.5).abs() < 1e-8);
@@ -321,7 +646,7 @@ mod tests {
         let a =
             Matrix::from_rows(5, 2, &[1.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
         let b = vec![1.1, 1.9, 3.2, 3.9, 5.1];
-        let x = lstsq(&a, &b).unwrap();
+        let x = lstsq(a.clone(), &b).unwrap();
         // residual r = b - A x must satisfy A^T r ~ 0
         let mut r = b.clone();
         for i in 0..5 {
@@ -343,11 +668,84 @@ mod tests {
         // Two identical columns: plain QR solve would fail; lstsq must not.
         let a = Matrix::from_rows(4, 2, &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]).unwrap();
         let b = vec![2.0, 4.0, 6.0, 8.0];
-        let x = lstsq(&a, &b).unwrap();
+        let x = lstsq(a.clone(), &b).unwrap();
         // Any solution with x0 + x1 = 2 is acceptable; check the fit quality.
         for i in 0..4 {
             let pred = a[(i, 0)] * x[0] + a[(i, 1)] * x[1];
             assert!((pred - b[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn factor_reusing_ridge_matches_normal_equation_ridge() {
+        // The factor-derived ridge fallback (R^T R + lambda I) must agree with
+        // the explicit normal-equation construction on the same system.
+        let a = Matrix::from_rows(
+            5,
+            3,
+            &[
+                1.0, 1.0, 2.0, //
+                1.0, 2.0, 4.0, //
+                1.0, 3.0, 6.0, //
+                1.0, 4.0, 8.0, //
+                1.0, 5.0, 10.0,
+            ],
+        )
+        .unwrap();
+        let b = vec![1.0, 2.0, 2.5, 4.0, 5.5];
+        let lambda = 1e-8;
+        let via_factors = {
+            let qr = QrFactorization::new(a.clone()).unwrap();
+            let mut qtb = b.clone();
+            qr.apply_qt(&mut qtb).unwrap();
+            super::ridge_solve_from(&qr, &qtb, lambda).unwrap()
+        };
+        let via_normal = lstsq_regularized(&a, &b, lambda).unwrap();
+        for (u, v) in via_factors.iter().zip(&via_normal) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_independent_solves() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64).cos());
+        let rhs: Vec<Vec<f64>> = (0..5)
+            .map(|q| (0..8).map(|i| (i * q) as f64 * 0.3 - 1.0).collect())
+            .collect();
+        let qr = QrFactorization::new(a.clone()).unwrap();
+        let many = qr.solve_many(&rhs).unwrap();
+        assert_eq!(many.len(), 5);
+        for (b, x_many) in rhs.iter().zip(&many) {
+            let x_single = lstsq(a.clone(), b).unwrap();
+            assert_eq!(&x_single, x_many, "multi-RHS solve must match lstsq");
+        }
+        assert!(qr.solve_many(&[vec![0.0; 3]]).is_err());
+    }
+
+    #[test]
+    fn lstsq_multi_matches_lstsq_on_rank_deficient_systems() {
+        // Duplicate columns force the ridge fallback; the shared-factor multi
+        // driver must produce bit-identical solutions to per-RHS lstsq.
+        let a = Matrix::from_rows(
+            6,
+            3,
+            &[
+                1.0, 2.0, 2.0, //
+                1.0, 3.0, 3.0, //
+                1.0, 4.0, 4.0, //
+                1.0, 5.0, 5.0, //
+                1.0, 6.0, 6.0, //
+                1.0, 7.0, 7.0,
+            ],
+        )
+        .unwrap();
+        let rhs: Vec<Vec<f64>> = (0..5)
+            .map(|q| (0..6).map(|i| ((i + q) as f64).sin() + 2.0).collect())
+            .collect();
+        let many = lstsq_multi(a.clone(), &rhs).unwrap();
+        for (b, x_many) in rhs.iter().zip(&many) {
+            let x_single = lstsq(a.clone(), b).unwrap();
+            assert_eq!(&x_single, x_many);
         }
     }
 
@@ -363,6 +761,85 @@ mod tests {
         assert_eq!(a[(1, 3)], 5.0);
         assert!(design_matrix(&[], &exps).is_err());
         assert!(design_matrix(&points, &[vec![1]]).is_err());
+    }
+
+    #[test]
+    fn design_builder_ladder_matches_powi() {
+        let points = vec![vec![0.3, 1.7], vec![2.0, -0.5], vec![1.0, 0.0]];
+        let exps = vec![
+            vec![0u32, 0],
+            vec![3, 1],
+            vec![1, 4],
+            vec![2, 2],
+            vec![5, 0],
+        ];
+        let a = design_matrix(&points, &exps).unwrap();
+        for (s, p) in points.iter().enumerate() {
+            for (t, e) in exps.iter().enumerate() {
+                let reference = p[0].powi(e[0] as i32) * p[1].powi(e[1] as i32);
+                let rel = (a[(s, t)] - reference).abs() / reference.abs().max(1e-300);
+                assert!(rel < 1e-12, "entry ({s},{t}): {} vs {reference}", a[(s, t)]);
+            }
+        }
+        let mut b = DesignBuilder::new(2, &exps).unwrap();
+        assert_eq!(b.terms(), 5);
+        assert_eq!(b.dim(), 2);
+        // Refilling with the same builder reuses the ladder scratch.
+        let mut m = Matrix::zeros(1, 5);
+        b.fill_row(&mut m, 0, &[0.3, 1.7]);
+        for t in 0..5 {
+            assert_eq!(m[(0, t)], a[(0, t)]);
+        }
+        assert!(DesignBuilder::new(0, &exps).is_err());
+        assert!(DesignBuilder::new(3, &exps).is_err());
+    }
+
+    #[test]
+    fn zero_dimensional_basis_builds_ones_column() {
+        // A dim-0 basis (single empty exponent tuple) is the constant fit's
+        // design: one all-ones column, on both fill paths.
+        let exps = vec![vec![]];
+        let points = vec![vec![], vec![], vec![]];
+        let a = design_matrix(&points, &exps).unwrap();
+        for s in 0..3 {
+            assert_eq!(a[(s, 0)], 1.0);
+        }
+        let mut builder = DesignBuilder::new(0, &exps).unwrap();
+        assert_eq!(builder.terms(), 1);
+        let mut m = Matrix::zeros(3, 1);
+        builder.fill_matrix(&mut m, &[]);
+        for s in 0..3 {
+            assert_eq!(m[(s, 0)], 1.0);
+        }
+        let x = lstsq(a, &[2.0, 4.0, 6.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_matrix_is_bit_identical_to_fill_row() {
+        let points: Vec<Vec<f64>> = (0..7)
+            .map(|i| vec![0.1 * i as f64, 1.0 - 0.13 * i as f64, (i as f64).sin()])
+            .collect();
+        let exps = vec![
+            vec![0u32, 0, 0],
+            vec![1, 0, 2],
+            vec![2, 1, 0],
+            vec![0, 3, 1],
+            vec![2, 2, 2],
+        ];
+        let by_rows = design_matrix(&points, &exps).unwrap();
+        let flat: Vec<f64> = points.iter().flatten().copied().collect();
+        let mut builder = DesignBuilder::new(3, &exps).unwrap();
+        let mut by_cols = Matrix::zeros(points.len(), exps.len());
+        builder.fill_matrix(&mut by_cols, &flat);
+        for s in 0..points.len() {
+            for t in 0..exps.len() {
+                assert_eq!(by_rows[(s, t)], by_cols[(s, t)], "entry ({s},{t})");
+            }
+        }
+        // Refilling reuses the power-column scratch.
+        builder.fill_matrix(&mut by_cols, &flat);
+        assert_eq!(by_rows[(6, 4)], by_cols[(6, 4)]);
     }
 
     #[test]
@@ -390,11 +867,27 @@ mod tests {
             .iter()
             .map(|p| 1.0 + 2.0 * p[0] + 3.0 * p[1] + 0.1 * p[0] * p[0] - 0.2 * p[1] * p[1])
             .collect();
-        let x1 = lstsq(&a, &b).unwrap();
+        let x1 = lstsq(a.clone(), &b).unwrap();
         let x2 = lstsq_regularized(&a, &b, 1e-12).unwrap();
         for (u, v) in x1.iter().zip(x2.iter()) {
             assert!((u - v).abs() < 1e-5, "{u} vs {v}");
         }
         let _ = matmul(1.0, &a, &Matrix::zeros(exps.len(), 1)).unwrap();
+    }
+
+    #[test]
+    fn into_factors_recycles_the_backing_buffer() {
+        let a = Matrix::from_fn(4, 2, |i, j| (i + 2 * j) as f64 + 0.5);
+        let qr = QrFactorization::new(a).unwrap();
+        let factors = qr.into_factors();
+        assert_eq!(factors.rows(), 4);
+        assert_eq!(factors.cols(), 2);
+        let data = factors.into_data();
+        assert_eq!(data.len(), 8);
+        // Round-trip: the buffer can back a fresh matrix without copying.
+        let again = Matrix::from_data(4, 2, data).unwrap();
+        assert_eq!(again.rows(), 4);
+        assert!(Matrix::from_data(3, 2, vec![0.0; 5]).is_err());
+        assert!(Matrix::from_data(0, 2, vec![]).is_err());
     }
 }

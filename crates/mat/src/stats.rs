@@ -80,13 +80,27 @@ pub struct Summary {
 impl Summary {
     /// Computes a summary of the given observations.
     ///
-    /// Returns `None` for an empty slice.
+    /// Returns `None` for an empty slice.  Small sample sets (up to 16
+    /// observations — every Sampler repetition count the Modeler uses) are
+    /// summarised in stack scratch without allocating.
     pub fn from_samples(samples: &[f64]) -> Option<Summary> {
         if samples.is_empty() {
             return None;
         }
+        if samples.len() <= 16 {
+            let mut buf = [0.0f64; 16];
+            let scratch = &mut buf[..samples.len()];
+            scratch.copy_from_slice(samples);
+            scratch.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+            return Some(Summary::from_sorted(scratch));
+        }
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Some(Summary::from_sorted(&sorted))
+    }
+
+    /// Summary of an already ascending-sorted, non-empty sample slice.
+    fn from_sorted(sorted: &[f64]) -> Summary {
         let n = sorted.len();
         let min = sorted[0];
         let max = sorted[n - 1];
@@ -102,14 +116,14 @@ impl Summary {
             let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
-        Some(Summary {
+        Summary {
             min,
             mean,
             median,
             max,
             std_dev,
             count: n,
-        })
+        }
     }
 
     /// A summary describing a single exact value (used for analytic estimates).

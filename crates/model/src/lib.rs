@@ -37,11 +37,19 @@
 //! compiled once (at build or hot-swap time) into indexed, fused,
 //! zero-allocation evaluators that answer the same queries several times
 //! faster.  The reference path is kept as the equivalence baseline for tests.
+//!
+//! Fitting mirrors that split: the reference fit lives on the model types
+//! ([`VectorPolynomial::fit`], [`RegionModel::fit`]), and the **compiled fit
+//! engine** ([`FitWorkspace`]) — cached monomial plans, one QR factorisation
+//! shared by all five quantity solves, recycled buffers — is what the
+//! Modeler's construction loop drives.  The two are equivalence-tested
+//! against each other in `crates/core/tests/fit_equivalence.rs`.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod eval;
+mod fit;
 mod piecewise;
 mod poly;
 mod region;
@@ -53,6 +61,7 @@ pub use eval::{
     CompiledPiecewise, CompiledRepository, CompiledRoutineModel, CompiledVectorPolynomial,
     RoutineTable, MAX_DIM,
 };
+pub use fit::FitWorkspace;
 pub use piecewise::{error_order, PiecewiseModel, RegionModel, VectorPolynomial};
 pub use poly::{monomial_exponents, Polynomial};
 pub use region::Region;

@@ -1,5 +1,7 @@
 //! Multivariate polynomials and least-squares fitting.
 
+use std::sync::Arc;
+
 use dla_mat::qr::{design_matrix, lstsq};
 use dla_mat::stats::relative_error;
 
@@ -7,36 +9,65 @@ use crate::{ModelError, Result};
 
 /// Generates the exponent tuples of all monomials in `dim` variables with
 /// total degree at most `degree`, in graded lexicographic order.
+///
+/// The tuples are emitted directly in their final order — ascending total
+/// degree, lexicographic within a degree — so no post-sort (with its
+/// per-comparison key clone) is needed.
 pub fn monomial_exponents(dim: usize, degree: u32) -> Vec<Vec<u32>> {
+    /// Emits every composition of exactly `remaining` over the trailing
+    /// `dim - current.len()` positions, in lexicographic order.
     fn rec(dim: usize, remaining: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
-        if dim == 0 {
+        if current.len() + 1 == dim {
+            // Last position takes the remainder: total degree is exact.
+            current.push(remaining);
             out.push(current.clone());
+            current.pop();
             return;
         }
         for e in 0..=remaining {
             current.push(e);
-            rec(dim - 1, remaining - e, current, out);
+            rec(dim, remaining - e, current, out);
             current.pop();
         }
     }
     let mut all = Vec::new();
-    rec(dim, degree, &mut Vec::new(), &mut all);
-    // Sort by total degree, then lexicographically, for a stable, readable order.
-    all.sort_by_key(|e| (e.iter().sum::<u32>(), e.clone()));
+    if dim == 0 {
+        all.push(Vec::new());
+        return all;
+    }
+    let mut scratch = Vec::with_capacity(dim);
+    for total in 0..=degree {
+        rec(dim, total, &mut scratch, &mut all);
+    }
     all
 }
 
 /// A multivariate polynomial `p(x) = sum_t c_t * prod_d x_d^{e_{t,d}}`.
+///
+/// The exponent table is shared behind an [`Arc`]: the five quantity
+/// polynomials of one fit (and every clone of a fitted model) reference a
+/// single monomial plan instead of deep-copying it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Polynomial {
     dim: usize,
-    exponents: Vec<Vec<u32>>,
+    exponents: Arc<Vec<Vec<u32>>>,
     coefficients: Vec<f64>,
 }
 
 impl Polynomial {
     /// Creates a polynomial from explicit monomials and coefficients.
     pub fn new(dim: usize, exponents: Vec<Vec<u32>>, coefficients: Vec<f64>) -> Result<Polynomial> {
+        Polynomial::from_shared(dim, Arc::new(exponents), coefficients)
+    }
+
+    /// Creates a polynomial that shares an existing monomial plan (no copy of
+    /// the exponent table — the fit engine hands the same plan to all five
+    /// quantity polynomials).
+    pub fn from_shared(
+        dim: usize,
+        exponents: Arc<Vec<Vec<u32>>>,
+        coefficients: Vec<f64>,
+    ) -> Result<Polynomial> {
         if exponents.len() != coefficients.len() {
             return Err(ModelError::Fit(format!(
                 "{} exponent tuples but {} coefficients",
@@ -58,7 +89,7 @@ impl Polynomial {
     pub fn zero(dim: usize) -> Polynomial {
         Polynomial {
             dim,
-            exponents: vec![vec![0; dim]],
+            exponents: Arc::new(vec![vec![0; dim]]),
             coefficients: vec![0.0],
         }
     }
@@ -121,7 +152,7 @@ impl Polynomial {
         }
         let a = design_matrix(points, &exponents)
             .map_err(|e| ModelError::Fit(format!("design matrix: {e}")))?;
-        let coeffs = lstsq(&a, values).map_err(|e| ModelError::Fit(format!("lstsq: {e}")))?;
+        let coeffs = lstsq(a, values).map_err(|e| ModelError::Fit(format!("lstsq: {e}")))?;
         Polynomial::new(dim, exponents, coeffs)
     }
 

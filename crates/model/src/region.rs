@@ -131,7 +131,22 @@ impl Region {
     /// Generates a grid of sample points inside the region: `per_dim` points
     /// along every dimension (including both endpoints), snapped to multiples
     /// of `step` and deduplicated.
+    ///
+    /// The points come out in ascending lexicographic order: each axis is
+    /// strictly increasing after snapping and deduplication, so the Cartesian
+    /// product is emitted directly in sorted order by an odometer walk — no
+    /// intermediate product stages, no post-sort, no post-dedup.
     pub fn sample_grid(&self, per_dim: usize, step: usize) -> Vec<Vec<usize>> {
+        let mut points = Vec::new();
+        self.sample_grid_into(per_dim, step, &mut points);
+        points
+    }
+
+    /// [`Region::sample_grid`] into a reusable buffer: the outer vector and
+    /// as many inner point vectors as it already holds are recycled, so a
+    /// caller looping over many regions (the Modeler fits hundreds per
+    /// submodel) allocates grid points only on its first iteration.
+    pub fn sample_grid_into(&self, per_dim: usize, step: usize, out: &mut Vec<Vec<usize>>) {
         let dim = self.dim();
         let per_dim = per_dim.max(2);
         let mut axes: Vec<Vec<usize>> = Vec::with_capacity(dim);
@@ -150,25 +165,35 @@ impl Region {
                 v = v.clamp(lo, hi);
                 axis.push(v);
             }
+            // The snapped axis is non-decreasing, so adjacent dedup leaves it
+            // strictly increasing.
             axis.dedup();
             axes.push(axis);
         }
-        // Cartesian product.
-        let mut points: Vec<Vec<usize>> = vec![vec![]];
-        for axis in &axes {
-            let mut next = Vec::with_capacity(points.len() * axis.len());
-            for p in &points {
-                for &v in axis {
-                    let mut q = p.clone();
-                    q.push(v);
-                    next.push(q);
-                }
+        // Cartesian product via an odometer over the axis indices.
+        let total: usize = axes.iter().map(|a| a.len()).product();
+        out.truncate(total);
+        out.reserve(total - out.len());
+        let mut idx = vec![0usize; dim];
+        for slot in 0..total {
+            if slot < out.len() {
+                out[slot].clear();
+            } else {
+                out.push(Vec::with_capacity(dim));
             }
-            points = next;
+            let p = &mut out[slot];
+            for (axis, &i) in axes.iter().zip(&idx) {
+                p.push(axis[i]);
+            }
+            // Advance the least-significant (last) dimension first.
+            for d in (0..dim).rev() {
+                idx[d] += 1;
+                if idx[d] < axes[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
         }
-        points.sort();
-        points.dedup();
-        points
     }
 
     /// Normalises a point to `[0, 1]^dim` coordinates relative to this region.
@@ -282,9 +307,27 @@ mod tests {
         assert!(grid.iter().all(|p| p.iter().all(|v| v % 8 == 0)));
         assert!(grid.iter().all(|p| r.contains(p)));
         assert_eq!(grid.len(), 9);
+        // The odometer emits the product directly in sorted, deduplicated
+        // order (the fit path relies on a stable point order).
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
         // degenerate region: single point
         let single = Region::new(vec![16], vec![16]);
         assert_eq!(single.sample_grid(4, 8), vec![vec![16]]);
+    }
+
+    #[test]
+    fn sample_grid_into_recycles_buffers() {
+        let big = Region::new(vec![8, 8], vec![104, 104]);
+        let small = Region::new(vec![8], vec![24]);
+        let mut buf: Vec<Vec<usize>> = Vec::new();
+        big.sample_grid_into(3, 8, &mut buf);
+        assert_eq!(buf, big.sample_grid(3, 8));
+        // Refill with a smaller grid: the buffer shrinks to the new size and
+        // holds exactly the fresh points.
+        small.sample_grid_into(3, 8, &mut buf);
+        assert_eq!(buf, small.sample_grid(3, 8));
+        big.sample_grid_into(3, 8, &mut buf);
+        assert_eq!(buf, big.sample_grid(3, 8));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use std::collections::{HashSet, VecDeque};
 
 use dla_machine::Executor;
-use dla_model::{PiecewiseModel, Region, RegionModel};
+use dla_mat::stats::Summary;
+use dla_model::{error_order, FitWorkspace, PiecewiseModel, Region, RegionModel};
 
 use crate::SampleOracle;
 
@@ -86,10 +87,22 @@ impl ExpansionConfig {
         }
     }
 
-    /// Builds a piecewise model over `space` by Model Expansion.
+    /// Builds a piecewise model over `space` by Model Expansion, with a fresh
+    /// fit workspace.
     pub fn build<E: Executor>(
         &self,
         oracle: &mut SampleOracle<'_, E>,
+        space: &Region,
+    ) -> PiecewiseModel {
+        self.build_with(oracle, &mut FitWorkspace::new(), space)
+    }
+
+    /// Builds a piecewise model over `space` by Model Expansion, fitting
+    /// every candidate region through the given [`FitWorkspace`].
+    pub fn build_with<E: Executor>(
+        &self,
+        oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
         space: &Region,
     ) -> PiecewiseModel {
         let dim = space.dim();
@@ -121,6 +134,8 @@ impl ExpansionConfig {
         let mut queue: VecDeque<Vec<usize>> = VecDeque::new();
         queue.push_back(seed);
         let mut regions: Vec<RegionModel> = Vec::new();
+        let mut points: Vec<Vec<usize>> = Vec::new();
+        let mut summaries: Vec<Summary> = Vec::new();
 
         while let Some(cell_idx) = queue.pop_front() {
             if covered.contains(&cell_idx) {
@@ -131,8 +146,21 @@ impl ExpansionConfig {
             let this_cell = cell_region(&cell_idx);
             let already = regions.iter().any(|r| r.region.contains_region(&this_cell));
             if !already {
-                let final_region = self.grow_region(oracle, space, this_cell.clone());
-                let fitted = self.fit_region(oracle, &final_region);
+                let final_region = self.grow_region(
+                    oracle,
+                    workspace,
+                    &mut points,
+                    &mut summaries,
+                    space,
+                    this_cell.clone(),
+                );
+                let fitted = self.fit_region(
+                    oracle,
+                    workspace,
+                    &mut points,
+                    &mut summaries,
+                    &final_region,
+                );
                 regions.push(fitted);
             }
             covered.insert(cell_idx.clone());
@@ -153,8 +181,9 @@ impl ExpansionConfig {
         }
 
         let total = oracle.unique_samples();
-        // Order regions by fit error so diagnostics read naturally.
-        regions.sort_by(|a, b| a.error.partial_cmp(&b.error).expect("finite errors"));
+        // Order regions by fit error so diagnostics read naturally; NaN fit
+        // errors (degenerate fits) sort last instead of panicking mid-sort.
+        regions.sort_by(|a, b| error_order(a.error, b.error));
         PiecewiseModel::new(space.clone(), regions, total)
     }
 
@@ -163,6 +192,9 @@ impl ExpansionConfig {
     fn grow_region<E: Executor>(
         &self,
         oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
+        points: &mut Vec<Vec<usize>>,
+        summaries: &mut Vec<Summary>,
         space: &Region,
         start: Region,
     ) -> Region {
@@ -183,7 +215,7 @@ impl ExpansionConfig {
                     *blocked_d = true;
                     continue;
                 }
-                let fitted = self.fit_region(oracle, &candidate);
+                let fitted = self.fit_region(oracle, workspace, points, summaries, &candidate);
                 if fitted.error <= self.error_bound {
                     region = candidate;
                     progressed = true;
@@ -198,24 +230,22 @@ impl ExpansionConfig {
         region
     }
 
+    /// Fits one region through the workspace; regions too small for the
+    /// requested degree (fringe cells) fall back to a constant fit inside
+    /// [`RegionModel::fit_with_fallback`] without re-preparing the samples.
     fn fit_region<E: Executor>(
         &self,
         oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
+        points: &mut Vec<Vec<usize>>,
+        summaries: &mut Vec<Summary>,
         region: &Region,
     ) -> RegionModel {
         let step = oracle.grid_step();
-        let points = region.sample_grid(self.grid_per_dim, step);
-        let samples = oracle.measure_all(&points);
-        match RegionModel::fit(region.clone(), &samples, self.degree) {
-            Ok(model) => model,
-            Err(_) => {
-                // Not enough points for the requested degree (tiny regions at
-                // the fringe of the space): fall back to a constant fit, which
-                // needs a single sample.
-                RegionModel::fit(region.clone(), &samples, 0)
-                    .expect("constant fit always succeeds with >= 1 sample")
-            }
-        }
+        region.sample_grid_into(self.grid_per_dim, step, points);
+        oracle.measure_into(points, summaries);
+        RegionModel::fit_with_fallback(workspace, region.clone(), points, summaries, self.degree)
+            .expect("constant fit always succeeds with >= 1 sample")
     }
 }
 

@@ -21,6 +21,12 @@
 //! calls by flag combination, builds one piecewise submodel per combination,
 //! fixes all leading dimensions to a large constant (2500, as in the paper)
 //! and records how many distinct sample points were spent.
+//!
+//! Construction runs through the compiled fit engine: the Modeler owns one
+//! [`dla_model::FitWorkspace`] that persists across every region, submodel
+//! and routine it builds (`build_with` on either strategy), and the
+//! [`SampleOracle`] caches measurements under fixed-size, allocation-free
+//! point keys.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

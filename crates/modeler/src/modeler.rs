@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 
 use dla_blas::{Call, Routine};
 use dla_machine::{Executor, Locality};
-use dla_model::{submodel_key, ModelRepository, PiecewiseModel, Region, RoutineModel};
+use dla_model::{
+    submodel_key, FitWorkspace, ModelRepository, PiecewiseModel, Region, RoutineModel,
+};
 use dla_sampler::{Sampler, SamplerConfig};
 
 use crate::{ExpansionConfig, RefinementConfig, SampleOracle};
@@ -31,9 +33,20 @@ impl Strategy {
         oracle: &mut SampleOracle<'_, E>,
         space: &Region,
     ) -> PiecewiseModel {
+        self.build_with(oracle, &mut FitWorkspace::new(), space)
+    }
+
+    /// Builds a piecewise model for one flag combination over `space`,
+    /// fitting through the given [`FitWorkspace`].
+    pub fn build_with<E: Executor>(
+        &self,
+        oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
+        space: &Region,
+    ) -> PiecewiseModel {
         match self {
-            Strategy::Expansion(cfg) => cfg.build(oracle, space),
-            Strategy::Refinement(cfg) => cfg.build(oracle, space),
+            Strategy::Expansion(cfg) => cfg.build_with(oracle, workspace, space),
+            Strategy::Refinement(cfg) => cfg.build_with(oracle, workspace, space),
         }
     }
 
@@ -63,10 +76,15 @@ pub struct ModelingReport {
 }
 
 /// The Modeler: builds routine models by driving a Sampler with a strategy.
+///
+/// The Modeler owns one [`FitWorkspace`] that persists across every region,
+/// submodel and routine it builds, so monomial plans and fit buffers are
+/// allocated once per Modeler rather than once per fit.
 pub struct Modeler<E: Executor> {
     sampler: Sampler<E>,
     strategy: Strategy,
     grid_step: usize,
+    workspace: FitWorkspace,
 }
 
 impl<E: Executor> Modeler<E> {
@@ -89,6 +107,7 @@ impl<E: Executor> Modeler<E> {
             sampler: Sampler::new(executor, config),
             strategy,
             grid_step: 8,
+            workspace: FitWorkspace::new(),
         }
     }
 
@@ -123,7 +142,9 @@ impl<E: Executor> Modeler<E> {
     /// distinct points sampled for it.
     pub fn build_submodel(&mut self, template: &Call, space: &Region) -> (PiecewiseModel, usize) {
         let mut oracle = SampleOracle::new(&mut self.sampler, template.clone(), self.grid_step);
-        let model = self.strategy.build(&mut oracle, space);
+        let model = self
+            .strategy
+            .build_with(&mut oracle, &mut self.workspace, space);
         let samples = oracle.unique_samples();
         (model, samples)
     }

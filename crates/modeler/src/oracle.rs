@@ -1,6 +1,7 @@
 //! The sampling oracle used by the modeling strategies.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use dla_blas::Call;
 use dla_machine::Executor;
@@ -10,6 +11,51 @@ use dla_sampler::Sampler;
 /// Leading dimension the paper fixes all operands to during model generation.
 pub const MODEL_LEADING_DIM: usize = 2500;
 
+/// Fixed-size cache key for a sample point (mirrors `Call::sizes_fixed`: no
+/// routine takes more than [`Call::MAX_SIZES`] integer sizes, so points are
+/// padded with zeros instead of heap-allocated).
+type PointKey = [usize; Call::MAX_SIZES];
+
+/// Multiply-mix hasher for the point cache.
+///
+/// The cache key is three machine words, hashed on every single grid lookup
+/// of every region fit; the default SipHash costs more than the arithmetic it
+/// guards against here (the keys are trusted internal sample coordinates, so
+/// HashDoS resistance buys nothing).
+#[derive(Default)]
+struct PointHasher(u64);
+
+impl Hasher for PointHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Fixed-size integer keys arrive here as one raw-byte write; fold
+        // them a word at a time.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(word)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Final avalanche so grid-aligned (multiple-of-8) coordinates spread
+        // across the table's low bits.
+        let mut h = self.0;
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^ (h >> 32)
+    }
+}
+
+type PointCache = HashMap<PointKey, Summary, BuildHasherDefault<PointHasher>>;
+
 /// A caching front end between a modeling strategy and the Sampler.
 ///
 /// The oracle owns the call template (routine + flags + scalars); a strategy
@@ -18,21 +64,29 @@ pub const MODEL_LEADING_DIM: usize = 2500;
 /// samples it, and caches the summary so revisiting a point is free.  The
 /// number of *distinct* points sampled is the "number of samples" the paper
 /// reports when comparing strategies.
+///
+/// The cache is keyed by fixed-size arrays and populated through the map's
+/// entry API, so a lookup — hit or miss — hashes the point exactly once and
+/// never allocates.
 pub struct SampleOracle<'a, E: Executor> {
     sampler: &'a mut Sampler<E>,
     template: Call,
-    cache: HashMap<Vec<usize>, Summary>,
+    cache: PointCache,
     grid_step: usize,
+    dim: usize,
 }
 
 impl<'a, E: Executor> SampleOracle<'a, E> {
     /// Creates an oracle for a call template.
     pub fn new(sampler: &'a mut Sampler<E>, template: Call, grid_step: usize) -> Self {
+        let dim = template.routine().size_count();
+        debug_assert!(dim <= Call::MAX_SIZES);
         SampleOracle {
             sampler,
             template: template.with_leading_dims(MODEL_LEADING_DIM),
-            cache: HashMap::new(),
+            cache: PointCache::default(),
             grid_step: grid_step.max(1),
+            dim,
         }
     }
 
@@ -49,22 +103,43 @@ impl<'a, E: Executor> SampleOracle<'a, E> {
 
     /// Measures the template at an integer-parameter point (cached).
     pub fn measure(&mut self, point: &[usize]) -> Summary {
-        if let Some(s) = self.cache.get(point) {
-            return *s;
-        }
-        let call = self.template.with_sizes(point);
-        let result = self.sampler.sample(&call);
-        let summary = result.ticks;
-        self.cache.insert(point.to_vec(), summary);
-        summary
+        assert_eq!(
+            point.len(),
+            self.dim,
+            "sample point arity does not match the template routine"
+        );
+        let mut key: PointKey = [0; Call::MAX_SIZES];
+        key[..point.len()].copy_from_slice(point);
+        // Split borrows: the entry holds `cache` while the closure drives the
+        // sampler, so a miss instantiates the template and samples exactly
+        // once, and a hit touches nothing else.
+        let SampleOracle {
+            sampler,
+            template,
+            cache,
+            ..
+        } = self;
+        *cache
+            .entry(key)
+            .or_insert_with(|| sampler.sample_ticks(&template.with_sizes(point)))
     }
 
-    /// Measures a whole set of points and returns `(point, summary)` pairs.
-    pub fn measure_all(&mut self, points: &[Vec<usize>]) -> Vec<(Vec<usize>, Summary)> {
-        points
-            .iter()
-            .map(|p| (p.clone(), self.measure(p)))
-            .collect()
+    /// Measures a whole set of points, returning the summaries in point order.
+    pub fn measure_all(&mut self, points: &[Vec<usize>]) -> Vec<Summary> {
+        let mut out = Vec::with_capacity(points.len());
+        self.measure_into(points, &mut out);
+        out
+    }
+
+    /// Measures a whole set of points into a reusable buffer (cleared first);
+    /// `out[i]` is the summary for `points[i]`.
+    pub fn measure_into(&mut self, points: &[Vec<usize>], out: &mut Vec<Summary>) {
+        out.clear();
+        out.reserve(points.len());
+        for p in points {
+            let s = self.measure(p);
+            out.push(s);
+        }
     }
 
     /// Number of distinct points sampled so far.
@@ -74,7 +149,10 @@ impl<'a, E: Executor> SampleOracle<'a, E> {
 
     /// All cached samples (used to hand already-acquired data to a fit).
     pub fn cached_samples(&self) -> Vec<(Vec<usize>, Summary)> {
-        self.cache.iter().map(|(p, s)| (p.clone(), *s)).collect()
+        self.cache
+            .iter()
+            .map(|(p, s)| (p[..self.dim].to_vec(), *s))
+            .collect()
     }
 }
 
@@ -111,7 +189,10 @@ mod tests {
         assert_eq!(oracle.unique_samples(), 1);
         let _ = oracle.measure(&[128, 64]);
         assert_eq!(oracle.unique_samples(), 2);
-        assert_eq!(oracle.cached_samples().len(), 2);
+        let cached = oracle.cached_samples();
+        assert_eq!(cached.len(), 2);
+        // Cached points come back at the routine's arity, not key-padded.
+        assert!(cached.iter().all(|(p, _)| p.len() == 2));
         // Only the first point triggered executor work beyond its repetitions.
         assert_eq!(sampler.samples_taken(), 2 * 5);
     }
@@ -144,7 +225,7 @@ mod tests {
     }
 
     #[test]
-    fn measure_all_returns_pairs_in_order() {
+    fn measure_all_returns_summaries_in_point_order() {
         let mut sampler = Sampler::new(
             SimExecutor::new(harpertown_openblas(), 5),
             SamplerConfig::in_cache(2),
@@ -153,8 +234,25 @@ mod tests {
         let points = vec![vec![32, 32], vec![64, 32], vec![32, 32]];
         let results = oracle.measure_all(&points);
         assert_eq!(results.len(), 3);
-        assert_eq!(results[0].0, vec![32, 32]);
-        assert_eq!(results[0].1, results[2].1);
+        assert_eq!(results[0], results[2], "same point, same cached summary");
         assert_eq!(oracle.unique_samples(), 2);
+        // The buffer-reusing variant agrees and reuses its allocation.
+        let mut buf = Vec::new();
+        oracle.measure_into(&points, &mut buf);
+        assert_eq!(buf, results);
+        oracle.measure_into(&points[..1], &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0], results[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_point_panics() {
+        let mut sampler = Sampler::new(
+            SimExecutor::new(harpertown_openblas(), 3),
+            SamplerConfig::in_cache(2),
+        );
+        let mut oracle = SampleOracle::new(&mut sampler, template(), 8);
+        let _ = oracle.measure(&[64]);
     }
 }

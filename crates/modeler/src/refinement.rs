@@ -1,7 +1,8 @@
 //! Adaptive Refinement (paper Section III-C2).
 
 use dla_machine::Executor;
-use dla_model::{error_order, PiecewiseModel, Region, RegionModel};
+use dla_mat::stats::Summary;
+use dla_model::{error_order, FitWorkspace, PiecewiseModel, Region, RegionModel};
 
 use crate::SampleOracle;
 
@@ -69,18 +70,33 @@ impl RefinementConfig {
         }
     }
 
-    /// Builds a piecewise model over `space` by Adaptive Refinement.
+    /// Builds a piecewise model over `space` by Adaptive Refinement, with a
+    /// fresh fit workspace.
     pub fn build<E: Executor>(
         &self,
         oracle: &mut SampleOracle<'_, E>,
         space: &Region,
     ) -> PiecewiseModel {
+        self.build_with(oracle, &mut FitWorkspace::new(), space)
+    }
+
+    /// Builds a piecewise model over `space` by Adaptive Refinement, fitting
+    /// every region through the given [`FitWorkspace`] (the Modeler passes
+    /// one workspace across the whole region stack and all submodels).
+    pub fn build_with<E: Executor>(
+        &self,
+        oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
+        space: &Region,
+    ) -> PiecewiseModel {
         let mut stack = vec![space.clone()];
         let mut regions: Vec<RegionModel> = Vec::new();
         let step = oracle.grid_step();
+        let mut points: Vec<Vec<usize>> = Vec::new();
+        let mut summaries: Vec<Summary> = Vec::new();
 
         while let Some(region) = stack.pop() {
-            let fitted = self.fit_region(oracle, &region);
+            let fitted = self.fit_region(oracle, workspace, &mut points, &mut summaries, &region);
             let splittable_children = region.split(self.min_region_size, step);
             let can_split = splittable_children.len() > 1;
             if fitted.error <= self.error_bound || !can_split {
@@ -100,15 +116,16 @@ impl RefinementConfig {
     fn fit_region<E: Executor>(
         &self,
         oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
+        points: &mut Vec<Vec<usize>>,
+        summaries: &mut Vec<Summary>,
         region: &Region,
     ) -> RegionModel {
         let step = oracle.grid_step();
-        let points = region.sample_grid(self.grid_per_dim, step);
-        let samples = oracle.measure_all(&points);
-        RegionModel::fit(region.clone(), &samples, self.degree).unwrap_or_else(|_| {
-            RegionModel::fit(region.clone(), &samples, 0)
-                .expect("constant fit succeeds with at least one sample")
-        })
+        region.sample_grid_into(self.grid_per_dim, step, points);
+        oracle.measure_into(points, summaries);
+        RegionModel::fit_with_fallback(workspace, region.clone(), points, summaries, self.degree)
+            .expect("constant fit succeeds with at least one sample")
     }
 }
 

@@ -77,6 +77,8 @@ pub struct Sampler<E: Executor> {
     executor: E,
     config: SamplerConfig,
     samples_taken: usize,
+    /// Reusable tick-measurement buffer for the repetition loop.
+    scratch: Vec<f64>,
 }
 
 impl<E: Executor> Sampler<E> {
@@ -86,6 +88,7 @@ impl<E: Executor> Sampler<E> {
             executor,
             config,
             samples_taken: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -126,20 +129,42 @@ impl<E: Executor> Sampler<E> {
         &mut self.executor
     }
 
+    /// Runs the measurement loop for one call into `self.scratch`; the first
+    /// `warmup` entries are warm-up measurements, the rest are kept.
+    ///
+    /// Returns `warmup` (the number of leading scratch entries to discard).
+    fn collect_ticks(&mut self, call: &Call) -> usize {
+        let total = (self.config.repetitions + self.config.warmup_discard).max(1);
+        let warmup = if total > self.config.warmup_discard {
+            self.config.warmup_discard
+        } else {
+            0
+        };
+        self.scratch.clear();
+        self.executor
+            .execute_ticks(call, self.config.locality, total, &mut self.scratch);
+        self.samples_taken += total;
+        warmup
+    }
+
+    /// Measures one call and returns only the tick summary.
+    ///
+    /// This is the hot path for the Modeler's sampling oracle: it performs the
+    /// same measurement loop as [`Sampler::sample`] (identical executor
+    /// invocations, so the two are interchangeable without perturbing a
+    /// deterministic noise stream) but skips the efficiency summary, the raw
+    /// sample retention and the call clone of the full [`SampleResult`], and
+    /// reuses one measurement buffer across calls.
+    pub fn sample_ticks(&mut self, call: &Call) -> Summary {
+        let warmup = self.collect_ticks(call);
+        Summary::from_samples(&self.scratch[warmup..]).expect("at least one kept sample")
+    }
+
     /// Measures one call.
     pub fn sample(&mut self, call: &Call) -> SampleResult {
-        let total = self.config.repetitions + self.config.warmup_discard;
-        let mut discarded = Vec::with_capacity(self.config.warmup_discard);
-        let mut kept = Vec::with_capacity(self.config.repetitions.max(1));
-        for i in 0..total.max(1) {
-            let m = self.executor.execute(call, self.config.locality);
-            self.samples_taken += 1;
-            if i < self.config.warmup_discard && total > self.config.warmup_discard {
-                discarded.push(m.ticks);
-            } else {
-                kept.push(m.ticks);
-            }
-        }
+        let warmup = self.collect_ticks(call);
+        let discarded = self.scratch[..warmup].to_vec();
+        let kept = self.scratch[warmup..].to_vec();
         let ticks = Summary::from_samples(&kept).expect("at least one kept sample");
         let flops = call.flops();
         let machine = self.executor.machine();
@@ -250,6 +275,20 @@ mod tests {
         let r = s.sample(&call(16));
         assert_eq!(r.raw_ticks.len(), 1);
         assert!(r.discarded.is_empty());
+    }
+
+    #[test]
+    fn sample_ticks_matches_full_sample() {
+        // Same seed, same call sequence: the tick-only fast path must report
+        // exactly the summary of the full path (identical executor stream).
+        let mut full = sampler(6);
+        let mut fast = sampler(6);
+        for n in [64usize, 128, 64, 256] {
+            let a = full.sample(&call(n)).ticks;
+            let b = fast.sample_ticks(&call(n));
+            assert_eq!(a, b);
+        }
+        assert_eq!(full.samples_taken(), fast.samples_taken());
     }
 
     #[test]
