@@ -4,11 +4,12 @@ use std::path::Path;
 use std::sync::Arc;
 
 use dla_algos::{SylvVariant, TrinvVariant};
-use dla_machine::{Locality, MachineConfig, SimExecutor};
-use dla_model::{ModelRepository, Result};
-use dla_modeler::ModelingReport;
+use dla_machine::{Executor, Locality, MachineConfig, SimExecutor};
+use dla_model::{ModelRepository, RefinementReport, Result};
+use dla_modeler::online::dedupe_templates;
+use dla_modeler::{ModelingReport, OnlineRefiner, OnlineRefinerConfig, RefineOutcome};
 use dla_predict::blocksize::{optimize_block_size_trinv, BlockSizeSweep};
-use dla_predict::modelset::{build_repository, ModelSetConfig, Workload};
+use dla_predict::modelset::{build_repository, workload_templates, ModelSetConfig, Workload};
 use dla_predict::workloads::{
     measure_sylv, measure_trinv, rank_sylv_variants, rank_trinv_variants, MeasurementMode,
     TraceMeasurement,
@@ -36,6 +37,15 @@ pub struct Pipeline {
     seed: u64,
     service: ModelService,
     reports: Vec<ModelingReport>,
+    /// Workloads built so far — the template registry for online refinement
+    /// (empty after `load_repository` alone; refinement then falls back to
+    /// every known workload's templates).
+    workloads: Vec<Workload>,
+    /// The long-lived online refiner: one sampler (whose noise stream
+    /// advances across rounds, so every round takes fresh measurements),
+    /// one fit workspace, and the deduped template registry, all reused
+    /// round to round.  Reset whenever the templates could change.
+    refiner: Option<OnlineRefiner<SimExecutor>>,
 }
 
 impl Pipeline {
@@ -51,6 +61,8 @@ impl Pipeline {
             seed: 0x5eed,
             service,
             reports: Vec::new(),
+            workloads: Vec::new(),
+            refiner: None,
         }
     }
 
@@ -59,18 +71,21 @@ impl Pipeline {
         self.locality = locality;
         let repository = (*self.service.snapshot()).clone();
         self.service = ModelService::new(repository, self.machine.clone(), locality);
+        self.refiner = None;
         self
     }
 
     /// Replaces the model-building configuration.
     pub fn with_model_config(mut self, config: ModelSetConfig) -> Pipeline {
         self.model_config = config;
+        self.refiner = None;
         self
     }
 
     /// Sets the seed of the simulated measurement noise.
     pub fn with_seed(mut self, seed: u64) -> Pipeline {
         self.seed = seed;
+        self.refiner = None;
         self
     }
 
@@ -115,6 +130,72 @@ impl Pipeline {
         );
         self.service.merge(built);
         self.reports.extend(reports);
+        for &w in workloads {
+            if !self.workloads.contains(&w) {
+                self.workloads.push(w);
+                // The template registry grew: rebuild the refiner lazily.
+                self.refiner = None;
+            }
+        }
+    }
+
+    /// A ranked snapshot of the serving layer's refinement telemetry: which
+    /// `(routine, flags, region)` cells answered the queries served since the
+    /// last swap/merge, hottest (`queries × fit_error`) first.
+    pub fn refinement_report(&self) -> RefinementReport {
+        self.service.refinement_report()
+    }
+
+    /// One online-refinement round: consumes the service's current
+    /// [`refinement_report`](Pipeline::refinement_report), re-samples the
+    /// hottest badly-fitting regions on the simulated machine within
+    /// `config`'s budget, and publishes the rebuilt flag-variant submodels
+    /// through the serving layer's submodel-granular hot-swap merge.
+    ///
+    /// Serving continues throughout: readers keep answering from the old
+    /// snapshot until the merged repository is swapped in atomically.  The
+    /// refiner persists across rounds (one sampler whose noise stream
+    /// advances per round, one fit workspace, one deduped template
+    /// registry); its templates come from the workloads built so far, or —
+    /// when the repository was loaded from disk instead of built — from
+    /// every known workload, so a loaded repository refines just as well.
+    pub fn refine_online(&mut self, config: OnlineRefinerConfig) -> RefineOutcome {
+        let report = self.service.refinement_report();
+        if report.is_empty() {
+            return RefineOutcome::default();
+        }
+        if self.refiner.is_none() {
+            let registry: &[Workload] = if self.workloads.is_empty() {
+                &[Workload::Trinv, Workload::Sylv]
+            } else {
+                &self.workloads
+            };
+            let templates: Vec<_> = registry
+                .iter()
+                .flat_map(|&w| workload_templates(w, &self.model_config))
+                .flat_map(|(calls, _)| calls)
+                .collect();
+            self.refiner = Some(
+                OnlineRefiner::new(
+                    // A deterministic noise stream independent of the build
+                    // streams (which use the task index as stream id); it
+                    // advances across rounds, so every round measures fresh.
+                    self.executor().fork(0x0e1e_0000),
+                    self.locality,
+                    self.model_config.repetitions,
+                    config,
+                )
+                .with_templates(&dedupe_templates(&templates)),
+            );
+        }
+        let refiner = self.refiner.as_mut().expect("refiner was just ensured");
+        refiner.set_config(config);
+        let snapshot = self.service.snapshot();
+        let (delta, outcome) = refiner.refine(&snapshot, &report);
+        if !delta.is_empty() {
+            self.service.merge(delta);
+        }
+        outcome
     }
 
     /// Loads a previously saved repository instead of rebuilding models.
@@ -228,6 +309,7 @@ mod tests {
             poly,
             error: 0.0,
             samples_used: 1,
+            revision: 0,
         };
         let piecewise = PiecewiseModel::new(space.clone(), vec![region], 1);
         let mut model = RoutineModel::new(Routine::Gemm, machine_id, Locality::InCache, space);
@@ -304,6 +386,70 @@ mod tests {
         let m = p.measure_trinv(TrinvVariant::V1, 224, 32, MeasurementMode::Auto);
         assert!(m.ticks > 0.0);
         assert!(m.efficiency > 0.0 && m.efficiency < 1.0);
+    }
+
+    #[test]
+    fn refine_online_consumes_telemetry_and_republishes() {
+        let mut p = quick_pipeline();
+        // No traffic yet: an empty report means a no-op round.
+        let idle = p.refine_online(OnlineRefinerConfig::default());
+        assert_eq!(idle, RefineOutcome::default());
+
+        // Serve a ranking to generate telemetry, then refine.
+        let before = p.rank_trinv(224, 32).unwrap();
+        let report = p.refinement_report();
+        assert!(!report.is_empty());
+        let generation_before = report.generation;
+        let outcome = p.refine_online(OnlineRefinerConfig {
+            max_cells: 3,
+            ..Default::default()
+        });
+        assert!(outcome.cells_refined >= 1);
+        assert!(outcome.samples_used > 0);
+        assert_eq!(outcome.skipped_no_template, 0);
+
+        // The publish bumped the served generation and regions carry their
+        // provenance; the service still answers the same queries.
+        let _ = p.rank_trinv(224, 32).unwrap();
+        let report_after = p.refinement_report();
+        assert!(report_after.generation > generation_before);
+        let revised: usize = p
+            .repository()
+            .iter()
+            .flat_map(|(_, m)| m.submodels.values())
+            .flat_map(|s| s.regions.iter())
+            .filter(|r| r.revision > 0)
+            .count();
+        assert_eq!(revised, outcome.regions_added);
+        let after = p.rank_trinv(224, 32).unwrap();
+        assert_eq!(after.len(), before.len());
+    }
+
+    #[test]
+    fn refine_online_works_on_a_loaded_repository() {
+        // Regression: the refiner's template registry used to come only from
+        // `build_models`, so a pipeline serving a *loaded* repository
+        // skipped every hot cell with `skipped_no_template` and silently
+        // never refined.
+        let p = quick_pipeline();
+        let dir = std::env::temp_dir().join("dlaperf-refine-loaded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.txt");
+        p.save_repository(&path).unwrap();
+
+        let mut q = Pipeline::new(harpertown_openblas())
+            .with_model_config(ModelSetConfig::quick(256))
+            .with_seed(9);
+        q.load_repository(&path).unwrap();
+        let _ = q.rank_trinv(224, 32).unwrap(); // serve traffic → telemetry
+        let outcome = q.refine_online(OnlineRefinerConfig {
+            max_cells: 2,
+            ..Default::default()
+        });
+        assert_eq!(outcome.skipped_no_template, 0);
+        assert!(outcome.cells_refined >= 1);
+        assert!(q.rank_trinv(224, 32).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

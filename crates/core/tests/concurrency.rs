@@ -29,7 +29,7 @@ proptest! {
             build_repository(&machine, Locality::InCache, seed, &serial_cfg, &workloads);
         let (parallel, parallel_reports) =
             build_repository(&machine, Locality::InCache, seed, &parallel_cfg, &workloads);
-        prop_assert_eq!(serial.to_text(), parallel.to_text());
+        prop_assert_eq!(serial.to_text().unwrap(), parallel.to_text().unwrap());
         prop_assert_eq!(serial_reports, parallel_reports);
     }
 }

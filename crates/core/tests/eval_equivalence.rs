@@ -79,6 +79,7 @@ fn random_model(gen: &mut Gen) -> PiecewiseModel {
             poly: VectorPolynomial::new(polys).unwrap(),
             error,
             samples_used: 4,
+            revision: 0,
         });
     }
     PiecewiseModel::new(space, regions, 16)

@@ -378,6 +378,14 @@ impl CompiledPiecewise {
     /// Evaluates the compiled model at a raw integer point — the fast,
     /// allocation-free equivalent of [`PiecewiseModel::eval`].
     pub fn eval(&self, point: &[usize]) -> Result<Summary> {
+        self.eval_traced(point).map(|(summary, _)| summary)
+    }
+
+    /// [`CompiledPiecewise::eval`], additionally reporting which region
+    /// answered (its index in compiled — i.e. source — region order).  The
+    /// serving layer's telemetry records this index per query; tracing adds
+    /// no work beyond returning the index the evaluator already holds.
+    pub fn eval_traced(&self, point: &[usize]) -> Result<(Summary, u32)> {
         if point.len() != self.dim {
             return Err(ModelError::OutOfDomain(format!(
                 "point arity {} does not match model dimension {}",
@@ -387,7 +395,7 @@ impl CompiledPiecewise {
         }
         if !self.indexed {
             if let Some(best) = best_containing(&self.regions, self.dim, point) {
-                return Ok(self.regions[best].eval(self.dim, point));
+                return Ok((self.regions[best].eval(self.dim, point), best as u32));
             }
             return Ok(self.nearest(point, None));
         }
@@ -404,7 +412,7 @@ impl CompiledPiecewise {
         }
         let v = self.cells[cell] as usize;
         if v < self.regions.len() {
-            return Ok(self.regions[v].eval(self.dim, point));
+            return Ok((self.regions[v].eval(self.dim, point), v as u32));
         }
         Ok(self.nearest(point, Some(&self.fallbacks[v - self.regions.len()])))
     }
@@ -417,7 +425,7 @@ impl CompiledPiecewise {
 
     /// Nearest-region fallback over a candidate subset (or all regions),
     /// with the same first-minimum semantics as the reference evaluator.
-    fn nearest(&self, point: &[usize], candidates: Option<&[u32]>) -> Summary {
+    fn nearest(&self, point: &[usize], candidates: Option<&[u32]>) -> (Summary, u32) {
         let mut best = 0usize;
         let mut best_distance = f64::INFINITY;
         let mut consider = |i: usize| {
@@ -431,7 +439,7 @@ impl CompiledPiecewise {
             Some(list) => list.iter().for_each(|&i| consider(i as usize)),
             None => (0..self.regions.len()).for_each(&mut consider),
         }
-        self.regions[best].eval(self.dim, point)
+        (self.regions[best].eval(self.dim, point), best as u32)
     }
 }
 
@@ -519,10 +527,14 @@ impl CompiledSubmodel {
         }
     }
 
-    fn eval(&self, point: &[usize]) -> Result<Summary> {
+    /// Traced evaluation; both paths report the answering region's index in
+    /// source region order.
+    fn eval_traced(&self, point: &[usize]) -> Result<(Summary, u32)> {
         match self {
-            CompiledSubmodel::Fast(c) => c.eval(point),
-            CompiledSubmodel::Reference(m) => m.eval(point),
+            CompiledSubmodel::Fast(c) => c.eval_traced(point),
+            CompiledSubmodel::Reference(m) => {
+                m.eval_traced(point).map(|(summary, i)| (summary, i as u32))
+            }
         }
     }
 
@@ -590,6 +602,13 @@ impl CompiledRoutineModel {
     /// Estimates the performance of `call` — the allocation-free equivalent
     /// of [`RoutineModel::estimate`], with identical clamping semantics.
     pub fn estimate(&self, call: &Call) -> Result<Summary> {
+        self.estimate_traced(call).map(|(summary, _, _)| summary)
+    }
+
+    /// [`CompiledRoutineModel::estimate`], additionally reporting which
+    /// submodel (flag key) and region (index in source region order) answered
+    /// — the per-call hook behind the serving layer's refinement telemetry.
+    pub fn estimate_traced(&self, call: &Call) -> Result<(Summary, FlagKey, u32)> {
         if call.routine() != self.routine {
             return Err(ModelError::MissingSubmodel(format!(
                 "model is for {}, call is {}",
@@ -616,7 +635,9 @@ impl CompiledRoutineModel {
         for d in 0..len.min(MAX_DIM) {
             clamped[d] = sizes[d].clamp(self.space_lo[d], self.space_hi[d]);
         }
-        submodel.eval(&clamped[..len])
+        submodel
+            .eval_traced(&clamped[..len])
+            .map(|(summary, region)| (summary, key, region))
     }
 }
 
@@ -875,6 +896,7 @@ mod tests {
             poly: vp,
             error: 0.0,
             samples_used: 1,
+            revision: 0,
         };
         let model = PiecewiseModel::new(region, vec![rm], 1);
         assert!(CompiledPiecewise::compile(&model).is_none());
@@ -884,10 +906,9 @@ mod tests {
         // The submodel wrapper still evaluates through the reference path.
         let sub = CompiledSubmodel::compile(&model);
         assert!(!sub.is_fast());
-        assert!(close(
-            sub.eval(&[64]).unwrap().median,
-            model.eval(&[64]).unwrap().median
-        ));
+        let (summary, region) = sub.eval_traced(&[64]).unwrap();
+        assert!(close(summary.median, model.eval(&[64]).unwrap().median));
+        assert_eq!(region as usize, model.eval_traced(&[64]).unwrap().1);
     }
 
     #[test]

@@ -275,6 +275,7 @@ impl RegionModel {
             poly,
             error,
             samples_used: m,
+            revision: 0,
         })
     }
 
@@ -304,6 +305,7 @@ impl RegionModel {
             poly,
             error,
             samples_used: m,
+            revision: 0,
         })
     }
 }

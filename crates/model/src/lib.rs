@@ -56,6 +56,7 @@ mod region;
 mod repo;
 mod routine_model;
 mod shared;
+mod telemetry;
 
 pub use eval::{
     CompiledPiecewise, CompiledRepository, CompiledRoutineModel, CompiledVectorPolynomial,
@@ -68,6 +69,7 @@ pub use region::Region;
 pub use repo::{ModelKey, ModelRepository};
 pub use routine_model::{submodel_key, submodel_key_fixed, FlagKey, RoutineModel};
 pub use shared::SharedRepository;
+pub use telemetry::{HotRegion, RefinementReport};
 
 /// Errors raised while building, evaluating or (de)serialising models.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +89,9 @@ pub enum ModelError {
     Fit(String),
     /// A repository file could not be parsed.
     Parse(String),
+    /// A repository could not be serialised (e.g. a machine id the text
+    /// format cannot represent).
+    Serialize(String),
     /// An I/O error occurred while reading or writing the repository.
     Io(String),
 }
@@ -101,6 +106,7 @@ impl std::fmt::Display for ModelError {
             ModelError::MissingSubmodel(d) => write!(f, "missing submodel: {d}"),
             ModelError::Fit(d) => write!(f, "fit failed: {d}"),
             ModelError::Parse(d) => write!(f, "parse error: {d}"),
+            ModelError::Serialize(d) => write!(f, "serialisation error: {d}"),
             ModelError::Io(d) => write!(f, "i/o error: {d}"),
         }
     }

@@ -109,6 +109,14 @@ pub struct RegionModel {
     pub error: f64,
     /// Number of distinct sample points used to fit this region.
     pub samples_used: usize,
+    /// Provenance / age: how many online-refinement rebuilds produced this
+    /// region (`0` = initial offline build, `n` = the region was re-fitted
+    /// `n` times by [`OnlineRefiner`]-style targeted refinement).  This is
+    /// runtime-only bookkeeping: the repository text format does not persist
+    /// it, so reloaded repositories start back at revision 0.
+    ///
+    /// [`OnlineRefiner`]: https://docs.rs/dla-modeler
+    pub revision: u32,
 }
 
 impl RegionModel {
@@ -137,6 +145,7 @@ impl RegionModel {
             poly,
             error,
             samples_used: points.len(),
+            revision: 0,
         })
     }
 
@@ -199,6 +208,13 @@ impl PiecewiseModel {
     /// inside the parameter space fall back to the nearest region; points
     /// outside the space return an error.
     pub fn eval(&self, point: &[usize]) -> Result<Summary> {
+        self.eval_traced(point).map(|(summary, _)| summary)
+    }
+
+    /// [`PiecewiseModel::eval`], additionally reporting *which* region
+    /// answered the query (its index into [`PiecewiseModel::regions`]) — the
+    /// hook the serving layer's per-region telemetry is built on.
+    pub fn eval_traced(&self, point: &[usize]) -> Result<(Summary, usize)> {
         if self.regions.is_empty() {
             return Err(ModelError::OutOfDomain("model has no regions".to_string()));
         }
@@ -209,27 +225,29 @@ impl PiecewiseModel {
                 self.space.dim()
             )));
         }
-        if let Some(best) = self
+        if let Some((i, best)) = self
             .regions
             .iter()
-            .filter(|r| r.region.contains(point))
-            .min_by(|a, b| error_order(a.error, b.error))
+            .enumerate()
+            .filter(|(_, r)| r.region.contains(point))
+            .min_by(|(_, a), (_, b)| error_order(a.error, b.error))
         {
-            return Ok(best.eval(point));
+            return Ok((best.eval(point), i));
         }
         // Fall back to the region whose centre is closest to the point; this
         // covers query points that slip between region boundaries due to grid
         // snapping, and mild extrapolation right outside the space.
-        let best = self
+        let (i, best) = self
             .regions
             .iter()
-            .min_by(|a, b| {
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
                 let da = region_distance(&a.region, point);
                 let db = region_distance(&b.region, point);
                 da.total_cmp(&db)
             })
             .expect("non-empty regions");
-        Ok(best.eval(point))
+        Ok((best.eval(point), i))
     }
 
     /// Returns `true` if every probe point of a `per_dim` grid over the space

@@ -70,16 +70,32 @@ impl ModelRepository {
         self.models.insert(key, model);
     }
 
-    /// Merges another repository into this one.
-    ///
-    /// Models from `other` replace models with the same key, matching the
-    /// semantics of inserting them one by one; `other`'s `BTreeMap` ordering
-    /// makes the merge deterministic.  This is how the parallel build stage
-    /// combines per-worker results and how `Pipeline::build_models` extends
-    /// an existing repository.
+    /// Merges another repository into this one — an alias of
+    /// [`merge_models`](ModelRepository::merge_models), kept for the
+    /// historical name used by the parallel build stage and
+    /// `Pipeline::build_models`.
     pub fn merge(&mut self, other: ModelRepository) {
+        self.merge_models(other);
+    }
+
+    /// Merges another repository into this one at **submodel granularity**.
+    ///
+    /// Models of `other` under a fresh key are inserted; on a key collision
+    /// the two routine models are combined with
+    /// [`RoutineModel::merge_from`]: `other`'s flag-variant submodels replace
+    /// their counterparts while flag variants present only in `self` are
+    /// kept.  (The previous behaviour — replacing the *entire* routine model
+    /// on collision — silently dropped flag variants built elsewhere, which
+    /// broke incremental publishes that only carry the rebuilt variants.)
+    /// `other`'s `BTreeMap` ordering makes the merge deterministic.
+    pub fn merge_models(&mut self, other: ModelRepository) {
         for (key, model) in other.models {
-            self.models.insert(key, model);
+            match self.models.get_mut(&key) {
+                Some(existing) => existing.merge_from(model),
+                None => {
+                    self.models.insert(key, model);
+                }
+            }
         }
     }
 
@@ -112,10 +128,24 @@ impl ModelRepository {
     }
 
     /// Serialises the repository to the versioned text format.
-    pub fn to_text(&self) -> String {
+    ///
+    /// The format's `model` header is whitespace-tokenised, so a machine id
+    /// containing whitespace (or an empty one) cannot be represented — it
+    /// would be re-tokenised into different fields on reload.  Such ids are
+    /// rejected here with [`ModelError::Serialize`] instead of producing a
+    /// file that silently fails (or worse, roundtrips wrongly) at parse time.
+    pub fn to_text(&self) -> Result<String> {
         let mut out = String::new();
         let _ = writeln!(out, "{FORMAT_HEADER}");
         for (key, model) in &self.models {
+            if key.machine_id.is_empty() || key.machine_id.chars().any(char::is_whitespace) {
+                return Err(ModelError::Serialize(format!(
+                    "machine id {:?} (model {}/{}) cannot be represented in the \
+                     whitespace-tokenised text format; use an id without whitespace \
+                     (cf. MachineConfig::id, which replaces spaces with '_')",
+                    key.machine_id, key.routine, key.locality
+                )));
+            }
             let _ = writeln!(
                 out,
                 "model {} machine {} locality {} dim {}",
@@ -166,7 +196,7 @@ impl ModelRepository {
             }
             let _ = writeln!(out, "end_model");
         }
-        out
+        Ok(out)
     }
 
     /// Parses a repository from its text form.
@@ -194,6 +224,20 @@ impl ModelRepository {
                 )));
             }
             let model = parse_model(&mut lines)?;
+            let key = ModelKey::new(model.routine, &model.machine_id, model.locality);
+            // Duplicate headers in one file are almost certainly a botched
+            // concatenation; silently letting the later model win would drop
+            // data, so make it a parse error at the offending header line.
+            if repo.models.contains_key(&key) {
+                return Err(parse_err(
+                    n,
+                    format!(
+                        "duplicate model '{} machine {} locality {}' (an earlier \
+                         model in this file has the same key)",
+                        key.routine, key.machine_id, key.locality
+                    ),
+                ));
+            }
             repo.insert(model);
         }
         Ok(repo)
@@ -201,7 +245,7 @@ impl ModelRepository {
 
     /// Writes the repository to a file.
     pub fn save_file(&self, path: &Path) -> Result<()> {
-        std::fs::write(path, self.to_text()).map_err(|e| ModelError::Io(e.to_string()))
+        std::fs::write(path, self.to_text()?).map_err(|e| ModelError::Io(e.to_string()))
     }
 
     /// Loads a repository from a file.
@@ -374,6 +418,8 @@ fn parse_model(lines: &mut Lines<'_>) -> Result<RoutineModel> {
                     .map_err(|e| parse_err(n, format!("invalid vector polynomial: {e}")))?,
                 error,
                 samples_used,
+                // Provenance is runtime-only: reloaded regions restart at 0.
+                revision: 0,
             });
         }
         model.insert_submodel(
@@ -472,7 +518,7 @@ mod tests {
     fn text_roundtrip_preserves_predictions() {
         let mut repo = ModelRepository::new();
         repo.insert(build_model());
-        let text = repo.to_text();
+        let text = repo.to_text().unwrap();
         assert!(text.starts_with(FORMAT_HEADER));
         let reloaded = ModelRepository::from_text(&text).unwrap();
         assert_eq!(reloaded.len(), 1);
@@ -528,9 +574,118 @@ mod tests {
     #[test]
     fn empty_repository_roundtrip() {
         let repo = ModelRepository::new();
-        let text = repo.to_text();
+        let text = repo.to_text().unwrap();
         let reloaded = ModelRepository::from_text(&text).unwrap();
         assert!(reloaded.is_empty());
+    }
+
+    #[test]
+    fn merge_is_submodel_granular_across_disjoint_flag_variants() {
+        // Regression: `merge` used to overwrite the whole RoutineModel on a
+        // key collision, silently dropping flag variants built elsewhere.
+        // Two repositories holding *disjoint* flag variants of the same
+        // routine must merge into one model holding both.
+        let full = build_model(); // holds [0,0,0] and [1,1,0]
+        let mut only_left = full.clone();
+        only_left.submodels.retain(|k, _| k == &vec![0, 0, 0]);
+        let mut only_right = full.clone();
+        only_right.submodels.retain(|k, _| k == &vec![1, 1, 0]);
+
+        let mut a = ModelRepository::new();
+        a.insert(only_left);
+        let mut b = ModelRepository::new();
+        b.insert(only_right);
+        a.merge_models(b);
+
+        let merged = a
+            .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache)
+            .unwrap();
+        assert_eq!(merged.submodel_count(), 2);
+        assert!(merged.submodel(&[0, 0, 0]).is_some());
+        assert!(merged.submodel(&[1, 1, 0]).is_some());
+
+        // Colliding flag variants are replaced by the incoming side.
+        let mut replacement = full.clone();
+        replacement.submodels.retain(|k, _| k == &vec![0, 0, 0]);
+        for sub in replacement.submodels.values_mut() {
+            sub.total_samples += 999;
+        }
+        let incoming_samples = replacement.submodels[&vec![0, 0, 0]].total_samples;
+        let mut c = ModelRepository::new();
+        c.insert(replacement);
+        a.merge_models(c);
+        let merged = a
+            .get(Routine::Trsm, "hpt+openblas-like+1t", Locality::InCache)
+            .unwrap();
+        assert_eq!(merged.submodel_count(), 2);
+        assert_eq!(
+            merged.submodel(&[0, 0, 0]).unwrap().total_samples,
+            incoming_samples
+        );
+    }
+
+    #[test]
+    fn merge_from_takes_the_space_envelope() {
+        let mut base = build_model();
+        let mut wider = build_model();
+        wider.space = Region::new(vec![4, 8], vec![2048, 512]);
+        base.merge_from(wider);
+        assert_eq!(base.space, Region::new(vec![4, 8], vec![2048, 1024]));
+    }
+
+    #[test]
+    fn whitespace_machine_ids_are_rejected_at_serialisation() {
+        // Regression: a machine id containing whitespace used to serialise
+        // fine and then fail (or mis-parse) on reload, because the model
+        // header is whitespace-tokenised.
+        for bad_id in ["two words", "tab\tseparated", "trailing ", ""] {
+            let mut model = build_model();
+            model.machine_id = bad_id.to_string();
+            let mut repo = ModelRepository::new();
+            repo.insert(model);
+            let err = repo.to_text();
+            assert!(
+                matches!(err, Err(ModelError::Serialize(_))),
+                "id {bad_id:?} must be rejected, got {err:?}"
+            );
+            let dir = std::env::temp_dir().join("dlaperf-repo-badid-test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("models.txt");
+            assert!(matches!(
+                repo.save_file(&path),
+                Err(ModelError::Serialize(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn duplicate_model_headers_are_a_parse_error_with_line_number() {
+        // Regression: duplicate (routine, machine, locality) models in one
+        // file used to be silently collapsed by `repo.insert`.
+        let mut repo = ModelRepository::new();
+        repo.insert(build_model());
+        let once = repo.to_text().unwrap();
+        let body = once
+            .strip_prefix(FORMAT_HEADER)
+            .unwrap()
+            .trim_start_matches('\n');
+        let twice = format!("{FORMAT_HEADER}\n{body}{body}");
+        let err = ModelRepository::from_text(&twice).unwrap_err();
+        match err {
+            ModelError::Parse(msg) => {
+                assert!(msg.contains("duplicate model"), "{msg}");
+                // The duplicate header sits right after the first model's
+                // body: line 1 is the format header, the first model spans
+                // `body` lines, so the offending line is 2 + body-line-count.
+                let body_lines = body.lines().count();
+                assert!(
+                    msg.contains(&format!("line {}", body_lines + 2)),
+                    "expected line {} in '{msg}'",
+                    body_lines + 2
+                );
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -134,6 +134,45 @@ impl RoutineModel {
         self.submodels.insert(key, model);
     }
 
+    /// Merges another model of the same routine/machine/locality into this
+    /// one at **submodel granularity**: every submodel of `other` replaces
+    /// the one under the same flag key here, while flag variants present only
+    /// in `self` are kept.  This is the unit the repository-level
+    /// [`merge_models`](crate::ModelRepository::merge_models) and the online
+    /// refinement loop's incremental publish are built on — a delta holding a
+    /// single rebuilt flag variant must not wipe out its siblings.
+    ///
+    /// If the two parameter spaces differ, the merged space becomes their
+    /// envelope (element-wise min/max), so every retained submodel stays
+    /// inside the declared space and `estimate`'s clamping keeps working for
+    /// both sides.
+    pub fn merge_from(&mut self, other: RoutineModel) {
+        debug_assert_eq!(
+            self.routine, other.routine,
+            "merge_from requires matching routines"
+        );
+        if self.space != other.space && self.space.dim() == other.space.dim() {
+            let lo: Vec<usize> = self
+                .space
+                .lo()
+                .iter()
+                .zip(other.space.lo())
+                .map(|(&a, &b)| a.min(b))
+                .collect();
+            let hi: Vec<usize> = self
+                .space
+                .hi()
+                .iter()
+                .zip(other.space.hi())
+                .map(|(&a, &b)| a.max(b))
+                .collect();
+            self.space = Region::new(lo, hi);
+        }
+        for (key, submodel) in other.submodels {
+            self.submodels.insert(key, submodel);
+        }
+    }
+
     /// The submodel for a flag combination, if present.
     pub fn submodel(&self, key: &[usize]) -> Option<&PiecewiseModel> {
         self.submodels.get(key)
@@ -204,6 +243,7 @@ mod tests {
             poly: vp,
             error: 0.01,
             samples_used: 4,
+            revision: 0,
         };
         PiecewiseModel::new(space.clone(), vec![rm], 4)
     }

@@ -33,10 +33,12 @@
 
 mod expansion;
 mod modeler;
+pub mod online;
 mod oracle;
 mod refinement;
 
 pub use expansion::{Direction, ExpansionConfig};
 pub use modeler::{Modeler, ModelingReport, Strategy};
-pub use oracle::SampleOracle;
+pub use online::{OnlineRefiner, OnlineRefinerConfig, RefineOutcome};
+pub use oracle::{SampleCache, SampleOracle};
 pub use refinement::RefinementConfig;

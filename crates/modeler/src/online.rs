@@ -1,0 +1,661 @@
+//! Online adaptive refinement: closing the loop from serving telemetry back
+//! to the Sampler.
+//!
+//! Offline, Adaptive Refinement (Section III-C2) spends samples where the
+//! *fit* is bad.  Online, the interesting signal is where the fit is bad
+//! **and** traffic actually lands: the serving layer's
+//! [`RefinementReport`](dla_model::RefinementReport) ranks the served
+//! `(routine, flags, region)` cells by `queries × fit_error`, and the
+//! [`OnlineRefiner`] walks that ranking with a fixed sample budget,
+//! re-samples only the offending regions through the existing fast paths
+//! (the [`SampleOracle`]'s cached, allocation-free measurement loop and the
+//! compiled fit engine's [`FitWorkspace`]), and produces a **delta
+//! repository** holding just the rebuilt flag-variant submodels.  Publishing
+//! the delta through the serving layer's submodel-granular merge
+//! (`ModelService::merge` → `ModelRepository::merge_models`) hot-swaps the
+//! refreshed regions in without disturbing in-flight readers — the paper's
+//! error-driven sampling, running continuously under load.
+//!
+//! Rebuilt regions carry their provenance: each replacement region's
+//! [`revision`](dla_model::RegionModel::revision) is the replaced region's
+//! revision plus one, so a repeatedly-rebuilt region is visible in later
+//! reports.
+
+use std::collections::BTreeMap;
+
+use dla_blas::Call;
+use dla_machine::{Executor, Locality};
+use dla_mat::stats::Summary;
+use dla_model::{
+    error_order, submodel_key, FitWorkspace, ModelRepository, PiecewiseModel, RefinementReport,
+    RoutineModel,
+};
+use dla_sampler::{Sampler, SamplerConfig};
+
+use crate::{RefinementConfig, SampleCache, SampleOracle};
+
+/// Configuration of one online-refinement round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineRefinerConfig {
+    /// How rebuilt regions are re-fitted (error bound, minimum region size,
+    /// fit grid, degree) — the offending region is treated as the space of a
+    /// fresh Adaptive Refinement run, so a badly-fitting region may come
+    /// back as several smaller, tighter regions.
+    pub fit: RefinementConfig,
+    /// Budget of *distinct* sample points per [`OnlineRefiner::refine`]
+    /// round (the paper's currency for comparing strategies).  Refinement
+    /// stops taking on new cells once the budget is spent; the cell being
+    /// refined when the budget runs out is completed, so the budget may be
+    /// overshot by at most one region rebuild.
+    pub sample_budget: usize,
+    /// Upper bound on the number of report cells refined per round.
+    pub max_cells: usize,
+    /// Cells with fewer queries than this are ignored (traffic too cold to
+    /// justify spending samples on).
+    pub min_queries: u64,
+}
+
+impl Default for OnlineRefinerConfig {
+    fn default() -> Self {
+        OnlineRefinerConfig {
+            fit: RefinementConfig::default(),
+            sample_budget: 512,
+            max_cells: 16,
+            min_queries: 1,
+        }
+    }
+}
+
+/// What one [`OnlineRefiner::refine`] round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefineOutcome {
+    /// Report cells examined (in ranking order).
+    pub cells_examined: usize,
+    /// Cells whose region was actually rebuilt.
+    pub cells_refined: usize,
+    /// Regions removed from their submodels (one per refined cell).
+    pub regions_rebuilt: usize,
+    /// Replacement regions produced (≥ `regions_rebuilt`; a rebuild may
+    /// split the offending region).
+    pub regions_added: usize,
+    /// Distinct sample points spent across all rebuilds.
+    pub samples_used: usize,
+    /// Cells skipped because the snapshot no longer contains the reported
+    /// region (the report outlived a swap/merge).
+    pub skipped_stale: usize,
+    /// Cells skipped because no registered template covers their
+    /// routine/flag combination.
+    pub skipped_no_template: usize,
+}
+
+/// Re-samples and rebuilds the regions a [`RefinementReport`] names, within
+/// a sample budget.
+///
+/// The refiner owns a [`Sampler`] (with its own executor — typically a fork
+/// of the build executor, or one observing the *current* machine behaviour
+/// when the machine has drifted) and one [`FitWorkspace`] that persists
+/// across rounds, exactly like the offline [`Modeler`](crate::Modeler).
+/// Templates registered via [`with_templates`](OnlineRefiner::with_templates)
+/// tell it how to turn a `(routine, flags)` cell back into a concrete call.
+pub struct OnlineRefiner<E: Executor> {
+    sampler: Sampler<E>,
+    workspace: FitWorkspace,
+    grid_step: usize,
+    templates: Vec<Call>,
+    config: OnlineRefinerConfig,
+}
+
+impl<E: Executor> OnlineRefiner<E> {
+    /// Creates a refiner measuring through `executor` under `locality`, with
+    /// `repetitions` measurements per sample point.
+    pub fn new(
+        executor: E,
+        locality: Locality,
+        repetitions: usize,
+        config: OnlineRefinerConfig,
+    ) -> OnlineRefiner<E> {
+        let sampler_config = SamplerConfig {
+            locality,
+            repetitions,
+            warmup_discard: 1,
+        };
+        OnlineRefiner {
+            sampler: Sampler::new(executor, sampler_config),
+            workspace: FitWorkspace::new(),
+            grid_step: 8,
+            templates: Vec::new(),
+            config,
+        }
+    }
+
+    /// Registers the call templates the refiner may be asked to re-sample
+    /// (one representative call per routine/flag combination; extra
+    /// templates are harmless).  Returns `self` for chaining.
+    pub fn with_templates(mut self, templates: &[Call]) -> OnlineRefiner<E> {
+        self.templates.extend_from_slice(templates);
+        self
+    }
+
+    /// Changes the grid step sample points are aligned to (default 8).
+    pub fn set_grid_step(&mut self, step: usize) {
+        self.grid_step = step.max(1);
+    }
+
+    /// The refiner's configuration.
+    pub fn config(&self) -> OnlineRefinerConfig {
+        self.config
+    }
+
+    /// Replaces the configuration for subsequent rounds (a long-lived
+    /// refiner keeps its sampler, templates and fit workspace across rounds;
+    /// the budget/fit parameters may still vary per round).
+    pub fn set_config(&mut self, config: OnlineRefinerConfig) {
+        self.config = config;
+    }
+
+    /// The machine id of the refiner's executor.
+    pub fn machine_id(&self) -> String {
+        self.sampler.machine().id()
+    }
+
+    /// The locality scenario rebuilt models describe.
+    pub fn locality(&self) -> Locality {
+        self.sampler.config().locality
+    }
+
+    /// Total raw measurements taken across all rounds.
+    pub fn measurements_taken(&self) -> usize {
+        self.sampler.samples_taken()
+    }
+
+    /// One refinement round: walks `report` hottest-first, rebuilds up to
+    /// `max_cells` offending regions within the sample budget, and returns a
+    /// **delta repository** holding only the routine models whose submodels
+    /// changed (and, inside them, only the changed flag variants).
+    ///
+    /// The delta is meant for a submodel-granular publish:
+    /// `service.merge(delta)` replaces exactly the rebuilt flag variants and
+    /// leaves everything else serving untouched.  `snapshot` must be the
+    /// repository generation the report was produced against; cells whose
+    /// region no longer exists in the snapshot are counted as stale and
+    /// skipped.  The refiner's machine id and locality must match the
+    /// report's (a report from a different machine is answered with an empty
+    /// delta).
+    pub fn refine(
+        &mut self,
+        snapshot: &ModelRepository,
+        report: &RefinementReport,
+    ) -> (ModelRepository, RefineOutcome) {
+        let mut outcome = RefineOutcome::default();
+        if report.machine_id != self.machine_id() || report.locality != self.locality() {
+            return (ModelRepository::new(), outcome);
+        }
+        // Working set of *rebuilt flag variants only*, keyed by routine: a
+        // later cell of the same submodel must see the earlier cell's
+        // rebuild, and the delta must carry nothing but what changed —
+        // emitting untouched sibling variants (or models merely examined and
+        // then skipped) would let the merge roll back anything published
+        // concurrently since the snapshot was taken.
+        let mut rebuilt: BTreeMap<&'static str, RoutineModel> = BTreeMap::new();
+        // One measurement cache per (routine, flags) for the whole round:
+        // adjacent regions of one submodel share grid-aligned boundary
+        // points, which must be measured and budgeted once, not once per
+        // cell.  Scoped to this round so every round takes fresh
+        // measurements (the machine may still be drifting).
+        let mut caches: BTreeMap<(u32, Vec<usize>), SampleCache> = BTreeMap::new();
+        let mut budget = self.config.sample_budget;
+
+        for cell in &report.cells {
+            if outcome.cells_refined >= self.config.max_cells || budget == 0 {
+                break;
+            }
+            outcome.cells_examined += 1;
+            if cell.queries < self.config.min_queries {
+                continue;
+            }
+            let Some(template) = self
+                .templates
+                .iter()
+                .find(|t| t.routine() == cell.routine && submodel_key(t) == cell.flags)
+                .cloned()
+            else {
+                outcome.skipped_no_template += 1;
+                continue;
+            };
+            let Some(snapshot_model) =
+                snapshot.get(cell.routine, &report.machine_id, report.locality)
+            else {
+                outcome.skipped_stale += 1;
+                continue;
+            };
+            // The current state of this flag variant: rebuilt earlier in
+            // this round, or straight from the snapshot.
+            let Some(submodel) = rebuilt
+                .get(cell.routine.name())
+                .and_then(|m| m.submodel(&cell.flags))
+                .or_else(|| snapshot_model.submodel(&cell.flags))
+            else {
+                outcome.skipped_stale += 1;
+                continue;
+            };
+            let Some(position) = submodel
+                .regions
+                .iter()
+                .position(|r| r.region == cell.region)
+            else {
+                outcome.skipped_stale += 1;
+                continue;
+            };
+
+            // Re-sample and re-fit the offending region: a fresh Adaptive
+            // Refinement run over just this region, through the shared fit
+            // workspace and the round's shared per-submodel point cache.
+            let revision = submodel.regions[position].revision + 1;
+            let space = submodel.space.clone();
+            let total_samples = submodel.total_samples;
+            let mut regions = submodel.regions.clone();
+            let cache_key = (cell.routine as u32, cell.flags.clone());
+            let cache = caches.remove(&cache_key).unwrap_or_default();
+            let (fresh, samples) = {
+                let mut oracle = SampleOracle::with_cache(
+                    &mut self.sampler,
+                    template.clone(),
+                    self.grid_step,
+                    cache,
+                );
+                let already_measured = oracle.unique_samples();
+                let fresh =
+                    self.config
+                        .fit
+                        .build_with(&mut oracle, &mut self.workspace, &cell.region);
+                let samples = oracle.unique_samples() - already_measured;
+                caches.insert(cache_key, oracle.into_cache());
+                (fresh, samples)
+            };
+            budget = budget.saturating_sub(samples);
+            outcome.samples_used += samples;
+            outcome.cells_refined += 1;
+            outcome.regions_rebuilt += 1;
+            outcome.regions_added += fresh.region_count();
+
+            regions.remove(position);
+            for mut region in fresh.regions {
+                region.revision = revision;
+                regions.push(region);
+            }
+            regions.sort_by(|a, b| error_order(a.error, b.error));
+            let updated = PiecewiseModel::new(space, regions, total_samples + samples);
+            rebuilt
+                .entry(cell.routine.name())
+                .or_insert_with(|| {
+                    RoutineModel::new(
+                        cell.routine,
+                        report.machine_id.clone(),
+                        report.locality,
+                        snapshot_model.space.clone(),
+                    )
+                })
+                .insert_submodel(cell.flags.clone(), updated);
+        }
+
+        // The delta carries only the routine models — and within them, only
+        // the flag variants — that were actually rebuilt; the consumer
+        // merges them at submodel granularity.
+        let mut delta = ModelRepository::new();
+        for (_, model) in rebuilt {
+            delta.insert(model);
+        }
+        (delta, outcome)
+    }
+
+    /// Convenience probe: the refiner's current estimate of a call's cost,
+    /// measured directly (not modelled).  Used by tests and examples to
+    /// compare served predictions against the machine's present behaviour.
+    pub fn measure(&mut self, call: &Call) -> Summary {
+        self.sampler.sample_ticks(call)
+    }
+}
+
+/// Collects every distinct `(routine, flags)` template from a list of call
+/// templates, keyed for the refiner: the first call with a given submodel
+/// key wins, mirroring [`Modeler::build_routine_model`](crate::Modeler).
+pub fn dedupe_templates(templates: &[Call]) -> Vec<Call> {
+    let mut by_key: BTreeMap<(u32, Vec<usize>), Call> = BTreeMap::new();
+    for t in templates {
+        by_key
+            .entry((t.routine() as u32, submodel_key(t)))
+            .or_insert_with(|| t.clone());
+    }
+    by_key.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dla_blas::{Diag, Routine, Side, Trans, Uplo};
+    use dla_machine::presets::harpertown_openblas;
+    use dla_machine::SimExecutor;
+    use dla_model::{HotRegion, Region};
+
+    fn trsm_template() -> Call {
+        Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            8,
+            8,
+            1.0,
+        )
+    }
+
+    /// A one-routine repository built offline with the given executor.
+    fn build_snapshot(executor: SimExecutor) -> ModelRepository {
+        let mut modeler = crate::Modeler::new(
+            executor,
+            Locality::InCache,
+            1,
+            crate::Strategy::Refinement(RefinementConfig {
+                error_bound: 0.15,
+                min_region_size: 128,
+                grid_per_dim: 3,
+                degree: 2,
+            }),
+        );
+        let mut repo = ModelRepository::new();
+        modeler.populate_repository(
+            &mut repo,
+            &[(
+                vec![trsm_template()],
+                Region::new(vec![8, 8], vec![512, 512]),
+            )],
+        );
+        repo
+    }
+
+    fn report_for(snapshot: &ModelRepository, machine_id: &str, queries: u64) -> RefinementReport {
+        let model = snapshot
+            .get(Routine::Trsm, machine_id, Locality::InCache)
+            .unwrap();
+        let flags = submodel_key(&trsm_template());
+        let submodel = model.submodel(&flags).unwrap();
+        let cells = submodel
+            .regions
+            .iter()
+            .map(|r| HotRegion {
+                routine: Routine::Trsm,
+                flags: flags.clone(),
+                region: r.region.clone(),
+                fit_error: r.error,
+                revision: r.revision,
+                queries,
+            })
+            .collect();
+        RefinementReport::ranked(machine_id.to_string(), Locality::InCache, 0, queries, cells)
+    }
+
+    #[test]
+    fn refine_rebuilds_only_reported_regions_and_bumps_revisions() {
+        let machine = harpertown_openblas();
+        let snapshot = build_snapshot(SimExecutor::noiseless(machine.clone()));
+        let machine_id = machine.id();
+        let report = report_for(&snapshot, &machine_id, 10);
+        let region_count_before = snapshot
+            .get(Routine::Trsm, &machine_id, Locality::InCache)
+            .unwrap()
+            .submodel(&submodel_key(&trsm_template()))
+            .unwrap()
+            .region_count();
+
+        let mut refiner = OnlineRefiner::new(
+            SimExecutor::noiseless(machine.clone()),
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig {
+                max_cells: 1,
+                ..Default::default()
+            },
+        )
+        .with_templates(&[trsm_template()]);
+        let (delta, outcome) = refiner.refine(&snapshot, &report);
+
+        assert_eq!(outcome.cells_refined, 1);
+        assert_eq!(outcome.regions_rebuilt, 1);
+        assert!(outcome.regions_added >= 1);
+        assert!(outcome.samples_used > 0);
+        assert_eq!(refiner.measurements_taken(), 2 * outcome.samples_used);
+        assert_eq!(delta.len(), 1);
+
+        let rebuilt = delta
+            .get(Routine::Trsm, &machine_id, Locality::InCache)
+            .unwrap();
+        let submodel = rebuilt.submodel(&submodel_key(&trsm_template())).unwrap();
+        // The untouched regions are still revision 0; the rebuilt ones are 1.
+        let revised: Vec<u32> = submodel.regions.iter().map(|r| r.revision).collect();
+        assert!(revised.contains(&1));
+        assert!(revised.contains(&0), "untouched regions keep revision 0");
+        assert_eq!(
+            submodel.region_count(),
+            region_count_before - outcome.regions_rebuilt + outcome.regions_added
+        );
+        // Coverage is preserved: the rebuilt submodel still answers
+        // everywhere the old one did.
+        assert!(submodel.covers_space(7));
+    }
+
+    #[test]
+    fn refine_respects_budget_and_skips_cold_or_stale_cells() {
+        let machine = harpertown_openblas();
+        let snapshot = build_snapshot(SimExecutor::noiseless(machine.clone()));
+        let machine_id = machine.id();
+        let mut report = report_for(&snapshot, &machine_id, 10);
+        // Add a stale cell (bounds that no region has) and a cold cell.
+        report.cells.push(HotRegion {
+            routine: Routine::Trsm,
+            flags: submodel_key(&trsm_template()),
+            region: Region::new(vec![1, 1], vec![3, 3]),
+            fit_error: 9.0,
+            revision: 0,
+            queries: 10,
+        });
+        report.cells.push(HotRegion {
+            routine: Routine::Trsm,
+            flags: submodel_key(&trsm_template()),
+            region: Region::new(vec![8, 8], vec![512, 512]),
+            fit_error: 9.0,
+            revision: 0,
+            queries: 0,
+        });
+
+        // Zero budget: nothing is refined, the delta is empty.
+        let mut refiner = OnlineRefiner::new(
+            SimExecutor::noiseless(machine.clone()),
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig {
+                sample_budget: 0,
+                ..Default::default()
+            },
+        )
+        .with_templates(&[trsm_template()]);
+        let (delta, outcome) = refiner.refine(&snapshot, &report);
+        assert!(delta.is_empty());
+        assert_eq!(outcome.cells_refined, 0);
+
+        // With budget: stale and cold cells are skipped, the rest refined.
+        let mut refiner = OnlineRefiner::new(
+            SimExecutor::noiseless(machine.clone()),
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig {
+                min_queries: 2,
+                ..Default::default()
+            },
+        )
+        .with_templates(&[trsm_template()]);
+        let (_, outcome) = refiner.refine(&snapshot, &report);
+        assert!(outcome.cells_refined >= 1);
+        assert!(outcome.skipped_stale >= 1);
+
+        // No template for the cell's routine: counted, not refined.
+        let mut refiner = OnlineRefiner::new(
+            SimExecutor::noiseless(machine.clone()),
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig::default(),
+        );
+        let (delta, outcome) = refiner.refine(&snapshot, &report);
+        assert!(delta.is_empty());
+        assert!(outcome.skipped_no_template >= 1);
+
+        // A report from another machine is refused outright.
+        let mut foreign = report_for(&snapshot, &machine_id, 5);
+        foreign.machine_id = "other-machine".to_string();
+        let mut refiner = OnlineRefiner::new(
+            SimExecutor::noiseless(machine),
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig::default(),
+        )
+        .with_templates(&[trsm_template()]);
+        let (delta, outcome) = refiner.refine(&snapshot, &foreign);
+        assert!(delta.is_empty());
+        assert_eq!(outcome.cells_examined, 0);
+    }
+
+    #[test]
+    fn delta_carries_only_rebuilt_flag_variants() {
+        // Regression: the delta used to hold full clones of every touched
+        // routine model (all flag variants, even models merely examined and
+        // then skipped as stale), so merging it could roll back sibling
+        // variants published concurrently since the snapshot.
+        let machine = harpertown_openblas();
+        let right_template = Call::trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            8,
+            8,
+            1.0,
+        );
+        let mut modeler = crate::Modeler::new(
+            SimExecutor::noiseless(machine.clone()),
+            Locality::InCache,
+            1,
+            crate::Strategy::Refinement(RefinementConfig {
+                error_bound: 0.15,
+                min_region_size: 128,
+                grid_per_dim: 3,
+                degree: 2,
+            }),
+        );
+        let mut snapshot = ModelRepository::new();
+        modeler.populate_repository(
+            &mut snapshot,
+            &[(
+                vec![trsm_template(), right_template.clone()],
+                Region::new(vec![8, 8], vec![512, 512]),
+            )],
+        );
+        let machine_id = machine.id();
+        assert_eq!(
+            snapshot
+                .get(Routine::Trsm, &machine_id, Locality::InCache)
+                .unwrap()
+                .submodel_count(),
+            2
+        );
+
+        // Report: one valid cell for the *left* variant only, plus a stale
+        // cell for a routine the snapshot does not hold.
+        let mut report = report_for(&snapshot, &machine_id, 10);
+        report.cells.truncate(1);
+        report.cells.push(HotRegion {
+            routine: Routine::Gemm,
+            flags: vec![0, 0],
+            region: Region::new(vec![8, 8, 8], vec![64, 64, 64]),
+            fit_error: 1.0,
+            revision: 0,
+            queries: 5,
+        });
+        let gemm_template = Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0);
+        let mut refiner = OnlineRefiner::new(
+            SimExecutor::noiseless(machine),
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig::default(),
+        )
+        .with_templates(&[trsm_template(), right_template, gemm_template]);
+        let (delta, outcome) = refiner.refine(&snapshot, &report);
+
+        assert_eq!(outcome.cells_refined, 1);
+        assert_eq!(outcome.skipped_stale, 1);
+        // The delta holds exactly one routine model with exactly the one
+        // rebuilt flag variant — no untouched sibling, no stale gemm model.
+        assert_eq!(delta.len(), 1);
+        let model = delta
+            .get(Routine::Trsm, &machine_id, Locality::InCache)
+            .unwrap();
+        assert_eq!(model.submodel_count(), 1);
+        assert!(model.submodel(&submodel_key(&trsm_template())).is_some());
+        assert!(delta
+            .get(Routine::Gemm, &machine_id, Locality::InCache)
+            .is_none());
+    }
+
+    #[test]
+    fn shared_round_cache_measures_boundary_points_once() {
+        // Two adjacent cells of one submodel share grid-aligned boundary
+        // points; with the per-round shared cache those points are measured
+        // and budgeted once.
+        let machine = harpertown_openblas();
+        let snapshot = build_snapshot(SimExecutor::noiseless(machine.clone()));
+        let machine_id = machine.id();
+        let report = report_for(&snapshot, &machine_id, 10);
+        assert!(report.cells.len() >= 2, "need adjacent regions to share");
+        let mut refiner = OnlineRefiner::new(
+            SimExecutor::noiseless(machine),
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig::default(),
+        )
+        .with_templates(&[trsm_template()]);
+        let (_, outcome) = refiner.refine(&snapshot, &report);
+        assert!(outcome.cells_refined >= 2);
+        // Every distinct point is measured exactly once (repetitions 1 +
+        // warm-up 1 = 2 raw measurements per distinct point): if boundary
+        // points were re-measured per cell, measurements would exceed this.
+        assert_eq!(refiner.measurements_taken(), 2 * outcome.samples_used);
+    }
+
+    #[test]
+    fn dedupe_templates_keeps_one_call_per_submodel_key() {
+        let a = trsm_template();
+        let b = Call::trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::Unit,
+            16,
+            16,
+            -1.0,
+        );
+        let c = Call::trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::NoTrans,
+            Diag::NonUnit,
+            8,
+            8,
+            1.0,
+        );
+        let gemm = Call::gemm(Trans::NoTrans, Trans::NoTrans, 8, 8, 8, 1.0, 1.0);
+        let deduped = dedupe_templates(&[a.clone(), b, c.clone(), gemm.clone()]);
+        // a and b share a key (diag folded): 3 distinct templates remain.
+        assert_eq!(deduped.len(), 3);
+        assert!(deduped.iter().any(|t| submodel_key(t) == submodel_key(&a)));
+        assert!(deduped.iter().any(|t| submodel_key(t) == submodel_key(&c)));
+        assert!(deduped.iter().any(|t| t.routine() == Routine::Gemm));
+    }
+}

@@ -56,6 +56,17 @@ impl Hasher for PointHasher {
 
 type PointCache = HashMap<PointKey, Summary, BuildHasherDefault<PointHasher>>;
 
+/// An opaque, detachable cache of measured points.
+///
+/// An oracle's cache can be taken out ([`SampleOracle::into_cache`]) and
+/// threaded into a later oracle over the *same template*
+/// ([`SampleOracle::with_cache`]), so several oracles created in sequence —
+/// e.g. one per refined region of one submodel within an online-refinement
+/// round — share measurements instead of re-measuring shared grid points
+/// (and instead of double-counting them as distinct samples).
+#[derive(Default)]
+pub struct SampleCache(PointCache);
+
 /// A caching front end between a modeling strategy and the Sampler.
 ///
 /// The oracle owns the call template (routine + flags + scalars); a strategy
@@ -79,15 +90,34 @@ pub struct SampleOracle<'a, E: Executor> {
 impl<'a, E: Executor> SampleOracle<'a, E> {
     /// Creates an oracle for a call template.
     pub fn new(sampler: &'a mut Sampler<E>, template: Call, grid_step: usize) -> Self {
+        SampleOracle::with_cache(sampler, template, grid_step, SampleCache::default())
+    }
+
+    /// Creates an oracle seeded with a previously detached cache (see
+    /// [`SampleCache`]); cached points answer without touching the sampler.
+    /// The cache must come from an oracle over the same template — points
+    /// are keyed by sizes only.
+    pub fn with_cache(
+        sampler: &'a mut Sampler<E>,
+        template: Call,
+        grid_step: usize,
+        cache: SampleCache,
+    ) -> Self {
         let dim = template.routine().size_count();
         debug_assert!(dim <= Call::MAX_SIZES);
         SampleOracle {
             sampler,
             template: template.with_leading_dims(MODEL_LEADING_DIM),
-            cache: PointCache::default(),
+            cache: cache.0,
             grid_step: grid_step.max(1),
             dim,
         }
+    }
+
+    /// Detaches the measured-point cache for reuse by a later oracle over
+    /// the same template.
+    pub fn into_cache(self) -> SampleCache {
+        SampleCache(self.cache)
     }
 
     /// The grid step the strategies should align sample points to (the paper

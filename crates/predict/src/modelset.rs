@@ -429,7 +429,7 @@ mod tests {
             build_repository(&machine, Locality::InCache, 7, &serial_cfg, &workloads);
         let (parallel, parallel_reports) =
             build_repository(&machine, Locality::InCache, 7, &parallel_cfg, &workloads);
-        assert_eq!(serial.to_text(), parallel.to_text());
+        assert_eq!(serial.to_text().unwrap(), parallel.to_text().unwrap());
         assert_eq!(serial_reports, parallel_reports);
     }
 }

@@ -17,7 +17,17 @@
 //! * cache *misses* — the cold path — run on the compiled evaluation engine
 //!   ([`CompiledRepository`](dla_model::CompiledRepository)): repositories
 //!   are compiled once per swap/merge inside the shared handle, so even the
-//!   first evaluation of a call is an indexed, allocation-free lookup.
+//!   first evaluation of a call is an indexed, allocation-free lookup;
+//! * it keeps lightweight **refinement telemetry**: the compiled evaluators
+//!   report which `(routine, flags, region)` cell answered each query, and
+//!   the service counts queries per cell with relaxed atomics (near-zero
+//!   overhead, lock-free on the counting itself).
+//!   [`refinement_report`](ModelService::refinement_report) snapshots the
+//!   counters into a [`RefinementReport`] ranked by `queries × fit_error` —
+//!   the input an online refiner needs to re-sample exactly where serving
+//!   traffic meets model error.  Counters are scoped to one repository
+//!   generation and restart after every swap/merge, so a freshly published
+//!   region starts with a clean slate.
 //!
 //! The service is `Sync`: wrap it in an `Arc` and clone the handle into as
 //! many threads as needed.
@@ -25,13 +35,15 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use dla_blas::{Call, Routine};
 use dla_machine::{Locality, MachineConfig};
 use dla_mat::stats::Summary;
-use dla_model::{submodel_key, ModelRepository, SharedRepository};
+use dla_model::{
+    submodel_key, FlagKey, HotRegion, ModelRepository, RefinementReport, Region, SharedRepository,
+};
 
 use crate::predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
 
@@ -85,16 +97,111 @@ impl CacheStats {
     }
 }
 
-type Shard = RwLock<HashMap<CallKey, (u64, Summary)>>;
+/// A memoized evaluation: the repository generation it belongs to, the
+/// summary, and a handle on the answering region's telemetry counter — so a
+/// cache *hit* keeps feeding the per-region query counts with one relaxed
+/// increment and nothing else (no extra lock, no lookup).
+#[derive(Debug, Clone)]
+struct CachedPrediction {
+    generation: u64,
+    summary: Summary,
+    counter: Option<Arc<AtomicU64>>,
+}
+
+type Shard = RwLock<HashMap<CallKey, CachedPrediction>>;
+
+/// Static metadata of one telemetry cell: the `(routine, flags, region)`
+/// identity a query counter belongs to, plus the region's recorded fit error
+/// and provenance at resolve time.
+struct TelemetryCell {
+    routine: Routine,
+    flags: Vec<usize>,
+    region: Region,
+    error: f64,
+    revision: u32,
+}
+
+/// Per-generation refinement telemetry: one relaxed atomic query counter per
+/// region served for this machine/locality, plus the slot layout that maps a
+/// traced evaluation `(routine, flag key, region index)` to its counter.
+/// Counters are individually `Arc`'d so cache entries can hold a direct
+/// handle on theirs, keeping the cache-hit path a single relaxed increment.
+struct Telemetry {
+    /// Per routine (indexed by [`Routine::index`]): the flag keys of its
+    /// submodels with each key's base slot and region count.
+    index: Vec<Vec<(FlagKey, u32, u32)>>,
+    counters: Vec<Arc<AtomicU64>>,
+    cells: Vec<TelemetryCell>,
+}
+
+impl Telemetry {
+    /// Builds the slot layout for every region the snapshot serves under
+    /// `machine_id`/`locality`.  Runs once per repository generation (at the
+    /// same point the routing table is resolved), never on the query path.
+    fn build(snapshot: &ModelRepository, machine_id: &str, locality: Locality) -> Telemetry {
+        let mut index: Vec<Vec<(FlagKey, u32, u32)>> = vec![Vec::new(); Routine::ALL.len()];
+        let mut cells: Vec<TelemetryCell> = Vec::new();
+        for (key, model) in snapshot.iter() {
+            if key.machine_id != machine_id || key.locality != locality.name() {
+                continue;
+            }
+            let Some(routine) = Routine::from_name(&key.routine) else {
+                continue;
+            };
+            // Deterministic layout: sorted flag keys, regions in source order
+            // (the order both the compiled and the reference evaluators
+            // report their region indices in).
+            let mut flag_keys: Vec<&Vec<usize>> = model.submodels.keys().collect();
+            flag_keys.sort();
+            for flags in flag_keys {
+                let Some(fixed) = FlagKey::from_slice(flags) else {
+                    continue;
+                };
+                let submodel = &model.submodels[flags];
+                index[routine.index()].push((
+                    fixed,
+                    cells.len() as u32,
+                    submodel.regions.len() as u32,
+                ));
+                for region in &submodel.regions {
+                    cells.push(TelemetryCell {
+                        routine,
+                        flags: flags.clone(),
+                        region: region.region.clone(),
+                        error: region.error,
+                        revision: region.revision,
+                    });
+                }
+            }
+        }
+        let counters = (0..cells.len())
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+        Telemetry {
+            index,
+            counters,
+            cells,
+        }
+    }
+
+    /// The counter of a traced evaluation's cell, if the layout covers it.
+    fn counter(&self, routine: Routine, key: FlagKey, region: u32) -> Option<&Arc<AtomicU64>> {
+        self.index[routine.index()]
+            .iter()
+            .find(|(k, _, count)| *k == key && region < *count)
+            .and_then(|(_, base, _)| self.counters.get((base + region) as usize))
+    }
+}
 
 /// The service's pre-resolved evaluation state for one repository
 /// generation: the compiled snapshot together with its machine/locality
-/// routing table, so the cache-miss path is a plain array index (no string
-/// comparison, no allocation).
+/// routing table (so the cache-miss path is a plain array index — no string
+/// comparison, no allocation) and the generation's telemetry counters.
 struct Resolved {
     generation: u64,
     compiled: Arc<dla_model::CompiledRepository>,
     table: dla_model::RoutineTable,
+    telemetry: Arc<Telemetry>,
 }
 
 /// A thread-safe prediction service over a hot-swappable model repository.
@@ -106,6 +213,9 @@ pub struct ModelService {
     resolved: RwLock<Option<Resolved>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Gates the per-query telemetry counting (the slot bookkeeping itself is
+    /// always maintained, so telemetry can be flipped on without a rebuild).
+    telemetry_enabled: AtomicBool,
 }
 
 impl ModelService {
@@ -133,6 +243,7 @@ impl ModelService {
             resolved: RwLock::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            telemetry_enabled: AtomicBool::new(true),
         }
     }
 
@@ -143,24 +254,46 @@ impl ModelService {
     fn resolved(
         &self,
         generation: u64,
-    ) -> (Arc<dla_model::CompiledRepository>, dla_model::RoutineTable) {
+    ) -> (
+        Arc<dla_model::CompiledRepository>,
+        dla_model::RoutineTable,
+        Arc<Telemetry>,
+    ) {
         if let Some(r) = self.resolved.read().expect("resolver poisoned").as_ref() {
             if r.generation == generation {
-                return (Arc::clone(&r.compiled), r.table);
+                return (Arc::clone(&r.compiled), r.table, Arc::clone(&r.telemetry));
             }
         }
         let compiled = self.shared.compiled();
-        let table = compiled.resolve(&self.machine.id(), self.locality);
+        let machine_id = self.machine.id();
+        let table = compiled.resolve(&machine_id, self.locality);
+        let telemetry = Arc::new(Telemetry::build(
+            compiled.source(),
+            &machine_id,
+            self.locality,
+        ));
         // Only cache when no swap happened since the caller observed
         // `generation`; a racing entry must not outlive the swap.
         if self.shared.generation() == generation {
-            *self.resolved.write().expect("resolver poisoned") = Some(Resolved {
+            let mut guard = self.resolved.write().expect("resolver poisoned");
+            // Re-check under the write lock: a racing resolver may have
+            // installed this generation already.  Its state must win —
+            // overwriting it would orphan every counter handle (and count)
+            // the other thread's cache entries already carry, silently
+            // dropping those regions from all future reports.
+            if let Some(r) = guard.as_ref() {
+                if r.generation == generation {
+                    return (Arc::clone(&r.compiled), r.table, Arc::clone(&r.telemetry));
+                }
+            }
+            *guard = Some(Resolved {
                 generation,
                 compiled: Arc::clone(&compiled),
                 table,
+                telemetry: Arc::clone(&telemetry),
             });
         }
-        (compiled, table)
+        (compiled, table, telemetry)
     }
 
     /// The machine configuration predictions refer to.
@@ -208,12 +341,22 @@ impl ModelService {
         let key = CallKey::new(call);
         let shard = &self.shards[key.shard(self.shards.len())];
         let generation = self.shared.generation();
-        if let Some(&(stored_generation, summary)) =
-            shard.read().expect("cache shard poisoned").get(&key)
-        {
-            if stored_generation == generation {
+        if let Some(cached) = shard.read().expect("cache shard poisoned").get(&key) {
+            if cached.generation == generation {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(summary);
+                // The entry carries its region's counter: telemetry on the
+                // hit path is this one relaxed fetch_add, nothing else.
+                if self.telemetry_enabled.load(Ordering::Relaxed) {
+                    if let Some(counter) = &cached.counter {
+                        // Relaxed load + store, not an RMW: a lock-prefixed
+                        // fetch_add costs several times more than the rest of
+                        // the hit path combined, and a concurrently lost
+                        // increment only perturbs a best-effort statistic
+                        // (the ranking needs magnitudes, not exact counts).
+                        counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                    }
+                }
+                return Ok(cached.summary);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -221,7 +364,7 @@ impl ModelService {
         // routing table (the snapshot was compiled at the last swap/merge
         // and the table resolved once per generation, so the cold path does
         // no compilation, no hashing and no string comparison).
-        let (compiled, table) = self.resolved(generation);
+        let (compiled, table, telemetry) = self.resolved(generation);
         let model = table
             .slot(call.routine())
             .map(|slot| compiled.model_at(slot))
@@ -232,16 +375,82 @@ impl ModelService {
                     self.locality,
                 )
             })?;
-        let summary = model.estimate(call)?;
+        // Traced evaluation: same work as `estimate`, plus the identity of
+        // the answering submodel/region, which resolves to a counter handle
+        // once here and rides along in the cache entry for all later hits.
+        let (summary, flag_key, region) = model.estimate_traced(call)?;
+        let counter = telemetry.counter(call.routine(), flag_key, region).cloned();
+        if self.telemetry_enabled.load(Ordering::Relaxed) {
+            if let Some(counter) = &counter {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         // Only cache if no swap happened while we evaluated; a racing entry
         // from a stale snapshot must not survive the swap's invalidation.
         if self.shared.generation() == generation {
-            shard
-                .write()
-                .expect("cache shard poisoned")
-                .insert(key, (generation, summary));
+            shard.write().expect("cache shard poisoned").insert(
+                key,
+                CachedPrediction {
+                    generation,
+                    summary,
+                    counter,
+                },
+            );
         }
         Ok(summary)
+    }
+
+    /// Returns `true` while per-query refinement telemetry is being counted.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables per-query telemetry counting.  Disabling removes
+    /// the per-query counter increment (the slot bookkeeping in the cache is
+    /// kept, so re-enabling takes effect immediately, warm cache included).
+    pub fn set_telemetry_enabled(&self, enabled: bool) {
+        self.telemetry_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Snapshots the current generation's telemetry into a ranked
+    /// [`RefinementReport`]: every `(routine, flags, region)` cell that
+    /// answered at least one query since the served repository generation was
+    /// installed, hottest (`queries × fit_error`, `NaN` first) first.
+    ///
+    /// Producing the report does not pause serving — it reads the relaxed
+    /// counters in place.  The report is empty when nothing was queried since
+    /// the last swap/merge (counters are per-generation by design: a rebuilt
+    /// region must re-earn its place in the next report).
+    pub fn refinement_report(&self) -> RefinementReport {
+        let generation = self.shared.generation();
+        let guard = self.resolved.read().expect("resolver poisoned");
+        let Some(resolved) = guard.as_ref().filter(|r| r.generation == generation) else {
+            return RefinementReport::empty(self.machine.id(), self.locality, generation);
+        };
+        let telemetry = &resolved.telemetry;
+        let mut total_queries = 0u64;
+        let mut cells = Vec::new();
+        for (cell, counter) in telemetry.cells.iter().zip(&telemetry.counters) {
+            let queries = counter.load(Ordering::Relaxed);
+            total_queries += queries;
+            if queries > 0 {
+                cells.push(HotRegion {
+                    routine: cell.routine,
+                    flags: cell.flags.clone(),
+                    region: cell.region.clone(),
+                    fit_error: cell.error,
+                    revision: cell.revision,
+                    queries,
+                });
+            }
+        }
+        RefinementReport::ranked(
+            self.machine.id(),
+            self.locality,
+            generation,
+            total_queries,
+            cells,
+        )
     }
 
     /// Predicts a whole trace by accumulating memoized per-call estimates
@@ -401,6 +610,76 @@ mod tests {
         assert!(service.snapshot().len() > before);
         let sylv_call = Call::sylv_unb(64, 64);
         assert!(service.predict_call(&sylv_call).is_ok());
+    }
+
+    #[test]
+    fn telemetry_counts_queries_per_region_and_ranks_them() {
+        let service = quick_service();
+        assert!(service.telemetry_enabled());
+        // Nothing queried yet: the report is empty.
+        assert!(service.refinement_report().is_empty());
+
+        // 7 queries on one call, 2 on another; cache hits must keep counting.
+        for _ in 0..7 {
+            let _ = service.predict_call(&gemm(96)).unwrap();
+        }
+        for _ in 0..2 {
+            let _ = service.predict_call(&gemm(32)).unwrap();
+        }
+        let report = service.refinement_report();
+        assert_eq!(report.total_queries, 9);
+        assert!(!report.is_empty());
+        assert_eq!(report.machine_id, service.machine().id());
+        assert_eq!(report.locality, Locality::InCache);
+        let gemm_queries: u64 = report
+            .cells
+            .iter()
+            .filter(|c| c.routine == Routine::Gemm)
+            .map(|c| c.queries)
+            .sum();
+        assert_eq!(gemm_queries, 9);
+        // Every reported cell names a real region of the served snapshot.
+        let snapshot = service.snapshot();
+        for cell in &report.cells {
+            let model = snapshot
+                .get(cell.routine, &report.machine_id, report.locality)
+                .expect("reported routine is served");
+            let submodel = model.submodel(&cell.flags).expect("reported flags exist");
+            assert!(
+                submodel.regions.iter().any(|r| r.region == cell.region),
+                "reported region {} not found",
+                cell.region
+            );
+            assert_eq!(cell.revision, 0, "initial build regions are revision 0");
+        }
+        // Ranking: hottest first.
+        let priorities: Vec<f64> = report.cells.iter().map(|c| c.priority()).collect();
+        assert!(priorities.windows(2).all(|w| w[0] >= w[1] || w[0].is_nan()));
+    }
+
+    #[test]
+    fn telemetry_resets_on_swap_and_respects_the_enable_flag() {
+        let service = quick_service();
+        let _ = service.predict_call(&gemm(96)).unwrap();
+        assert_eq!(service.refinement_report().total_queries, 1);
+
+        // A swap starts a new generation: counters restart at zero.
+        let current = (*service.snapshot()).clone();
+        service.swap(current);
+        assert_eq!(service.refinement_report().total_queries, 0);
+        let _ = service.predict_call(&gemm(96)).unwrap();
+        assert_eq!(service.refinement_report().total_queries, 1);
+
+        // Disabling telemetry stops counting on both hit and miss paths...
+        service.set_telemetry_enabled(false);
+        assert!(!service.telemetry_enabled());
+        let _ = service.predict_call(&gemm(96)).unwrap(); // hit
+        let _ = service.predict_call(&gemm(48)).unwrap(); // miss
+        assert_eq!(service.refinement_report().total_queries, 1);
+        // ...and re-enabling picks up immediately, warm cache included.
+        service.set_telemetry_enabled(true);
+        let _ = service.predict_call(&gemm(48)).unwrap();
+        assert_eq!(service.refinement_report().total_queries, 2);
     }
 
     #[test]

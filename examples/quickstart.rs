@@ -57,8 +57,8 @@ fn main() {
             .with_model_config(ModelSetConfig::quick(512).with_workers(reference_workers));
         reference.build_models(&[Workload::Trinv]);
         assert_eq!(
-            pipeline.repository().to_text(),
-            reference.repository().to_text(),
+            pipeline.repository().to_text().unwrap(),
+            reference.repository().to_text().unwrap(),
             "builds with different worker counts must be byte-identical"
         );
         println!(
