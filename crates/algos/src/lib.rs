@@ -21,6 +21,7 @@
 //!   touching any data (used by the Predictor, exactly like the paper's
 //!   "list of subroutine invocations").
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

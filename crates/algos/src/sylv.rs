@@ -347,7 +347,9 @@ impl SylvCtx for SylvCompute<'_> {
         let (c_view, refs) = self
             .x
             .split_one_mut(c, &[b])
+            // lint: allow(unwrap): the blocked algorithm's partitioning makes target and source blocks disjoint by construction
             .expect("gemm_lx: target block overlaps source block");
+        // lint: allow(unwrap): partition rectangles are within the operand by construction
         let a_view = self.l.block(a).expect("gemm_lx: L block out of bounds");
         dgemm(
             Trans::NoTrans,
@@ -364,7 +366,9 @@ impl SylvCtx for SylvCompute<'_> {
         let (c_view, refs) = self
             .x
             .split_one_mut(c, &[a])
+            // lint: allow(unwrap): the blocked algorithm's partitioning makes target and source blocks disjoint by construction
             .expect("gemm_xu: target block overlaps source block");
+        // lint: allow(unwrap): partition rectangles are within the operand by construction
         let b_view = self.u.block(b).expect("gemm_xu: U block out of bounds");
         dgemm(
             Trans::NoTrans,
@@ -378,8 +382,11 @@ impl SylvCtx for SylvCompute<'_> {
     }
 
     fn solve(&mut self, l: Rect, u: Rect, x: Rect) {
+        // lint: allow(unwrap): partition rectangles are within the operand by construction
         let l_view = self.l.block(l).expect("solve: L block out of bounds");
+        // lint: allow(unwrap): partition rectangles are within the operand by construction
         let u_view = self.u.block(u).expect("solve: U block out of bounds");
+        // lint: allow(unwrap): partition rectangles are within the operand by construction
         let x_view = self.x.block_mut(x).expect("solve: X block out of bounds");
         dsylv_unb(l_view, u_view, x_view);
     }

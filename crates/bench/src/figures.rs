@@ -79,6 +79,7 @@ pub fn fig_ii1() {
         "Fig II.1 — repeated dtrsm(R,L,N,U,512,128,0.37): ticks per execution",
         &["first", "min", "median", "mean", "max", "std"],
     );
+    // lint: allow(unwrap): figure harness: a malformed fixture call must fail the run loudly
     let call = Call::parse("dtrsm R L N U 512 128 0.37 256 512").expect("valid call");
     for machine in harpertown_all_implementations() {
         for locality in Locality::ALL {
@@ -186,6 +187,7 @@ pub fn fig_iii3() {
     let points: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![n as f64]).collect();
     let fits: Vec<Polynomial> = series
         .iter()
+        // lint: allow(unwrap): figure harness: a failed reference fit must fail the run loudly
         .map(|values| Polynomial::fit(&points, values, 2).expect("fit succeeds"))
         .collect();
     let mut max_rel = [0.0f64; 3];
@@ -417,11 +419,13 @@ fn trinv_prediction_figure(title: &str, machine: MachineConfig, sizes: &[usize],
             );
             pred_ic.push(
                 predict_trinv(&service_ic, variant, n, block)
+                    // lint: allow(unwrap): figure harness: a missing prediction must fail the run loudly
                     .expect("in-cache prediction")
                     .median,
             );
             pred_oc.push(
                 predict_trinv(&service_oc, variant, n, block)
+                    // lint: allow(unwrap): figure harness: a missing prediction must fail the run loudly
                     .expect("out-of-cache prediction")
                     .median,
             );
@@ -478,6 +482,7 @@ pub fn fig_iv1() {
     for &n in &[512usize, 640, 768, 896, 1024] {
         for variant in TrinvVariant::ALL {
             let m = measure_trinv(&mut executor, variant, n, 96, MeasurementMode::Auto);
+            // lint: allow(unwrap): figure harness: a missing prediction must fail the run loudly
             let p = predict_trinv(&service, variant, n, 96).expect("prediction");
             print_row(&[
                 n as f64,
@@ -512,6 +517,7 @@ pub fn fig_iv2() {
         let mut pred = Vec::new();
         for (vi, variant) in TrinvVariant::ALL.iter().enumerate() {
             let m = measure_trinv(&mut executor, *variant, 1000, b, MeasurementMode::Auto);
+            // lint: allow(unwrap): figure harness: a missing prediction must fail the run loudly
             let p = predict_trinv(&service, *variant, 1000, b).expect("prediction");
             if m.efficiency > best_meas[vi].1 {
                 best_meas[vi] = (b, m.efficiency);
@@ -609,6 +615,7 @@ pub fn fig_iv5() {
         let mut row = vec![n as f64];
         for v in &variants {
             let m = measure_sylv(&mut executor, *v, n, 96, MeasurementMode::Auto);
+            // lint: allow(unwrap): the size list is a non-empty literal above
             if n == *sizes.last().unwrap() {
                 measured_at_max.push(m.efficiency);
             }
@@ -627,8 +634,10 @@ pub fn fig_iv5() {
         let mut row = vec![n as f64];
         for v in &variants {
             let p = predict_sylv(&service, *v, n, 96)
+                // lint: allow(unwrap): figure harness: a missing prediction must fail the run loudly
                 .expect("prediction")
                 .median;
+            // lint: allow(unwrap): the size list is a non-empty literal above
             if n == *sizes.last().unwrap() {
                 predicted_at_max.push(p);
             }
@@ -638,9 +647,11 @@ pub fn fig_iv5() {
     }
 
     // Group separation and top-4 ordering at the largest size.
+    // lint: allow(unwrap): the size list is a non-empty literal above
     let nmax = *sizes.last().unwrap();
     let order_by = |scores: &[f64]| -> Vec<usize> {
         let mut idx: Vec<usize> = (0..scores.len()).collect();
+        // lint: allow(unwrap): efficiency scores are finite by construction
         idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
         idx.iter().map(|&i| i + 1).collect()
     };

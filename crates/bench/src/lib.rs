@@ -9,6 +9,7 @@
 //! `benches/` measure the throughput of the underlying kernels, the model
 //! evaluation and the modeling strategies themselves.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -146,17 +146,20 @@ impl PreparedCall {
         match &self.call {
             Call::Gemm { .. } | Call::Syrk { .. } | Call::SylvUnb { .. } => {
                 if let Some(c) = &mut self.c {
+                    // lint: allow(unwrap): the pristine copy was allocated with identical dimensions at construction
                     c.copy_from(&self.pristine).expect("pristine copy matches");
                 }
             }
             Call::Trsm { .. } | Call::Trmm { .. } => {
                 if let Some(b) = &mut self.b {
+                    // lint: allow(unwrap): the pristine copy was allocated with identical dimensions at construction
                     b.copy_from(&self.pristine).expect("pristine copy matches");
                 }
             }
             Call::TrtriUnb { .. } => {
                 self.a
                     .copy_from(&self.pristine)
+                    // lint: allow(unwrap): the pristine copy was allocated with identical dimensions at construction
                     .expect("pristine copy matches");
             }
         }
@@ -172,12 +175,14 @@ impl PreparedCall {
                 beta,
                 ..
             } => {
+                // lint: allow(unwrap): operand presence follows from the matched Call variant (set up in prepare)
                 let c = self.c.as_mut().expect("gemm has a C operand");
                 dgemm(
                     *transa,
                     *transb,
                     *alpha,
                     self.a.as_ref(),
+                    // lint: allow(unwrap): operand presence follows from the matched Call variant (set up in prepare)
                     self.b.as_ref().expect("gemm has a B operand").as_ref(),
                     *beta,
                     c.as_mut(),
@@ -191,6 +196,7 @@ impl PreparedCall {
                 alpha,
                 ..
             } => {
+                // lint: allow(unwrap): operand presence follows from the matched Call variant (set up in prepare)
                 let b = self.b.as_mut().expect("trsm has a B operand");
                 dtrsm(
                     *side,
@@ -210,6 +216,7 @@ impl PreparedCall {
                 alpha,
                 ..
             } => {
+                // lint: allow(unwrap): operand presence follows from the matched Call variant (set up in prepare)
                 let b = self.b.as_mut().expect("trmm has a B operand");
                 dtrmm(
                     *side,
@@ -228,6 +235,7 @@ impl PreparedCall {
                 beta,
                 ..
             } => {
+                // lint: allow(unwrap): operand presence follows from the matched Call variant (set up in prepare)
                 let c = self.c.as_mut().expect("syrk has a C operand");
                 dsyrk(*uplo, *trans, *alpha, self.a.as_ref(), *beta, c.as_mut());
             }
@@ -235,9 +243,11 @@ impl PreparedCall {
                 dtrtri_unb(*uplo, *diag, self.a.as_mut());
             }
             Call::SylvUnb { .. } => {
+                // lint: allow(unwrap): operand presence follows from the matched Call variant (set up in prepare)
                 let x = self.c.as_mut().expect("sylv has an X operand");
                 dsylv_unb(
                     self.a.as_ref(),
+                    // lint: allow(unwrap): operand presence follows from the matched Call variant (set up in prepare)
                     self.b.as_ref().expect("sylv has a U operand").as_ref(),
                     x.as_mut(),
                 );

@@ -27,6 +27,7 @@ pub fn dgemm_blocks(
 ) {
     let (c_view, refs) = parent
         .split_one_mut(c, &[a, b])
+        // lint: allow(unwrap): the blocked algorithms pass disjoint in-bounds blocks by construction
         .expect("dgemm_blocks: invalid or aliasing blocks");
     dgemm(transa, transb, alpha, refs[0], refs[1], beta, c_view);
 }
@@ -45,6 +46,7 @@ pub fn dtrsm_blocks(
 ) {
     let (b_view, refs) = parent
         .split_one_mut(b, &[a])
+        // lint: allow(unwrap): the blocked algorithms pass disjoint in-bounds blocks by construction
         .expect("dtrsm_blocks: invalid or aliasing blocks");
     dtrsm(side, uplo, transa, diag, alpha, refs[0], b_view);
 }
@@ -63,6 +65,7 @@ pub fn dtrmm_blocks(
 ) {
     let (b_view, refs) = parent
         .split_one_mut(b, &[a])
+        // lint: allow(unwrap): the blocked algorithms pass disjoint in-bounds blocks by construction
         .expect("dtrmm_blocks: invalid or aliasing blocks");
     dtrmm(side, uplo, transa, diag, alpha, refs[0], b_view);
 }
@@ -71,6 +74,7 @@ pub fn dtrmm_blocks(
 pub fn dtrtri_block(parent: &mut Matrix, uplo: Uplo, diag: Diag, a: Rect) {
     let view = parent
         .block_mut(a)
+        // lint: allow(unwrap): the blocked algorithms pass in-bounds blocks by construction
         .expect("dtrtri_block: block out of bounds");
     dtrtri_unb(uplo, diag, view);
 }

@@ -28,6 +28,7 @@
 //! algorithms can be verified numerically and so that a `NativeExecutor` can
 //! measure genuine wall-clock behaviour.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // Triangular kernels index several operands by one loop variable over partial

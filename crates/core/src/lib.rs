@@ -45,6 +45,7 @@
 //! into indexed, fused, zero-allocation evaluators, with the naive model
 //! evaluators retained as the equivalence-tested reference.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

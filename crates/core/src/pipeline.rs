@@ -188,6 +188,7 @@ impl Pipeline {
                 .with_templates(&dedupe_templates(&templates)),
             );
         }
+        // lint: allow(unwrap): the refiner was installed by the ensure branch directly above
         let refiner = self.refiner.as_mut().expect("refiner was just ensured");
         refiner.set_config(config);
         let snapshot = self.service.snapshot();

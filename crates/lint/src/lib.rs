@@ -1,0 +1,741 @@
+//! `dla-lint`: the workspace's correctness analyzer, gating the serving hot
+//! path and the concurrency conventions in CI.
+//!
+//! A deliberately dependency-free, text-level analyzer (no syn, no rustc
+//! internals — the container and CI must need nothing but std).  It walks the
+//! workspace sources and enforces five deny-by-default rules:
+//!
+//! | rule            | what it denies                                               |
+//! |-----------------|--------------------------------------------------------------|
+//! | `hot-path`      | allocation, `powi`/`powf`, `format!`, `.clone()` inside `// lint: hot-path begin/end` regions |
+//! | `ordering`      | atomic `Ordering::*` uses without a `// ordering:` justification |
+//! | `unwrap`        | `.unwrap()` / `.expect(` in library code outside tests/bins   |
+//! | `sync-facade`   | direct `std::sync` use in the files routed through `dla_sync` |
+//! | `unsafe-crate`  | workspace crate roots without `#![forbid(unsafe_code)]`       |
+//!
+//! Waivers are explicit and carry a reason, so every exception is grep-able:
+//!
+//! * `// lint: allow(hot-path): <reason>` — on the offending line;
+//! * `// lint: allow(unwrap): <reason>` — on the line or the line above;
+//! * `// lint: allow(unsafe-crate): <reason>` — in the crate root, next to
+//!   the lint level that *is* in force (e.g. `#![deny(unsafe_code)]` with
+//!   per-module `#[allow]`s).
+//!
+//! Test code (`tests/`, `benches/`, `examples/`, `#[cfg(test)]` regions) is
+//! exempt from `ordering` and `unwrap`; binaries (`main.rs`, `src/bin/`) are
+//! exempt from `unwrap`.  Vendored crates (`vendor/`) are exempt from
+//! everything except the crate-root unsafe audit — they are stand-ins for
+//! external dependencies, not owned code, but they still must not smuggle
+//! `unsafe` into the build.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One rule violation at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `hot-path`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The atomic ordering variants the `ordering` rule covers.  Matching on the
+/// qualified variant (not bare `Ordering::`) keeps `std::cmp::Ordering`
+/// (`Less`/`Equal`/`Greater`) out of scope.
+const ATOMIC_ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Constructs denied inside `// lint: hot-path begin/end` regions: heap
+/// allocation, the slow `powi`/`powf` intrinsics (the fused evaluators use
+/// incremental multiplication), string formatting and clones.
+const HOT_PATH_BANNED: [(&str, &str); 13] = [
+    ("format!", "string formatting allocates"),
+    (".powi(", "powi is slower than incremental multiplication"),
+    (".powf(", "powf is slower than incremental multiplication"),
+    (".clone()", "clone on the hot path"),
+    (".to_vec()", "to_vec allocates"),
+    (".to_string()", "to_string allocates"),
+    (".to_owned()", "to_owned allocates"),
+    ("vec![", "vec! allocates"),
+    ("Vec::new", "Vec::new allocates on first push"),
+    ("Vec::with_capacity", "Vec::with_capacity allocates"),
+    ("Box::new", "Box::new allocates"),
+    ("String::", "String construction allocates"),
+    (".collect(", "collect allocates"),
+];
+
+/// The files required to take every concurrency primitive through the
+/// `dla_sync` facade (`dla_model::sync`) instead of `std::sync`, so the
+/// model checker sees the real serving code under `--cfg interleave`.
+const FACADE_FILES: [&str; 3] = [
+    "crates/model/src/shared.rs",
+    "crates/model/src/telemetry.rs",
+    "crates/predict/src/service.rs",
+];
+
+/// Per-line classification computed once per file.
+struct FileText {
+    lines: Vec<String>,
+    /// Line is entirely comment (line comment or inside a block comment).
+    comment: Vec<bool>,
+    /// Line is inside a `#[cfg(test)]`-gated region.
+    test: Vec<bool>,
+}
+
+impl FileText {
+    fn parse(content: &str) -> FileText {
+        let lines: Vec<String> = content.lines().map(str::to_string).collect();
+        let mut comment = vec![false; lines.len()];
+        let mut in_block = false;
+        for (i, line) in lines.iter().enumerate() {
+            let trimmed = line.trim();
+            if in_block {
+                comment[i] = true;
+                if trimmed.contains("*/") {
+                    in_block = false;
+                }
+                continue;
+            }
+            if trimmed.starts_with("//") {
+                comment[i] = true;
+            } else if trimmed.starts_with("/*") {
+                comment[i] = true;
+                if !trimmed.contains("*/") {
+                    in_block = true;
+                }
+            }
+        }
+        // `#[cfg(test)]` regions: from the attribute until the brace opened
+        // by the item it gates closes again.  Brace counting is textual —
+        // good enough for rustfmt-formatted sources, which this workspace
+        // enforces in CI.
+        let mut test = vec![false; lines.len()];
+        let mut depth: i32 = 0;
+        let mut region_floor: Option<i32> = None;
+        let mut pending_attr = false;
+        for (i, line) in lines.iter().enumerate() {
+            if comment[i] {
+                if region_floor.is_some() {
+                    test[i] = true;
+                }
+                continue;
+            }
+            let code = strip_line_comment(line);
+            if region_floor.is_none() && code.contains("#[cfg(test)]") {
+                pending_attr = true;
+            }
+            if pending_attr {
+                test[i] = true;
+            }
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending_attr && region_floor.is_none() {
+                            region_floor = Some(depth);
+                            pending_attr = false;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(floor) = region_floor {
+                            if depth < floor {
+                                region_floor = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if region_floor.is_some() {
+                test[i] = true;
+            }
+        }
+        FileText {
+            lines,
+            comment,
+            test,
+        }
+    }
+
+    /// The code portion of a line (no trailing `// ...` comment), or `""`
+    /// for whole-line comments.
+    fn code(&self, i: usize) -> &str {
+        if self.comment[i] {
+            ""
+        } else {
+            strip_line_comment(&self.lines[i])
+        }
+    }
+
+    /// Whether the statement at line `i` carries `marker` — on the line
+    /// itself, or in the contiguous run of comment lines and statement
+    /// continuations directly above it.
+    fn justified(&self, i: usize, marker: &str) -> bool {
+        if self.lines[i].contains(marker) {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let line = &self.lines[j];
+            if line.trim().is_empty() {
+                return false;
+            }
+            if line.contains(marker) {
+                return true;
+            }
+            if self.comment[j] {
+                continue;
+            }
+            // A preceding code line ending a statement (or opening a block)
+            // ends the search; anything else is a continuation of the same
+            // multi-line call and the walk continues past it.
+            let code = strip_line_comment(line);
+            let trimmed = code.trim_end();
+            if trimmed.ends_with(';') || trimmed.ends_with('{') || trimmed.ends_with('}') {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Strips a trailing `// ...` comment, respecting string literals well
+/// enough for this codebase (a `//` inside a string stays).
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// What kind of source a file is, for rule scoping.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FileKind {
+    /// Library code: all rules apply.
+    Library,
+    /// Binary targets (`main.rs`, `src/bin/`): `unwrap` exempt.
+    Binary,
+    /// Integration tests / benches / examples: `ordering` and `unwrap`
+    /// exempt.
+    Test,
+}
+
+fn classify(rel: &str) -> FileKind {
+    let is_test_tree = rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel == "build.rs"
+        || rel.ends_with("/build.rs");
+    if is_test_tree {
+        FileKind::Test
+    } else if rel.ends_with("/main.rs") || rel.contains("/src/bin/") {
+        FileKind::Binary
+    } else {
+        FileKind::Library
+    }
+}
+
+/// Runs every line-level rule over one file.
+fn scan_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
+    let kind = classify(rel);
+    let text = FileText::parse(content);
+    let vendored = rel.starts_with("vendor/");
+
+    let mut hot_since: Option<usize> = None;
+    for i in 0..text.lines.len() {
+        let line = &text.lines[i];
+
+        // Hot-path region bookkeeping runs on comment lines (the markers
+        // *are* comments).  Matching the exact comment prefix keeps doc
+        // prose that merely *mentions* the marker from opening a region.
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("// lint: hot-path begin") {
+            if let Some(open) = hot_since {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "hot-path",
+                    message: format!(
+                        "nested hot-path begin (region open since line {})",
+                        open + 1
+                    ),
+                });
+            }
+            hot_since = Some(i);
+            continue;
+        }
+        if trimmed.starts_with("// lint: hot-path end") {
+            if hot_since.take().is_none() {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "hot-path",
+                    message: "hot-path end without a matching begin".to_string(),
+                });
+            }
+            continue;
+        }
+
+        let code = text.code(i);
+        if code.is_empty() {
+            continue;
+        }
+
+        if hot_since.is_some() && !line.contains("lint: allow(hot-path):") {
+            for (token, why) in HOT_PATH_BANNED {
+                if code.contains(token) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: i + 1,
+                        rule: "hot-path",
+                        message: format!("`{token}` in a hot-path region: {why}"),
+                    });
+                }
+            }
+        }
+
+        if vendored {
+            continue;
+        }
+
+        if kind == FileKind::Library && !text.test[i] {
+            // ordering: every atomic ordering choice needs a written-down why.
+            if ATOMIC_ORDERINGS.iter().any(|v| code.contains(v))
+                && !text.justified(i, "// ordering:")
+            {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "ordering",
+                    message: "atomic Ordering without a `// ordering:` justification".to_string(),
+                });
+            }
+
+            // unwrap: library code must handle or waive, never assume.
+            if (code.contains(".unwrap()") || code.contains(".expect("))
+                && !text.justified(i, "lint: allow(unwrap):")
+            {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: i + 1,
+                    rule: "unwrap",
+                    message:
+                        "unwrap/expect in library code (waive with `// lint: allow(unwrap): why`)"
+                            .to_string(),
+                });
+            }
+        }
+
+        // sync-facade: the model-checked files take primitives through
+        // `dla_sync` only (tests inside those files may use std directly).
+        if FACADE_FILES.contains(&rel) && !text.test[i] && code.contains("std::sync") {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: i + 1,
+                rule: "sync-facade",
+                message: "direct std::sync use in a dla_sync-routed file".to_string(),
+            });
+        }
+    }
+    if let Some(open) = hot_since {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: open + 1,
+            rule: "hot-path",
+            message: "hot-path begin without a matching end".to_string(),
+        });
+    }
+}
+
+/// The crate-root unsafe audit: `#![forbid(unsafe_code)]`, or a documented
+/// lint level + waiver explaining why forbidding is impossible.
+fn scan_crate_root(rel: &str, content: &str, findings: &mut Vec<Finding>) {
+    if content.contains("#![forbid(unsafe_code)]") {
+        return;
+    }
+    if content.contains("lint: allow(unsafe-crate):") {
+        // The waiver must still pin down a lint level: a crate that cannot
+        // forbid must at least deny, scoping its `unsafe` to allow-listed
+        // modules.
+        if content.contains("#![deny(unsafe_code)]") {
+            return;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: 1,
+            rule: "unsafe-crate",
+            message: "unsafe-crate waiver without `#![deny(unsafe_code)]`".to_string(),
+        });
+        return;
+    }
+    findings.push(Finding {
+        file: rel.to_string(),
+        line: 1,
+        rule: "unsafe-crate",
+        message: "crate root lacks `#![forbid(unsafe_code)]` (waive with `// lint: allow(unsafe-crate): why` plus `#![deny(unsafe_code)]`)"
+            .to_string(),
+    });
+}
+
+/// Workspace member paths, parsed from the root `Cargo.toml` members list
+/// (the list is literal paths, no globs).
+fn workspace_members(root: &Path) -> Result<Vec<String>, String> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| format!("cannot read {}: {e}", root.join("Cargo.toml").display()))?;
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("members") && trimmed.contains('[') {
+            in_members = true;
+            continue;
+        }
+        if in_members {
+            if trimmed.starts_with(']') {
+                break;
+            }
+            if let Some(member) = trimmed.split('"').nth(1) {
+                members.push(member.to_string());
+            }
+        }
+    }
+    if members.is_empty() {
+        return Err("no workspace members found in Cargo.toml".to_string());
+    }
+    Ok(members)
+}
+
+/// Collects the `.rs` files under `dir`, recursively, sorted for
+/// deterministic output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // Never descend into build output.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans the whole workspace rooted at `root` and returns every finding.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let members = workspace_members(root)?;
+    let mut findings = Vec::new();
+
+    // Owned code: every member outside vendor/, plus the root facade crate.
+    // The lint crate itself is excluded from the line rules: its source is
+    // wall-to-wall banned-token tables and rule fixtures, every one of which
+    // would self-match.  Its crate root stays in the unsafe audit below.
+    let mut scan_dirs: Vec<PathBuf> = vec![root.join("src")];
+    for member in &members {
+        if !member.starts_with("vendor/") && member != "crates/lint" {
+            scan_dirs.push(root.join(member));
+        }
+    }
+    let mut files = Vec::new();
+    for dir in &scan_dirs {
+        rust_files(dir, &mut files);
+    }
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        scan_file(&rel, &content, &mut findings);
+    }
+
+    // The unsafe audit covers every member's crate root, vendor included.
+    let mut roots: Vec<String> = members.iter().map(|m| format!("{m}/src/lib.rs")).collect();
+    roots.push("src/lib.rs".to_string());
+    for rel in roots {
+        let path = root.join(&rel);
+        if !path.is_file() {
+            continue;
+        }
+        let content = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        scan_crate_root(&rel, &content, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// CLI entry point: `dla-lint [workspace-root]` (defaults to the current
+/// directory).  Prints findings and exits non-zero when any rule fired.
+pub fn run_cli(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let root = args.next().unwrap_or_else(|| ".".to_string());
+    if args.next().is_some() {
+        eprintln!("usage: dla-lint [workspace-root]");
+        return ExitCode::FAILURE;
+    }
+    match scan_workspace(Path::new(&root)) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dla-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("dla-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("dla-lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, content: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        scan_file(rel, content, &mut findings);
+        findings
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hot_path_rule_fires_on_each_banned_construct() {
+        let fixture = r#"
+fn eval() {
+    // lint: hot-path begin
+    let v = vec![1.0];
+    let s = format!("{v:?}");
+    let p = x.powi(3);
+    let c = coeffs.clone();
+    // lint: hot-path end
+}
+"#;
+        let findings = scan("crates/model/src/eval.rs", fixture);
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "hot-path"));
+    }
+
+    #[test]
+    fn hot_path_rule_is_silent_outside_regions_and_on_waived_lines() {
+        let fixture = r#"
+fn build() {
+    let v = vec![1.0]; // fine: not a hot-path region
+    // lint: hot-path begin
+    let w = scratch.to_vec(); // lint: allow(hot-path): one-time setup
+    let y = horner(x);
+    // lint: hot-path end
+}
+"#;
+        assert!(scan("crates/model/src/eval.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn hot_path_rule_reports_unbalanced_markers() {
+        let unclosed = "// lint: hot-path begin\nfn f() {}\n";
+        assert_eq!(rules(&scan("a.rs", unclosed)), ["hot-path"]);
+        let unopened = "fn f() {}\n// lint: hot-path end\n";
+        assert_eq!(rules(&scan("a.rs", unopened)), ["hot-path"]);
+    }
+
+    #[test]
+    fn ordering_rule_requires_a_justification() {
+        let bare = r#"
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+"#;
+        assert_eq!(rules(&scan("crates/x/src/a.rs", bare)), ["ordering"]);
+
+        let same_line = r#"
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed - standalone stat
+}
+"#;
+        assert!(scan("crates/x/src/a.rs", same_line).is_empty());
+
+        let preceding = r#"
+fn bump(c: &AtomicU64) {
+    // ordering: Relaxed - standalone statistic, nothing published through it
+    c.fetch_add(1, Ordering::Relaxed);
+}
+"#;
+        assert!(scan("crates/x/src/a.rs", preceding).is_empty());
+    }
+
+    #[test]
+    fn ordering_rule_sees_through_multiline_calls() {
+        let continued = r#"
+fn bump(c: &AtomicU64) {
+    // ordering: Relaxed on both halves - lossy by design
+    c.store(
+        c.load(Ordering::Relaxed) + 1,
+        Ordering::Relaxed,
+    );
+}
+"#;
+        assert!(scan("crates/x/src/a.rs", continued).is_empty());
+    }
+
+    #[test]
+    fn ordering_rule_skips_tests_and_cmp_ordering() {
+        let fixture = r#"
+fn compare(a: u32, b: u32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Less // not an atomic ordering
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn atomics_in_tests_are_free() {
+        c.fetch_add(1, Ordering::SeqCst);
+    }
+}
+"#;
+        assert!(scan("crates/x/src/a.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_fires_in_library_code_only() {
+        let fixture = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        assert_eq!(rules(&scan("crates/x/src/a.rs", fixture)), ["unwrap"]);
+        // Bins, tests directories and #[cfg(test)] regions are exempt.
+        assert!(scan("crates/x/src/main.rs", fixture).is_empty());
+        assert!(scan("crates/x/tests/a.rs", fixture).is_empty());
+        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n{fixture}}}\n");
+        assert!(scan("crates/x/src/a.rs", &in_test_mod).is_empty());
+        // unwrap_or_else is not unwrap.
+        let recovered = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 0)\n}\n";
+        assert!(scan("crates/x/src/a.rs", recovered).is_empty());
+    }
+
+    #[test]
+    fn unwrap_rule_accepts_reasoned_waivers() {
+        let waived = "fn f(x: Option<u32>) -> u32 {\n    \
+                      // lint: allow(unwrap): x is Some by construction above\n    \
+                      x.unwrap()\n}\n";
+        assert!(scan("crates/x/src/a.rs", waived).is_empty());
+        let expect = "fn f(x: Option<u32>) -> u32 {\n    \
+                      x.expect(\"always present\") // lint: allow(unwrap): invariant\n}\n";
+        assert!(scan("crates/x/src/a.rs", expect).is_empty());
+    }
+
+    #[test]
+    fn sync_facade_rule_guards_the_model_checked_files() {
+        let offending = "use std::sync::RwLock;\nfn f() {}\n";
+        assert_eq!(
+            rules(&scan("crates/model/src/shared.rs", offending)),
+            ["sync-facade"]
+        );
+        // Other files may use std::sync freely.
+        assert!(scan("crates/model/src/repo.rs", offending).is_empty());
+        // And tests inside a facade file may too.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    use std::sync::Barrier;\n}\n";
+        assert!(scan("crates/predict/src/service.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn unsafe_crate_rule_requires_forbid_or_documented_exception() {
+        let mut findings = Vec::new();
+        scan_crate_root(
+            "crates/x/src/lib.rs",
+            "//! Docs.\npub fn f() {}\n",
+            &mut findings,
+        );
+        assert_eq!(rules(&findings), ["unsafe-crate"]);
+
+        let mut findings = Vec::new();
+        scan_crate_root(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty());
+
+        // A waiver alone is not enough: the crate must still deny by default.
+        let mut findings = Vec::new();
+        scan_crate_root(
+            "crates/x/src/lib.rs",
+            "// lint: allow(unsafe-crate): raw-pointer views\n",
+            &mut findings,
+        );
+        assert_eq!(rules(&findings), ["unsafe-crate"]);
+
+        let mut findings = Vec::new();
+        scan_crate_root(
+            "crates/x/src/lib.rs",
+            "// lint: allow(unsafe-crate): raw-pointer views\n#![deny(unsafe_code)]\n",
+            &mut findings,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn vendored_code_is_exempt_from_owned_code_rules() {
+        let fixture = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+                       fn g(c: &A) { c.load(Ordering::SeqCst); }\n";
+        assert!(scan("vendor/rand/src/lib.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn line_comment_stripping_respects_strings() {
+        assert_eq!(strip_line_comment("let x = 1; // tail"), "let x = 1; ");
+        assert_eq!(
+            strip_line_comment(r#"let url = "https://example.com";"#),
+            r#"let url = "https://example.com";"#
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! `dla-lint`: scans the workspace and reports rule violations; exits
+//! non-zero when any are found (deny-by-default, CI-gated).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    dla_lint::run_cli(std::env::args().skip(1))
+}

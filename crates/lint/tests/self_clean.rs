@@ -1,0 +1,25 @@
+//! The workspace must stay `dla-lint` clean.
+//!
+//! This puts the analyzer's clean-tree gate into the ordinary `cargo test`
+//! run: any new allocation in a `// lint: hot-path` region, undocumented
+//! atomic ordering, stray `unwrap()` in library code, direct `std::sync` use
+//! in the facade files, or crate root without an unsafe-code policy fails
+//! this test with the full finding list.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = dla_lint::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "dla-lint found {} issue(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -33,6 +33,7 @@
 //! slow first invocations, and implementation- and architecture-dependent
 //! rankings of the blocked algorithm variants.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -35,6 +35,7 @@ impl MatrixGenerator {
 
     /// A general matrix with a chosen leading dimension (padding rows untouched).
     pub fn general_with_ld(&mut self, rows: usize, cols: usize, ld: usize) -> Matrix {
+        // lint: allow(unwrap): documented generator precondition (ld >= rows); violating it is a caller bug worth a loud panic
         let mut m = Matrix::zeros_with_ld(rows, cols, ld).expect("ld >= rows");
         for j in 0..cols {
             for i in 0..rows {

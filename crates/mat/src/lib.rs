@@ -24,15 +24,23 @@
 //! performance-modeling stack needs, with clear semantics and no hidden
 //! allocation in hot paths.
 
+// lint: allow(unsafe-crate): the raw-pointer matrix views (`MatRef`/`MatMut`
+// in `view.rs`, their constructors in `dense.rs`) are the one place the
+// workspace needs `unsafe` — aliasing sub-block views over a shared buffer
+// cannot be expressed through slices.  `unsafe` is denied crate-wide and
+// re-allowed only in those two modules, next to their safety comments.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // QR/substitution kernels index several arrays by one loop variable over
 // partial (triangular) ranges; the indexed form is clearer than iterators.
 #![allow(clippy::needless_range_loop)]
 
+#[allow(unsafe_code)]
 mod dense;
 mod error;
 mod rect;
+#[allow(unsafe_code)]
 mod view;
 
 pub mod gen;

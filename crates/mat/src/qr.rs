@@ -335,6 +335,7 @@ pub fn lstsq_multi(a: Matrix, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
                 if ridge.is_none() {
                     ridge = Some(qr.ridge_factorization(LSTSQ_RIDGE_LAMBDA)?);
                 }
+                // lint: allow(unwrap): the ridge factorization was installed two lines above
                 let rqr = ridge.as_ref().expect("just installed");
                 let mut atb = vec![0.0; n];
                 qr.rt_apply(&qtb, &mut atb)?;

@@ -56,6 +56,7 @@ impl Quantity {
         Quantity::ALL
             .iter()
             .position(|q| q == self)
+            // lint: allow(unwrap): Quantity::ALL lists every variant by definition
             .expect("quantity listed in ALL")
     }
 }
@@ -91,10 +92,12 @@ impl Summary {
             let mut buf = [0.0f64; 16];
             let scratch = &mut buf[..samples.len()];
             scratch.copy_from_slice(samples);
+            // lint: allow(unwrap): summaries are computed from measured (finite) samples; NaN here is a harness bug worth a loud panic
             scratch.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
             return Some(Summary::from_sorted(scratch));
         }
         let mut sorted: Vec<f64> = samples.to_vec();
+        // lint: allow(unwrap): summaries are computed from measured (finite) samples; NaN here is a harness bug worth a loud panic
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
         Some(Summary::from_sorted(&sorted))
     }
@@ -214,6 +217,7 @@ pub fn quantile(samples: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
+    // lint: allow(unwrap): summaries are computed from measured (finite) samples; NaN here is a harness bug worth a loud panic
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
     let n = sorted.len();
     if n == 1 {

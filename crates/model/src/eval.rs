@@ -119,6 +119,7 @@ impl CompiledVectorPolynomial {
                 let t = plan
                     .iter()
                     .position(|p| *p == e.as_slice())
+                    // lint: allow(unwrap): the plan was built from the union of these exact exponent tuples
                     .expect("every exponent tuple is in the plan");
                 // `+=`, not `=`: duplicate tuples within one polynomial sum,
                 // matching the reference evaluator.
@@ -144,6 +145,7 @@ impl CompiledVectorPolynomial {
     /// [`VectorPolynomial::eval`].
     #[inline]
     pub fn eval(&self, x: &[f64; MAX_DIM]) -> [f64; 5] {
+        // lint: hot-path begin
         // Power ladders: pows[d][e] = x[d]^e, built with one multiply per
         // entry instead of a `powi` per term and quantity.
         let mut pows = [[1.0f64; MAX_EXP + 1]; MAX_DIM];
@@ -171,6 +173,7 @@ impl CompiledVectorPolynomial {
                 *v = v.max(0.0);
             }
         }
+        // lint: hot-path end
         acc
     }
 }
@@ -236,6 +239,7 @@ impl CompiledRegion {
     /// [`Region::normalize`]) and evaluates the fused polynomial.
     #[inline]
     fn eval(&self, dim: usize, point: &[usize]) -> Summary {
+        // lint: hot-path begin
         let mut x = [0.0f64; MAX_DIM];
         for d in 0..dim {
             x[d] = if self.extent_f[d] == 0.0 {
@@ -244,7 +248,9 @@ impl CompiledRegion {
                 (point[d] as f64 - self.lo_f[d]) / self.extent_f[d]
             };
         }
-        Summary::from_quantities(&self.poly.eval(&x))
+        let summary = Summary::from_quantities(&self.poly.eval(&x));
+        // lint: hot-path end
+        summary
     }
 }
 
@@ -319,6 +325,7 @@ impl CompiledPiecewise {
         if !indexed {
             return Some(compiled);
         }
+        // lint: allow(unwrap): the indexed flag is only set together with a valid cell count
         let total_cells = total_cells.expect("indexed implies a valid cell count");
         // Row-major strides: last dimension contiguous.
         let mut stride = 1;
@@ -393,6 +400,7 @@ impl CompiledPiecewise {
                 self.dim
             )));
         }
+        // lint: hot-path begin
         if !self.indexed {
             if let Some(best) = best_containing(&self.regions, self.dim, point) {
                 return Ok((self.regions[best].eval(self.dim, point), best as u32));
@@ -403,6 +411,7 @@ impl CompiledPiecewise {
         for d in 0..self.dim {
             let cuts = &self.cuts[d];
             let p = point[d];
+            // lint: allow(unwrap): the index is only built for models with at least one region, so cuts are non-empty
             if p < cuts[0] || p >= *cuts.last().expect("non-empty cuts") {
                 // Outside the indexed range in this dimension, hence outside
                 // every region: exact nearest-region fallback.
@@ -414,6 +423,7 @@ impl CompiledPiecewise {
         if v < self.regions.len() {
             return Ok((self.regions[v].eval(self.dim, point), v as u32));
         }
+        // lint: hot-path end
         Ok(self.nearest(point, Some(&self.fallbacks[v - self.regions.len()])))
     }
 
@@ -426,6 +436,7 @@ impl CompiledPiecewise {
     /// Nearest-region fallback over a candidate subset (or all regions),
     /// with the same first-minimum semantics as the reference evaluator.
     fn nearest(&self, point: &[usize], candidates: Option<&[u32]>) -> (Summary, u32) {
+        // lint: hot-path begin
         let mut best = 0usize;
         let mut best_distance = f64::INFINITY;
         let mut consider = |i: usize| {
@@ -439,6 +450,7 @@ impl CompiledPiecewise {
             Some(list) => list.iter().for_each(|&i| consider(i as usize)),
             None => (0..self.regions.len()).for_each(&mut consider),
         }
+        // lint: hot-path end
         (self.regions[best].eval(self.dim, point), best as u32)
     }
 }
@@ -446,6 +458,7 @@ impl CompiledPiecewise {
 /// The best (minimum-error, NaN-last, first-wins) region containing `point`,
 /// iterating in stored order exactly like the reference evaluator.
 fn best_containing(regions: &[CompiledRegion], dim: usize, point: &[usize]) -> Option<usize> {
+    // lint: hot-path begin
     let mut best: Option<usize> = None;
     for (i, r) in regions.iter().enumerate() {
         if !r.contains(dim, point) {
@@ -460,6 +473,7 @@ fn best_containing(regions: &[CompiledRegion], dim: usize, point: &[usize]) -> O
             }
         }
     }
+    // lint: hot-path end
     best
 }
 

@@ -65,6 +65,7 @@ impl FitPlan {
     fn new(dim: usize, degree: u32) -> FitPlan {
         let exponents = monomial_exponents(dim, degree);
         let builder = DesignBuilder::new(dim, &exponents)
+            // lint: allow(unwrap): monomial_exponents is non-empty for every degree and matches dim by construction
             .expect("monomial_exponents produces a non-empty, arity-consistent basis");
         FitPlan {
             exponents: Arc::new(exponents),
@@ -175,6 +176,7 @@ impl FitWorkspace {
                                 .map_err(|e| ModelError::Fit(format!("lstsq: ridge: {e}")))?,
                         );
                     }
+                    // lint: allow(unwrap): the ridge factorization was installed two lines above
                     let rqr = ridge.as_ref().expect("just installed");
                     self.atb.resize(n, 0.0);
                     qr.rt_apply(&self.qtb, &mut self.atb)
@@ -188,6 +190,7 @@ impl FitWorkspace {
         }
 
         // Fit error from the already-available A·c predictions (median fit).
+        // lint: hot-path begin
         let qm = Quantity::Median.index();
         let medians = &self.values[qm * m..(qm + 1) * m];
         let c_med = &self.coeffs[qm * n..(qm + 1) * n];
@@ -199,6 +202,7 @@ impl FitWorkspace {
             }
             error = error.max(relative_error(pred, median));
         }
+        // lint: hot-path end
 
         let mut polys = Vec::with_capacity(QUANTITIES);
         for q in 0..QUANTITIES {

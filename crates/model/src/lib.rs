@@ -45,6 +45,7 @@
 //! Modeler's construction loop drives.  The two are equivalence-tested
 //! against each other in `crates/core/tests/fit_equivalence.rs`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
@@ -56,6 +57,7 @@ mod region;
 mod repo;
 mod routine_model;
 mod shared;
+pub mod sync;
 mod telemetry;
 
 pub use eval::{
@@ -69,7 +71,7 @@ pub use region::Region;
 pub use repo::{ModelKey, ModelRepository};
 pub use routine_model::{submodel_key, submodel_key_fixed, FlagKey, RoutineModel};
 pub use shared::SharedRepository;
-pub use telemetry::{HotRegion, RefinementReport};
+pub use telemetry::{HotRegion, RefinementReport, TelemetryCounters};
 
 /// Errors raised while building, evaluating or (de)serialising models.
 #[derive(Debug, Clone, PartialEq)]

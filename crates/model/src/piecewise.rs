@@ -246,6 +246,7 @@ impl PiecewiseModel {
                 let db = region_distance(&b.region, point);
                 da.total_cmp(&db)
             })
+            // lint: allow(unwrap): PiecewiseModel construction guarantees at least one region
             .expect("non-empty regions");
         Ok((best.eval(point), i))
     }

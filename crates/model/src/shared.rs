@@ -16,13 +16,19 @@
 //! ever pays compilation latency.  Readers holding an old snapshot keep a
 //! consistent view until they drop it.
 //!
+//! Concurrency primitives come from the [`crate::sync`] facade (model-checked
+//! under `--cfg interleave`; see `tests/interleave_models.rs`).  The facade's
+//! locks are non-poisoning: a panicking writer can only abandon its
+//! replacement `Arc`, never half-apply it, so later readers and writers
+//! safely continue on the previous repository instead of unwinding the
+//! serving tier.
+//!
 //! [`snapshot`]: SharedRepository::snapshot
 //! [`compiled`]: SharedRepository::compiled
 //! [`swap`]: SharedRepository::swap
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
-
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, RwLock};
 use crate::{CompiledRepository, ModelRepository};
 
 /// An atomically swappable, shareable handle to a [`ModelRepository`] and its
@@ -53,7 +59,7 @@ impl SharedRepository {
 
     /// The current repository's compiled form, as a cheap `Arc` clone.
     pub fn compiled(&self) -> Arc<CompiledRepository> {
-        Arc::clone(&self.inner.read().expect("repository lock poisoned"))
+        Arc::clone(&self.inner.read())
     }
 
     /// Atomically replaces the repository, returning the previous one.
@@ -64,7 +70,14 @@ impl SharedRepository {
     /// readers see the replacement.
     pub fn swap(&self, repository: ModelRepository) -> Arc<ModelRepository> {
         let compiled = Arc::new(CompiledRepository::compile(repository));
-        let mut guard = self.inner.write().expect("repository lock poisoned");
+        let mut guard = self.inner.write();
+        // ordering: Release pairs with the Acquire load in `generation()`.
+        // The repository contents are ordered by the RwLock, but the tag is
+        // read lock-free: Release guarantees a thread observing the bumped
+        // tag also observes everything published before it.  The bump sits
+        // inside the write lock so a tag can never be observed together with
+        // a repository older than the one it tags (readers of `inner` are
+        // held out until the replacement below lands).
         self.generation.fetch_add(1, Ordering::Release);
         let previous = std::mem::replace(&mut *guard, compiled);
         Arc::clone(previous.source())
@@ -86,11 +99,18 @@ impl SharedRepository {
             let mut merged = (**base.source()).clone();
             merged.merge(other.clone());
             let compiled = Arc::new(CompiledRepository::compile(merged));
-            let mut guard = self.inner.write().expect("repository lock poisoned");
+            let mut guard = self.inner.write();
+            // ordering: Acquire pairs with the Release bumps.  Holding the
+            // write lock already orders this load after any previous holder's
+            // bump, so Relaxed would be correct too; Acquire keeps the
+            // tag a self-contained publication point instead of leaning on
+            // the lock, at no measurable cost off the hot path.
             if self.generation.load(Ordering::Acquire) != generation {
                 // A concurrent swap/merge landed first: redo against it.
                 continue;
             }
+            // ordering: Release — same pairing and same reasoning as the
+            // bump in `swap` above.
             self.generation.fetch_add(1, Ordering::Release);
             *guard = compiled;
             return;
@@ -101,6 +121,11 @@ impl SharedRepository {
     /// [`merge`](SharedRepository::merge); caches layered on top use it to
     /// detect stale entries.
     pub fn generation(&self) -> u64 {
+        // ordering: Acquire pairs with the Release bumps in swap/merge, so a
+        // caller that observes generation G also observes everything the
+        // swapper published before bumping to G.  The service's
+        // read-generation / do-work / re-check-generation idiom needs exactly
+        // this: an unchanged tag proves no swap *completed* in between.
         self.generation.load(Ordering::Acquire)
     }
 }

@@ -1,0 +1,172 @@
+//! Model-checked concurrency invariants of [`SharedRepository`] and the
+//! telemetry counter block, explored exhaustively by the vendored
+//! `interleave` checker.
+//!
+//! Only compiled under `--cfg interleave` (the `dla_sync` facade then routes
+//! `SharedRepository`'s lock and generation counter through the checker's
+//! shim types, so these tests explore the *real* serving code):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg interleave" cargo test -p dla-model --test interleave_models
+//! ```
+#![cfg(interleave)]
+
+use dla_blas::Routine;
+use dla_machine::Locality;
+use dla_mat::stats::Summary;
+use dla_model::sync::atomic::Ordering;
+use dla_model::sync::Arc;
+use dla_model::{
+    ModelRepository, PiecewiseModel, Region, RegionModel, RoutineModel, SharedRepository,
+    TelemetryCounters,
+};
+
+fn sample_summary(p: &[usize]) -> Summary {
+    let x = p[0] as f64;
+    let y = p.get(1).map(|&v| v as f64).unwrap_or(1.0);
+    let median = 500.0 + x * y * 0.3 + x * 2.0;
+    Summary {
+        min: median * 0.9,
+        mean: median,
+        median,
+        max: median * 1.2,
+        std_dev: median * 0.05,
+        count: 8,
+    }
+}
+
+/// A one-region, one-submodel repository for `routine` — big enough to be
+/// distinguishable from the empty repository, cheap enough to clone into
+/// every explored execution.
+fn repo_with(routine: Routine) -> ModelRepository {
+    let space = Region::new(vec![8, 8], vec![256, 256]);
+    let samples: Vec<(Vec<usize>, Summary)> = space
+        .sample_grid(4, 8)
+        .into_iter()
+        .map(|p| {
+            let s = sample_summary(&p);
+            (p, s)
+        })
+        .collect();
+    let rm = RegionModel::fit(space.clone(), &samples, 2).unwrap();
+    let pw = PiecewiseModel::new(space.clone(), vec![rm], samples.len());
+    let mut model = RoutineModel::new(routine, "m", Locality::InCache, space);
+    model.insert_submodel(vec![0, 0, 0], pw);
+    let mut repo = ModelRepository::new();
+    repo.insert(model);
+    repo
+}
+
+fn has(repo: &ModelRepository, routine: Routine) -> bool {
+    repo.get(routine, "m", Locality::InCache).is_some()
+}
+
+/// Invariant: hot-swap never serves a torn repository.  A reader that
+/// observes the same generation before and after taking its compiled handle
+/// must hold exactly that generation's repository — in every interleaving
+/// and under every allowed weak-memory visibility of the generation tag.
+#[test]
+fn hot_swap_never_serves_torn_state() {
+    let swapped = repo_with(Routine::Trsm);
+    interleave::model(|| {
+        let shared = Arc::new(SharedRepository::new(ModelRepository::new()));
+        let shared2 = Arc::clone(&shared);
+        let repo = swapped.clone();
+        let writer = interleave::thread::spawn(move || {
+            shared2.swap(repo);
+        });
+        let before = shared.generation();
+        let compiled = shared.compiled();
+        let after = shared.generation();
+        if before == after {
+            // An unchanged tag proves no swap completed in between, so the
+            // handle must match the tag: generation 0 is the (empty) seed,
+            // generation 1 the (non-empty) replacement.
+            assert_eq!(
+                before == 1,
+                !compiled.is_empty(),
+                "generation {before} served with the wrong repository"
+            );
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Invariant: merge-during-swap linearizes.  Whatever the interleaving, the
+/// outcome must be *some* serial order of the two operations: the swapped-in
+/// repository always survives (a merge may never resurrect a replaced base),
+/// and the merged-in model appears iff the merge serialized after the swap.
+#[test]
+fn merge_during_swap_linearizes() {
+    let swap_repo = repo_with(Routine::Gemm);
+    let merge_repo = repo_with(Routine::Trsm);
+    interleave::model(|| {
+        let shared = Arc::new(SharedRepository::new(ModelRepository::new()));
+        let shared2 = Arc::clone(&shared);
+        let repo = swap_repo.clone();
+        let swapper = interleave::thread::spawn(move || {
+            shared2.swap(repo);
+        });
+        shared.merge(merge_repo.clone());
+        swapper.join().unwrap();
+        assert_eq!(shared.generation(), 2, "each operation bumps exactly once");
+        let final_repo = shared.snapshot();
+        assert!(
+            has(&final_repo, Routine::Gemm),
+            "the swapped-in repository must survive every interleaving"
+        );
+        // merge-then-swap leaves {gemm}; swap-then-merge (including a merge
+        // that started early and redid itself) leaves {gemm, trsm}.
+        assert!(
+            final_repo.len() == 1 || (final_repo.len() == 2 && has(&final_repo, Routine::Trsm)),
+            "not a serialization of swap and merge: {} models",
+            final_repo.len()
+        );
+    });
+}
+
+/// Invariant: concurrent merges lose nothing.  The generation-check redo
+/// loop must make two racing merges both land, whichever wins the lock.
+#[test]
+fn concurrent_merges_lose_nothing() {
+    let merge_a = repo_with(Routine::Trsm);
+    let merge_b = repo_with(Routine::Gemm);
+    interleave::model(|| {
+        let shared = Arc::new(SharedRepository::new(ModelRepository::new()));
+        let shared2 = Arc::clone(&shared);
+        let repo = merge_a.clone();
+        let merger = interleave::thread::spawn(move || {
+            shared2.merge(repo);
+        });
+        shared.merge(merge_b.clone());
+        merger.join().unwrap();
+        assert_eq!(shared.generation(), 2);
+        let final_repo = shared.snapshot();
+        assert!(
+            has(&final_repo, Routine::Trsm) && has(&final_repo, Routine::Gemm),
+            "a racing merge was lost"
+        );
+    });
+}
+
+/// Invariant: a cache entry's counter handle outlives its generation.  A
+/// serving cache entry clones the `Arc` of its region's counter; dropping
+/// the generation's whole counter block while the entry still counts must be
+/// safe in every interleaving, and the count must land.
+#[test]
+fn counter_handles_outlive_their_generation() {
+    interleave::model(|| {
+        let block = TelemetryCounters::new(1);
+        let handle = Arc::clone(block.handle(0).unwrap());
+        let entry = interleave::thread::spawn(move || {
+            // The cache-hit path of a stale entry: one lossy increment.
+            TelemetryCounters::bump_lossy(&handle);
+            handle.load(Ordering::Relaxed)
+        });
+        // The generation dies (swap dropped the resolver's telemetry) while
+        // the cache entry above still holds its counter.
+        drop(block);
+        let counted = entry.join().unwrap();
+        assert_eq!(counted, 1, "the stale entry's increment must land");
+    });
+}

@@ -28,6 +28,7 @@
 //! [`SampleOracle`] caches measurements under fixed-size, allocation-free
 //! point keys.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -20,6 +20,7 @@
 //! inversion and the triangular Sylvester equation) to the Predictor, and
 //! [`modelset`] builds the standard model repository those workloads need.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

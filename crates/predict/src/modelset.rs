@@ -262,23 +262,29 @@ pub fn build_tasks<E: Executor + Sync>(
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // ordering: Relaxed — the counter only hands out distinct
+                    // task indices; results are published through the slot
+                    // mutexes (and the scope join), not through this atomic.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= tasks.len() {
                         break;
                     }
                     let result = build_one_task(executor, locality, config, &tasks[i]);
+                    // lint: allow(unwrap): a poisoned slot means a sibling build panicked; the scope re-panics anyway
                     *slots[i].lock().expect("build slot poisoned") = Some(result);
                 });
             }
         });
         built = slots
             .into_iter()
+            // lint: allow(unwrap): a poisoned slot means a sibling build panicked; the scope re-panics anyway
             .map(|slot| slot.into_inner().expect("build slot poisoned"))
             .collect();
     }
     let mut repo = ModelRepository::new();
     let mut reports = Vec::with_capacity(tasks.len());
     for entry in built {
+        // lint: allow(unwrap): the task loop writes every slot before the scope joins
         let (model, report) = entry.expect("every task produces a model");
         repo.insert(model);
         reports.push(report);

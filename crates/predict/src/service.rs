@@ -31,18 +31,31 @@
 //!
 //! The service is `Sync`: wrap it in an `Arc` and clone the handle into as
 //! many threads as needed.
+//!
+//! All concurrency primitives come from the `dla_sync` facade
+//! ([`dla_model::sync`]): under `--cfg interleave` they become the vendored
+//! model checker's shims, and `tests/interleave_service.rs` exhaustively
+//! explores this file's races (racing resolvers, counter reset on swap,
+//! telemetry toggles).  The facade's locks are non-poisoning: every critical
+//! section here replaces or inserts whole values (shard entries, the resolver
+//! slot), so recovering from a panicked holder serves consistent — at worst
+//! slightly stale — data instead of unwinding the serving tier.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
 
 use dla_blas::{Call, Routine};
 use dla_machine::{Locality, MachineConfig};
 use dla_mat::stats::Summary;
+// Concurrency primitives come from the `dla_sync` facade (model-checked
+// under `--cfg interleave`, non-poisoning locks); `dla-lint` enforces that
+// this file never reaches for `std::sync` directly.
+use dla_model::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use dla_model::sync::{Arc, RwLock};
 use dla_model::{
     submodel_key, FlagKey, HotRegion, ModelRepository, RefinementReport, Region, SharedRepository,
+    TelemetryCounters,
 };
 
 use crate::predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
@@ -130,7 +143,7 @@ struct Telemetry {
     /// Per routine (indexed by [`Routine::index`]): the flag keys of its
     /// submodels with each key's base slot and region count.
     index: Vec<Vec<(FlagKey, u32, u32)>>,
-    counters: Vec<Arc<AtomicU64>>,
+    counters: TelemetryCounters,
     cells: Vec<TelemetryCell>,
 }
 
@@ -174,9 +187,7 @@ impl Telemetry {
                 }
             }
         }
-        let counters = (0..cells.len())
-            .map(|_| Arc::new(AtomicU64::new(0)))
-            .collect();
+        let counters = TelemetryCounters::new(cells.len());
         Telemetry {
             index,
             counters,
@@ -189,7 +200,7 @@ impl Telemetry {
         self.index[routine.index()]
             .iter()
             .find(|(k, _, count)| *k == key && region < *count)
-            .and_then(|(_, base, _)| self.counters.get((base + region) as usize))
+            .and_then(|(_, base, _)| self.counters.handle((base + region) as usize))
     }
 }
 
@@ -259,7 +270,7 @@ impl ModelService {
         dla_model::RoutineTable,
         Arc<Telemetry>,
     ) {
-        if let Some(r) = self.resolved.read().expect("resolver poisoned").as_ref() {
+        if let Some(r) = self.resolved.read().as_ref() {
             if r.generation == generation {
                 return (Arc::clone(&r.compiled), r.table, Arc::clone(&r.telemetry));
             }
@@ -275,7 +286,7 @@ impl ModelService {
         // Only cache when no swap happened since the caller observed
         // `generation`; a racing entry must not outlive the swap.
         if self.shared.generation() == generation {
-            let mut guard = self.resolved.write().expect("resolver poisoned");
+            let mut guard = self.resolved.write();
             // Re-check under the write lock: a racing resolver may have
             // installed this generation already.  Its state must win —
             // overwriting it would orphan every counter handle (and count)
@@ -314,16 +325,30 @@ impl ModelService {
     /// Atomically replaces the repository (hot swap), returning the previous
     /// one.  In-flight predictors keep their snapshot; cached evaluations are
     /// invalidated.
+    ///
+    /// The cache is invalidated *before* the generation bump, not after.
+    /// Invalidating afterwards opens a window the model checker caught (see
+    /// `tests/interleave_service.rs`, `swap_racing_predict_never_orphans_telemetry`):
+    /// a query racing the swap can observe the new generation and install its
+    /// resolver state — counter block included — only for the trailing
+    /// invalidation to wipe it while the query's cache entry keeps a handle
+    /// on the now-orphaned counters, silently dropping those queries from
+    /// every future refinement report.  Cleared-then-bumped, anything a
+    /// racing query installs either carries the old generation (dead on
+    /// arrival once the bump lands: the tag mismatch makes it a plain miss)
+    /// or legitimately belongs to the new generation and survives.
     pub fn swap(&self, repository: ModelRepository) -> Arc<ModelRepository> {
-        let old = self.shared.swap(repository);
         self.clear_cache();
-        old
+        self.shared.swap(repository)
     }
 
     /// Merges freshly built models into the served repository (hot swap).
+    ///
+    /// Invalidation precedes the generation bump for the same reason as in
+    /// [`swap`](ModelService::swap).
     pub fn merge(&self, other: ModelRepository) {
-        self.shared.merge(other);
         self.clear_cache();
+        self.shared.merge(other);
     }
 
     /// A predictor over the current snapshot.
@@ -341,24 +366,25 @@ impl ModelService {
         let key = CallKey::new(call);
         let shard = &self.shards[key.shard(self.shards.len())];
         let generation = self.shared.generation();
-        if let Some(cached) = shard.read().expect("cache shard poisoned").get(&key) {
+        if let Some(cached) = shard.read().get(&key) {
             if cached.generation == generation {
+                // ordering: Relaxed — hit/miss totals are standalone
+                // statistics; nothing is published through them.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 // The entry carries its region's counter: telemetry on the
-                // hit path is this one relaxed fetch_add, nothing else.
+                // hit path is one lossy relaxed increment, nothing else (see
+                // `TelemetryCounters::bump_lossy` for why not an RMW).
+                // ordering: Relaxed — the flag gates a best-effort statistic;
+                // a toggle may take effect a query late, by design.
                 if self.telemetry_enabled.load(Ordering::Relaxed) {
                     if let Some(counter) = &cached.counter {
-                        // Relaxed load + store, not an RMW: a lock-prefixed
-                        // fetch_add costs several times more than the rest of
-                        // the hit path combined, and a concurrently lost
-                        // increment only perturbs a best-effort statistic
-                        // (the ranking needs magnitudes, not exact counts).
-                        counter.store(counter.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                        TelemetryCounters::bump_lossy(counter);
                     }
                 }
                 return Ok(cached.summary);
             }
         }
+        // ordering: Relaxed — same standalone-statistic reasoning as `hits`.
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Cache miss: evaluate on the compiled engine through the cached
         // routing table (the snapshot was compiled at the last swap/merge
@@ -380,15 +406,17 @@ impl ModelService {
         // once here and rides along in the cache entry for all later hits.
         let (summary, flag_key, region) = model.estimate_traced(call)?;
         let counter = telemetry.counter(call.routine(), flag_key, region).cloned();
+        // ordering: Relaxed — see the hit path; the cold path uses the exact
+        // RMW increment because it already pays a model evaluation.
         if self.telemetry_enabled.load(Ordering::Relaxed) {
             if let Some(counter) = &counter {
-                counter.fetch_add(1, Ordering::Relaxed);
+                TelemetryCounters::bump_exact(counter);
             }
         }
         // Only cache if no swap happened while we evaluated; a racing entry
         // from a stale snapshot must not survive the swap's invalidation.
         if self.shared.generation() == generation {
-            shard.write().expect("cache shard poisoned").insert(
+            shard.write().insert(
                 key,
                 CachedPrediction {
                     generation,
@@ -402,6 +430,8 @@ impl ModelService {
 
     /// Returns `true` while per-query refinement telemetry is being counted.
     pub fn telemetry_enabled(&self) -> bool {
+        // ordering: Relaxed — the flag is an independent on/off switch; no
+        // other memory is published through it.
         self.telemetry_enabled.load(Ordering::Relaxed)
     }
 
@@ -409,6 +439,10 @@ impl ModelService {
     /// the per-query counter increment (the slot bookkeeping in the cache is
     /// kept, so re-enabling takes effect immediately, warm cache included).
     pub fn set_telemetry_enabled(&self, enabled: bool) {
+        // ordering: Relaxed — concurrent `predict_call`s may count (or skip)
+        // a query that straddles the toggle; either outcome is a valid
+        // serialization, asserted by the model test in
+        // `tests/interleave_service.rs`.
         self.telemetry_enabled.store(enabled, Ordering::Relaxed);
     }
 
@@ -423,15 +457,15 @@ impl ModelService {
     /// region must re-earn its place in the next report).
     pub fn refinement_report(&self) -> RefinementReport {
         let generation = self.shared.generation();
-        let guard = self.resolved.read().expect("resolver poisoned");
+        let guard = self.resolved.read();
         let Some(resolved) = guard.as_ref().filter(|r| r.generation == generation) else {
             return RefinementReport::empty(self.machine.id(), self.locality, generation);
         };
         let telemetry = &resolved.telemetry;
         let mut total_queries = 0u64;
         let mut cells = Vec::new();
-        for (cell, counter) in telemetry.cells.iter().zip(&telemetry.counters) {
-            let queries = counter.load(Ordering::Relaxed);
+        for (slot, cell) in telemetry.cells.iter().enumerate() {
+            let queries = telemetry.counters.count(slot);
             total_queries += queries;
             if queries > 0 {
                 cells.push(HotRegion {
@@ -478,6 +512,9 @@ impl ModelService {
     /// Hit/miss counters of the evaluation cache.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
+            // ordering: Relaxed on both — independent statistics; a reader
+            // racing an increment sees a momentarily stale total, which is
+            // what a statistics snapshot means.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
@@ -485,10 +522,7 @@ impl ModelService {
 
     /// Number of entries currently cached across all shards.
     pub fn cached_evaluations(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Drops every cached evaluation and the resolver cache (the hit/miss
@@ -496,9 +530,9 @@ impl ModelService {
     /// resolver's reference to the previous compiled snapshot.
     pub fn clear_cache(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache shard poisoned").clear();
+            shard.write().clear();
         }
-        *self.resolved.write().expect("resolver poisoned") = None;
+        *self.resolved.write() = None;
     }
 }
 

@@ -1,0 +1,232 @@
+//! Model-checked concurrency invariants of [`ModelService`]'s serving hot
+//! path, explored exhaustively by the vendored `interleave` checker.
+//!
+//! Only compiled under `--cfg interleave` (the `dla_sync` facade then routes
+//! the service's shards, resolver lock and counters through the checker's
+//! shim types, so these tests explore the *real* serving code):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg interleave" cargo test -p dla-predict --test interleave_service
+//! ```
+#![cfg(interleave)]
+
+use dla_blas::{Call, Diag, Routine, Side, Trans, Uplo};
+use dla_machine::presets::harpertown_openblas;
+use dla_machine::Locality;
+use dla_mat::stats::Summary;
+use dla_model::sync::Arc;
+use dla_model::{ModelRepository, PiecewiseModel, Region, RegionModel, RoutineModel};
+use dla_predict::ModelService;
+
+fn sample_summary(p: &[usize]) -> Summary {
+    let x = p[0] as f64;
+    let y = p.get(1).map(|&v| v as f64).unwrap_or(1.0);
+    let median = 500.0 + x * y * 0.3 + x * 2.0;
+    Summary {
+        min: median * 0.9,
+        mean: median,
+        median,
+        max: median * 1.2,
+        std_dev: median * 0.05,
+        count: 8,
+    }
+}
+
+/// A one-region, one-submodel repository for `routine` on the harpertown
+/// preset — cheap enough to compile inside every explored execution.
+fn repo_with(routine: Routine, machine_id: &str) -> ModelRepository {
+    let space = Region::new(vec![8, 8], vec![1024, 1024]);
+    let samples: Vec<(Vec<usize>, Summary)> = space
+        .sample_grid(4, 8)
+        .into_iter()
+        .map(|p| {
+            let s = sample_summary(&p);
+            (p, s)
+        })
+        .collect();
+    let rm = RegionModel::fit(space.clone(), &samples, 2).unwrap();
+    let pw = PiecewiseModel::new(space.clone(), vec![rm], samples.len());
+    let mut model = RoutineModel::new(routine, machine_id, Locality::InCache, space);
+    model.insert_submodel(vec![0, 0, 0], pw);
+    let mut repo = ModelRepository::new();
+    repo.insert(model);
+    repo
+}
+
+/// Hits the `[0, 0, 0]` submodel of a Trsm model.
+fn trsm_call() -> Call {
+    Call::trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        300,
+        700,
+        1.0,
+    )
+}
+
+/// Hits the `[0, 0, 0]` submodel of a Trmm model.
+fn trmm_call() -> Call {
+    Call::trmm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::NoTrans,
+        Diag::NonUnit,
+        300,
+        700,
+        1.0,
+    )
+}
+
+/// Invariant: generation-reset never loses or double-counts telemetry when a
+/// racing resolver reuses installed counters.  Two cold queries racing to
+/// resolve the same fresh generation must end with exactly two counted
+/// queries — the write-lock re-check in `ModelService::resolved` makes the
+/// losing resolver adopt the winner's counter block instead of orphaning it.
+#[test]
+fn racing_resolvers_count_every_query() {
+    let machine = harpertown_openblas();
+    let repo = repo_with(Routine::Trsm, &machine.id());
+    interleave::model(|| {
+        let service = Arc::new(ModelService::with_shards(
+            repo.clone(),
+            machine.clone(),
+            Locality::InCache,
+            1,
+        ));
+        let racer = Arc::clone(&service);
+        let other = interleave::thread::spawn(move || {
+            racer.predict_call(&trsm_call()).unwrap();
+        });
+        service.predict_call(&trsm_call()).unwrap();
+        other.join().unwrap();
+        assert_eq!(
+            service.refinement_report().total_queries,
+            2,
+            "a racing resolver orphaned the other resolver's count"
+        );
+    });
+}
+
+/// Invariant: a hot swap racing a query never strands that query's telemetry
+/// in a counter block no report will ever read.  After the race settles, the
+/// report reflects at most the one racing query, and the *next* query is
+/// counted exactly once on top of it — whatever interleaving the swap's
+/// generation bump and cache invalidation took against the query's resolve,
+/// count and cache-insert steps.
+#[test]
+fn swap_racing_predict_never_orphans_telemetry() {
+    let machine = harpertown_openblas();
+    let repo = repo_with(Routine::Trsm, &machine.id());
+    interleave::model(|| {
+        let service = Arc::new(ModelService::with_shards(
+            repo.clone(),
+            machine.clone(),
+            Locality::InCache,
+            1,
+        ));
+        service.predict_call(&trsm_call()).unwrap();
+        let swapper_service = Arc::clone(&service);
+        let next = repo.clone();
+        let swapper = interleave::thread::spawn(move || {
+            swapper_service.swap(next);
+        });
+        service.predict_call(&trsm_call()).unwrap();
+        swapper.join().unwrap();
+        // The racing query either counted against the dead generation or
+        // against the new one — never more than once.
+        let settled = service.refinement_report().total_queries;
+        assert!(
+            settled <= 1,
+            "the racing query counted {settled} times against the new generation"
+        );
+        // A fresh query after the race must land in the served generation's
+        // counters: if it bumps a counter block the resolver no longer owns,
+        // its count is silently lost to every future refinement report.
+        service.predict_call(&trsm_call()).unwrap();
+        let after = service.refinement_report().total_queries;
+        assert_eq!(
+            after,
+            settled + 1,
+            "a post-swap query's count was orphaned by the swap's cache invalidation"
+        );
+    });
+}
+
+/// Invariant: merge-during-predict linearizes.  A query for a routine present
+/// in *every* generation must succeed in every interleaving with a racing
+/// merge, and once the merge returns, both the old and the merged-in routine
+/// are served.
+#[test]
+fn merge_during_predict_linearizes() {
+    let machine = harpertown_openblas();
+    let repo = repo_with(Routine::Trsm, &machine.id());
+    let merged = repo_with(Routine::Trmm, &machine.id());
+    interleave::model(|| {
+        let service = Arc::new(ModelService::with_shards(
+            repo.clone(),
+            machine.clone(),
+            Locality::InCache,
+            1,
+        ));
+        service.predict_call(&trsm_call()).unwrap();
+        let merger_service = Arc::clone(&service);
+        let other = merged.clone();
+        let merger = interleave::thread::spawn(move || {
+            merger_service.merge(other);
+        });
+        // Trsm is in every generation: the racing query must never observe a
+        // state in which it is unserved.
+        service
+            .predict_call(&trsm_call())
+            .expect("a routine present before and after the merge must always be served");
+        merger.join().unwrap();
+        service
+            .predict_call(&trsm_call())
+            .expect("the pre-merge routine survives the merge");
+        service
+            .predict_call(&trmm_call())
+            .expect("the merged-in routine is served once merge returns");
+    });
+}
+
+/// Invariant: toggling telemetry off during a query is a valid serialization
+/// either way — the straddling query counts or it doesn't, but it can never
+/// corrupt the totals, and once the toggle settles no further query counts.
+#[test]
+fn telemetry_toggle_races_predict_and_report() {
+    let machine = harpertown_openblas();
+    let repo = repo_with(Routine::Trsm, &machine.id());
+    interleave::model(|| {
+        let service = Arc::new(ModelService::with_shards(
+            repo.clone(),
+            machine.clone(),
+            Locality::InCache,
+            1,
+        ));
+        service.predict_call(&trsm_call()).unwrap();
+        let toggler_service = Arc::clone(&service);
+        let toggler = interleave::thread::spawn(move || {
+            toggler_service.set_telemetry_enabled(false);
+            // A report racing the toggle and the query must itself read a
+            // valid serialization.
+            toggler_service.refinement_report().total_queries
+        });
+        service.predict_call(&trsm_call()).unwrap();
+        let racing_total = toggler.join().unwrap();
+        assert!(
+            (1..=2).contains(&racing_total),
+            "racing report read {racing_total} queries"
+        );
+        let settled = service.refinement_report().total_queries;
+        assert!(
+            (1..=2).contains(&settled),
+            "the straddling query must count at most once ({settled})"
+        );
+        // The toggle has settled: further queries must not count.
+        assert!(!service.telemetry_enabled());
+        service.predict_call(&trsm_call()).unwrap();
+        assert_eq!(service.refinement_report().total_queries, settled);
+    });
+}

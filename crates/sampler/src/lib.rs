@@ -15,6 +15,7 @@
 //!   `dtrsm R L N U 512 128 0.37 256 512`, and each output line reports the
 //!   statistics for that call.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -157,6 +157,7 @@ impl<E: Executor> Sampler<E> {
     /// reuses one measurement buffer across calls.
     pub fn sample_ticks(&mut self, call: &Call) -> Summary {
         let warmup = self.collect_ticks(call);
+        // lint: allow(unwrap): collect_ticks always keeps at least one sample
         Summary::from_samples(&self.scratch[warmup..]).expect("at least one kept sample")
     }
 
@@ -165,10 +166,12 @@ impl<E: Executor> Sampler<E> {
         let warmup = self.collect_ticks(call);
         let discarded = self.scratch[..warmup].to_vec();
         let kept = self.scratch[warmup..].to_vec();
+        // lint: allow(unwrap): collect_ticks always keeps at least one sample
         let ticks = Summary::from_samples(&kept).expect("at least one kept sample");
         let flops = call.flops();
         let machine = self.executor.machine();
         let efficiencies: Vec<f64> = kept.iter().map(|&t| machine.efficiency(flops, t)).collect();
+        // lint: allow(unwrap): one efficiency per kept tick sample, hence non-empty
         let efficiency = Summary::from_samples(&efficiencies).expect("non-empty");
         SampleResult {
             call: call.clone(),

@@ -7,6 +7,7 @@
 //! workspace `README.md`) for the full documentation, and the `examples/`
 //! directory for runnable entry points.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use dla_core::*;

@@ -11,6 +11,7 @@
 //! time per iteration.  That keeps `cargo bench` fast and dependency-free
 //! while preserving source compatibility with the real crate.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

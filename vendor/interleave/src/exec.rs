@@ -1,0 +1,826 @@
+//! The execution engine: deterministic DFS scheduler, vector clocks, and the
+//! weak-memory store model.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Marker panic payload used to unwind threads of an aborted execution (after
+/// a violation was recorded).  Never reported as a violation itself.
+pub(crate) struct Aborted;
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum number of *preemptive* context switches per execution (a
+    /// switch away from a thread that could have continued).  Forced switches
+    /// — the running thread blocked or finished — are always free.  Bound 2
+    /// is the loom/CHESS default: it keeps exploration polynomial while
+    /// catching almost all real interleaving bugs.
+    pub max_preemptions: u32,
+    /// Hard cap on explored executions; exploration stops (and is reported as
+    /// truncated) when it is reached.
+    pub max_executions: usize,
+    /// Maximum number of model threads alive in one execution.
+    pub max_threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_preemptions: 2,
+            max_executions: 200_000,
+            max_threads: 8,
+        }
+    }
+}
+
+/// What went wrong in a failing interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A model thread panicked (failed assertion, explicit panic, ...).
+    Panic,
+    /// No thread was runnable but not all threads had finished.
+    Deadlock,
+}
+
+/// A failing interleaving found by the checker.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Panic or deadlock.
+    pub kind: ViolationKind,
+    /// The panic message, or a description of the deadlock.
+    pub message: String,
+    /// 1-based index of the failing execution (how deep into the DFS it was).
+    pub execution: usize,
+    /// The decision path of the failing execution: `(options, chosen)` per
+    /// branch point, for reproducing the schedule by hand.
+    pub path: Vec<(u32, u32)>,
+}
+
+/// The result of exploring a model.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Number of executions (interleavings) explored.
+    pub executions: usize,
+    /// The first violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+    /// `true` when [`Config::max_executions`] stopped exploration before the
+    /// bounded search space was exhausted.
+    pub truncated: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A per-thread vector clock; component `t` counts thread `t`'s events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+
+    /// `self` happened-before-or-equals `other`.
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for a lock (by registered lock id).
+    BlockedLock(usize),
+    /// Waiting for a thread to finish (by thread id).
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadCell {
+    status: Status,
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct LockState {
+    readers: usize,
+    writer: bool,
+    /// Join of the clocks of all releases so far; acquirers join it
+    /// (models release->acquire synchronization of the lock).
+    release_clock: VClock,
+}
+
+struct Store {
+    value: u64,
+    /// The writing thread's clock at the store (for coherence/happens-before
+    /// visibility decisions).
+    writer: VClock,
+    /// Present on `Release` (and stronger) stores: the clock an `Acquire`
+    /// load of this store synchronizes with.  RMWs inherit the clock of the
+    /// store they replace when they are not themselves releasing (release
+    /// sequences).
+    release: Option<VClock>,
+}
+
+struct VarState {
+    stores: Vec<Store>,
+    /// Per thread: index of the newest store this thread has observed (reads
+    /// may never go backwards in modification order).
+    last_seen: Vec<usize>,
+}
+
+/// One branch point of the DFS: how many options there were and which one
+/// this execution took.
+#[derive(Debug, Clone, Copy)]
+struct ChoicePoint {
+    options: u32,
+    chosen: u32,
+}
+
+struct Inner {
+    config: Config,
+    // -- persistent across executions (the DFS frontier) --
+    path: Vec<ChoicePoint>,
+    cursor: usize,
+    serial: u64,
+    // -- per-execution --
+    threads: Vec<ThreadCell>,
+    active: usize,
+    preemptions: u32,
+    finished: usize,
+    abort: bool,
+    violation: Option<Violation>,
+    execution: usize,
+    locks: Vec<LockState>,
+    vars: Vec<VarState>,
+}
+
+impl Inner {
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Takes (replaying) or records (exploring) the next DFS decision.
+    fn choose(&mut self, options: u32) -> u32 {
+        debug_assert!(options >= 1);
+        if self.cursor < self.path.len() {
+            let p = self.path[self.cursor];
+            assert_eq!(
+                p.options, options,
+                "interleave: non-deterministic model: branch point {} had {} options on a \
+                 previous execution but {} now; the model closure must be deterministic \
+                 apart from scheduling",
+                self.cursor, p.options, options
+            );
+            self.cursor += 1;
+            p.chosen
+        } else {
+            self.path.push(ChoicePoint { options, chosen: 0 });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    fn record_violation(&mut self, kind: ViolationKind, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                kind,
+                message,
+                execution: self.execution,
+                path: self.path[..self.cursor]
+                    .iter()
+                    .map(|p| (p.options, p.chosen))
+                    .collect(),
+            });
+        }
+        self.abort = true;
+    }
+
+    /// Picks the next thread to run after `me` yielded/blocked/finished and
+    /// publishes it as `active`.  `forced` means `me` cannot continue, so a
+    /// switch is not charged as a preemption.
+    fn pick_next(&mut self, me: usize, forced: bool) {
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            if self.finished == self.threads.len() {
+                // Execution complete; nothing to schedule.
+                return;
+            }
+            let blocked: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.status, Status::Finished))
+                .map(|(i, t)| format!("thread {i} {:?}", t.status))
+                .collect();
+            self.record_violation(
+                ViolationKind::Deadlock,
+                format!("deadlock: no runnable thread ({})", blocked.join(", ")),
+            );
+            return;
+        }
+        let can_continue = !forced && runnable.contains(&me);
+        let chosen = if can_continue && self.preemptions >= self.config.max_preemptions {
+            // Preemption budget spent: the running thread keeps running.
+            me
+        } else if can_continue {
+            // `me` first, so choice 0 (the DFS's first probe) is "no switch".
+            let mut options = vec![me];
+            options.extend(runnable.iter().copied().filter(|&t| t != me));
+            let i = self.choose(options.len() as u32);
+            options[i as usize]
+        } else {
+            let i = self.choose(runnable.len() as u32);
+            runnable[i as usize]
+        };
+        if can_continue && chosen != me {
+            self.preemptions += 1;
+        }
+        self.active = chosen;
+    }
+
+    /// Backtracks the DFS path to the next unexplored branch; `false` when
+    /// the whole (bounded) space is exhausted.
+    fn advance_path(&mut self) -> bool {
+        while let Some(last) = self.path.last_mut() {
+            if last.chosen + 1 < last.options {
+                last.chosen += 1;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking model thread may poison the scheduler mutex while holding
+    // it at a branch point; the state itself is always left consistent, so
+    // recover instead of cascading panics through every other thread.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    fn new(config: Config) -> Scheduler {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                config,
+                path: Vec::new(),
+                cursor: 0,
+                serial: 0,
+                threads: Vec::new(),
+                active: 0,
+                preemptions: 0,
+                finished: 0,
+                abort: false,
+                violation: None,
+                execution: 0,
+                locks: Vec::new(),
+                vars: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn begin_execution(&self) {
+        let mut g = lock_recover(&self.inner);
+        g.serial += 1;
+        g.execution += 1;
+        g.cursor = 0;
+        g.threads = vec![ThreadCell {
+            status: Status::Runnable,
+            clock: VClock::default(),
+        }];
+        g.active = 0;
+        g.preemptions = 0;
+        g.finished = 0;
+        g.abort = false;
+        g.locks = Vec::new();
+        g.vars = Vec::new();
+    }
+
+    pub(crate) fn current_serial(&self) -> u64 {
+        lock_recover(&self.inner).serial
+    }
+
+    /// Blocks until it is `me`'s turn to run.  Panics with [`Aborted`] when
+    /// the execution was aborted (a violation was recorded elsewhere).
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Inner>,
+        me: usize,
+    ) -> MutexGuard<'a, Inner> {
+        loop {
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(Aborted);
+            }
+            if g.active == me && g.threads[me].status == Status::Runnable {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The per-operation branch point: decides who runs the next step.
+    pub(crate) fn yield_point(&self, me: usize) {
+        if std::thread::panicking() {
+            // Called from a destructor during unwinding (e.g. an `Arc` shim
+            // dropped by a failing assertion): do not hand control away from
+            // an unwinding thread.
+            return;
+        }
+        let mut g = lock_recover(&self.inner);
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(Aborted);
+        }
+        g.pick_next(me, false);
+        if g.abort {
+            drop(g);
+            self.cv.notify_all();
+            std::panic::panic_any(Aborted);
+        }
+        if g.active != me {
+            self.cv.notify_all();
+            g = self.wait_for_turn(g, me);
+        }
+        drop(g);
+    }
+
+    /// Marks `me` blocked, hands control to another thread, and returns when
+    /// `me` is scheduled again (after someone made it runnable).
+    fn block(&self, me: usize, status: Status) {
+        let mut g = lock_recover(&self.inner);
+        g.threads[me].status = status;
+        g.pick_next(me, true);
+        if g.abort {
+            drop(g);
+            self.cv.notify_all();
+            std::panic::panic_any(Aborted);
+        }
+        self.cv.notify_all();
+        g = self.wait_for_turn(g, me);
+        drop(g);
+    }
+
+    fn wake_lock_waiters(g: &mut Inner, lock: usize) {
+        for t in g.threads.iter_mut() {
+            if t.status == Status::BlockedLock(lock) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+
+    // -- threads ----------------------------------------------------------
+
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut g = lock_recover(&self.inner);
+        assert!(
+            g.threads.len() < g.config.max_threads,
+            "interleave: more than max_threads ({}) threads in one execution",
+            g.config.max_threads
+        );
+        // Spawn happens-before the child's first step.
+        let mut clock = g.threads[parent].clock.clone();
+        let id = g.threads.len();
+        clock.tick(id);
+        for v in &mut g.vars {
+            v.last_seen.push(0);
+        }
+        g.threads.push(ThreadCell {
+            status: Status::Runnable,
+            clock,
+        });
+        id
+    }
+
+    /// First wait of a freshly spawned thread: parks until scheduled.
+    pub(crate) fn thread_started(&self, me: usize) {
+        let g = lock_recover(&self.inner);
+        let g = self.wait_for_turn(g, me);
+        drop(g);
+    }
+
+    /// Marks `me` finished, records a violation if it panicked, wakes
+    /// joiners, and schedules the next thread.
+    pub(crate) fn thread_finished(&self, me: usize, panic_message: Option<String>) {
+        let mut g = lock_recover(&self.inner);
+        if g.threads[me].status == Status::Finished {
+            return;
+        }
+        g.threads[me].status = Status::Finished;
+        g.threads[me].clock.tick(me);
+        g.finished += 1;
+        if let Some(message) = panic_message {
+            g.record_violation(ViolationKind::Panic, message);
+        }
+        for t in g.threads.iter_mut() {
+            if t.status == Status::BlockedJoin(me) {
+                t.status = Status::Runnable;
+            }
+        }
+        if !g.abort {
+            g.pick_next(me, true);
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until thread `target` finishes, then joins its clock
+    /// (join happens-after the child's last step).
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        loop {
+            let mut g = lock_recover(&self.inner);
+            if g.threads[target].status == Status::Finished {
+                let clock = g.threads[target].clock.clone();
+                g.threads[me].clock.join(&clock);
+                return;
+            }
+            drop(g);
+            self.block(me, Status::BlockedJoin(target));
+        }
+    }
+
+    /// Waits (from the coordinating, non-model context) until every model
+    /// thread of the current execution has finished.
+    fn wait_all_finished(&self) {
+        let mut g = lock_recover(&self.inner);
+        while g.finished < g.threads.len() {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    // -- locks ------------------------------------------------------------
+
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut g = lock_recover(&self.inner);
+        g.locks.push(LockState::default());
+        g.locks.len() - 1
+    }
+
+    pub(crate) fn lock_acquire(&self, me: usize, lock: usize, write: bool) {
+        self.yield_point(me);
+        loop {
+            let mut g = lock_recover(&self.inner);
+            let free = if write {
+                !g.locks[lock].writer && g.locks[lock].readers == 0
+            } else {
+                !g.locks[lock].writer
+            };
+            if free {
+                if write {
+                    g.locks[lock].writer = true;
+                } else {
+                    g.locks[lock].readers += 1;
+                }
+                let release = g.locks[lock].release_clock.clone();
+                g.threads[me].clock.join(&release);
+                return;
+            }
+            drop(g);
+            self.block(me, Status::BlockedLock(lock));
+        }
+    }
+
+    pub(crate) fn lock_release(&self, me: usize, lock: usize, write: bool) {
+        {
+            let mut g = lock_recover(&self.inner);
+            g.threads[me].clock.tick(me);
+            let clock = g.threads[me].clock.clone();
+            g.locks[lock].release_clock.join(&clock);
+            if write {
+                g.locks[lock].writer = false;
+            } else {
+                g.locks[lock].readers -= 1;
+            }
+            let now_free = !g.locks[lock].writer && g.locks[lock].readers == 0;
+            if now_free || !write {
+                Self::wake_lock_waiters(&mut g, lock);
+            }
+        }
+        self.cv.notify_all();
+        // Releasing is a step too: give the DFS a chance to run a waiter
+        // immediately (unless this release happens during unwinding).
+        self.yield_point(me);
+    }
+
+    // -- atomics ----------------------------------------------------------
+
+    pub(crate) fn register_var(&self, initial: u64) -> usize {
+        let mut g = lock_recover(&self.inner);
+        let threads = g.threads.len();
+        g.vars.push(VarState {
+            stores: vec![Store {
+                value: initial,
+                // The initial value happens-before everything.
+                writer: VClock::default(),
+                release: Some(VClock::default()),
+            }],
+            last_seen: vec![0; threads],
+        });
+        g.vars.len() - 1
+    }
+
+    /// A load: picks (as a DFS branch when several stores are eligible) the
+    /// store to read under coherence + happens-before visibility.
+    pub(crate) fn atomic_load(&self, me: usize, var: usize, acquire: bool) -> u64 {
+        self.yield_point(me);
+        let mut g = lock_recover(&self.inner);
+        // Oldest store this thread may still read: not older than anything it
+        // has already read of this variable, and not older than any store it
+        // is aware of through happens-before.
+        let mut lo = g.vars[var].last_seen[me];
+        let clock = g.threads[me].clock.clone();
+        for (j, s) in g.vars[var].stores.iter().enumerate().skip(lo + 1) {
+            if s.writer.le(&clock) {
+                lo = j;
+            }
+        }
+        let n = g.vars[var].stores.len() - lo;
+        let pick = if n > 1 {
+            lo + g.choose(n as u32) as usize
+        } else {
+            lo
+        };
+        g.vars[var].last_seen[me] = pick;
+        let value = g.vars[var].stores[pick].value;
+        if acquire {
+            if let Some(release) = g.vars[var].stores[pick].release.clone() {
+                g.threads[me].clock.join(&release);
+            }
+        }
+        value
+    }
+
+    /// A plain store: appends to the modification order.
+    pub(crate) fn atomic_store(&self, me: usize, var: usize, value: u64, release: bool) {
+        self.yield_point(me);
+        let mut g = lock_recover(&self.inner);
+        g.threads[me].clock.tick(me);
+        let clock = g.threads[me].clock.clone();
+        let store = Store {
+            value,
+            writer: clock.clone(),
+            // A plain store starts a new release sequence (or none): it does
+            // not carry the previous store's release clock.
+            release: release.then_some(clock),
+        };
+        g.vars[var].stores.push(store);
+        let newest = g.vars[var].stores.len() - 1;
+        g.vars[var].last_seen[me] = newest;
+    }
+
+    /// A read-modify-write: atomically reads the **newest** store (RMWs never
+    /// see stale values) and appends the modified value.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        var: usize,
+        f: impl FnOnce(u64) -> u64,
+        acquire: bool,
+        release: bool,
+    ) -> u64 {
+        self.yield_point(me);
+        let mut g = lock_recover(&self.inner);
+        let newest = g.vars[var].stores.len() - 1;
+        let old = g.vars[var].stores[newest].value;
+        let prior_release = g.vars[var].stores[newest].release.clone();
+        if acquire {
+            if let Some(release_clock) = &prior_release {
+                g.threads[me].clock.join(release_clock);
+            }
+        }
+        g.threads[me].clock.tick(me);
+        let clock = g.threads[me].clock.clone();
+        let store = Store {
+            value: f(old),
+            writer: clock.clone(),
+            // An RMW continues the release sequence of the store it replaces
+            // when it is not itself a release.
+            release: if release { Some(clock) } else { prior_release },
+        };
+        g.vars[var].stores.push(store);
+        let idx = g.vars[var].stores.len() - 1;
+        g.vars[var].last_seen[me] = idx;
+        old
+    }
+
+    /// Compare-exchange: an RMW when it succeeds, a load of the newest store
+    /// when it fails.  `acq_ok`/`acq_err` are the acquire-ness of the success
+    /// and failure orderings respectively.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_compare_exchange(
+        &self,
+        me: usize,
+        var: usize,
+        current: u64,
+        new: u64,
+        acq_ok: bool,
+        acq_err: bool,
+        release: bool,
+    ) -> Result<u64, u64> {
+        self.yield_point(me);
+        let mut g = lock_recover(&self.inner);
+        let newest = g.vars[var].stores.len() - 1;
+        let old = g.vars[var].stores[newest].value;
+        let prior_release = g.vars[var].stores[newest].release.clone();
+        g.vars[var].last_seen[me] = newest;
+        if old != current {
+            if acq_err {
+                if let Some(release_clock) = &prior_release {
+                    g.threads[me].clock.join(release_clock);
+                }
+            }
+            return Err(old);
+        }
+        if acq_ok {
+            if let Some(release_clock) = &prior_release {
+                g.threads[me].clock.join(release_clock);
+            }
+        }
+        g.threads[me].clock.tick(me);
+        let clock = g.threads[me].clock.clone();
+        g.vars[var].stores.push(Store {
+            value: new,
+            writer: clock.clone(),
+            release: if release { Some(clock) } else { prior_release },
+        });
+        let idx = g.vars[var].stores.len() - 1;
+        g.vars[var].last_seen[me] = idx;
+        Ok(old)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local model context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler and model-thread id of the calling thread, when it runs
+/// inside a model execution.
+pub(crate) fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_context(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that silences the internal
+/// [`Aborted`] unwind marker — it is control flow, not a failure — while
+/// delegating every real panic to the previous hook so assertion messages
+/// still print.
+fn install_abort_filter() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Aborted>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Top-level drivers
+// ---------------------------------------------------------------------------
+
+/// Explores `f` under `config` and returns the [`Outcome`] instead of
+/// panicking — the entry point for tests *of the checker itself* (asserting
+/// that a seeded bug is found).
+pub fn check_with<F: Fn()>(config: Config, f: F) -> Outcome {
+    assert!(
+        context().is_none(),
+        "interleave: nested model executions are not supported"
+    );
+    install_abort_filter();
+    let sched = Arc::new(Scheduler::new(config));
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        sched.begin_execution();
+        set_context(Some((Arc::clone(&sched), 0)));
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        match result {
+            Ok(()) => sched.thread_finished(0, None),
+            Err(payload) => {
+                if payload.is::<Aborted>() {
+                    sched.thread_finished(0, None);
+                } else {
+                    sched.thread_finished(0, Some(panic_message(payload.as_ref())));
+                }
+            }
+        }
+        sched.wait_all_finished();
+        set_context(None);
+
+        let mut g = lock_recover(&sched.inner);
+        if g.violation.is_some() {
+            return Outcome {
+                executions,
+                violation: g.violation.take(),
+                truncated: false,
+            };
+        }
+        if !g.advance_path() {
+            return Outcome {
+                executions,
+                violation: None,
+                truncated: false,
+            };
+        }
+        if executions >= g.config.max_executions {
+            return Outcome {
+                executions,
+                violation: None,
+                truncated: true,
+            };
+        }
+    }
+}
+
+/// [`check_with`] under the default [`Config`].
+pub fn check<F: Fn()>(f: F) -> Outcome {
+    check_with(Config::default(), f)
+}
+
+/// Exhaustively explores `f` (bounded by `config`), panicking on the first
+/// violating interleaving — the entry point for model-checked tests.
+///
+/// Also panics when exploration was truncated by
+/// [`Config::max_executions`], because a truncated pass must not be mistaken
+/// for an exhaustive one.
+pub fn model_with<F: Fn()>(config: Config, f: F) {
+    let outcome = check_with(config, f);
+    if let Some(v) = &outcome.violation {
+        panic!(
+            "interleave: {:?} on execution {}/{}: {}\n  decision path: {:?}",
+            v.kind, v.execution, outcome.executions, v.message, v.path
+        );
+    }
+    assert!(
+        !outcome.truncated,
+        "interleave: exploration truncated after {} executions; raise max_executions \
+         or reduce the model",
+        outcome.executions
+    );
+}
+
+/// [`model_with`] under the default [`Config`].
+pub fn model<F: Fn()>(f: F) {
+    model_with(Config::default(), f)
+}

@@ -1,0 +1,85 @@
+//! # interleave
+//!
+//! An offline, std-only, loom-style concurrency model checker, vendored the
+//! same way as the `rand`/`proptest` stand-ins (no registry access in the
+//! build environment).
+//!
+//! The checker runs a closure — the *model* — many times, exploring a
+//! different thread interleaving on every run.  Threads created through
+//! [`thread::spawn`] are real OS threads, but they are **serialized**: a
+//! deterministic scheduler lets exactly one thread run at a time and takes a
+//! branching decision at every *yield point* — each operation on the shim
+//! [`sync`] types (atomics, locks, `Arc` clone/drop, spawn/join).  A
+//! depth-first search over those decisions enumerates every interleaving up
+//! to a configurable preemption bound ([`Config::max_preemptions`]; bounding
+//! follows the same argument as loom/CHESS — almost all concurrency bugs
+//! manifest within two or three preemptions).
+//!
+//! ## Weak memory
+//!
+//! Atomics are modelled with per-variable store histories and vector clocks,
+//! so the checker explores *stale reads*, not just interleavings:
+//!
+//! * every store is recorded with the writing thread's vector clock; a
+//!   `Release` store additionally attaches the clock as a *release* clock
+//!   (read-modify-writes propagate the release clock of the store they
+//!   replace, modelling release sequences);
+//! * a load may read **any** store that per-thread coherence and
+//!   happens-before do not forbid — if several qualify, the choice is a DFS
+//!   branch point;
+//! * an `Acquire` load that reads a store with a release clock joins that
+//!   clock (synchronizes-with), which is what makes later loads of *other*
+//!   variables see the writer's earlier stores.
+//!
+//! `SeqCst` is approximated as `AcqRel`: the checker does not build the
+//! single total order, so it explores a *superset* of sequentially consistent
+//! behaviours.  It can therefore report a violation that real `SeqCst`
+//! hardware would forbid, but it never misses one — the safe direction for a
+//! checker.  (None of the checked code in this repository uses `SeqCst`.)
+//!
+//! Locks ([`sync::RwLock`], [`sync::Mutex`]) are modelled as scheduler
+//! bookkeeping: an unavailable lock blocks the thread (it is removed from the
+//! runnable set until the holder releases), and acquire/release edges join
+//! vector clocks.  Blocked cycles are reported as deadlocks.
+//!
+//! ## Using it
+//!
+//! ```
+//! use interleave::sync::atomic::Ordering;
+//! use interleave::sync::{Arc, AtomicU64};
+//!
+//! interleave::model(|| {
+//!     let a = Arc::new(AtomicU64::new(0));
+//!     let a2 = Arc::clone(&a);
+//!     let t = interleave::thread::spawn(move || {
+//!         a2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     a.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! [`model`] panics (with the number of the failing execution) as soon as any
+//! interleaving panics or deadlocks; [`check`] returns the [`Outcome`]
+//! instead, which is what *test-of-the-tool* tests use to assert that a
+//! seeded bug **is** found.
+//!
+//! ## Outside a model
+//!
+//! Every shim type falls back to the real `std` primitive when used outside
+//! [`model`]/[`check`].  This matters because the workspace routes its
+//! concurrency primitives through the `dla_sync` facade
+//! (`dla_model::sync`), which re-exports these shims under
+//! `--cfg interleave`: the ordinary (non-model) tests keep running correctly
+//! under that cfg, while model tests get the checked semantics.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod exec;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{check, check_with, model, model_with, Config, Outcome, Violation, ViolationKind};

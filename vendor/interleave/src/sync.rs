@@ -1,0 +1,646 @@
+//! Shim concurrency primitives.
+//!
+//! Inside a [`crate::model`]/[`crate::check`] execution every operation on
+//! these types is a scheduler yield point (and, for atomics, a weak-memory
+//! visibility decision).  Outside a model each type transparently falls back
+//! to the real `std::sync` primitive, so code routed through a cfg-switched
+//! facade keeps working in ordinary (non-model) tests.
+//!
+//! The lock types deliberately do **not** expose poisoning: inside a model a
+//! panic aborts the whole execution anyway, and the `dla_sync` facade's
+//! policy is poison recovery, so `read`/`write`/`lock` return guards
+//! directly.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc as StdArc, Mutex as StdMutex, PoisonError, TryLockError};
+
+use crate::exec::{self, Scheduler};
+
+/// Mirror of the `std::sync::atomic` module shape: the [`Ordering`] enum plus
+/// the shim atomic types, so facade code can `use ...::atomic::Ordering`
+/// identically under both cfgs.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    pub use super::{AtomicBool, AtomicU64, AtomicUsize};
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Registration of a shim object with the current execution.  Scheduler ids
+/// are per-execution, so the cached id is keyed by the execution serial; a
+/// serial of 0 never matches (executions start at 1), making a fresh object
+/// unregistered.
+#[derive(Default)]
+struct Reg {
+    serial: u64,
+    id: usize,
+}
+
+impl Reg {
+    /// Returns the cached id, re-registering via `register` when this object
+    /// has not been seen by the current execution yet.
+    fn resolve(cell: &StdMutex<Reg>, sched: &Scheduler, register: impl FnOnce() -> usize) -> usize {
+        let mut reg = recover(cell.lock());
+        let serial = sched.current_serial();
+        if reg.serial != serial {
+            reg.serial = serial;
+            reg.id = register();
+        }
+        reg.id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// The common machinery behind the shim atomics: a `u64`-valued model
+/// variable plus the real atomic used outside models (and as the initial
+/// value on registration).
+struct VarCell {
+    fallback: std::sync::atomic::AtomicU64,
+    reg: StdMutex<Reg>,
+}
+
+impl VarCell {
+    fn new(value: u64) -> VarCell {
+        VarCell {
+            fallback: std::sync::atomic::AtomicU64::new(value),
+            reg: StdMutex::new(Reg::default()),
+        }
+    }
+
+    fn var(&self, sched: &Scheduler) -> usize {
+        Reg::resolve(&self.reg, sched, || {
+            sched.register_var(self.fallback.load(Ordering::Relaxed))
+        })
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        match exec::context() {
+            Some((sched, me)) => {
+                let var = self.var(&sched);
+                sched.atomic_load(me, var, is_acquire(order))
+            }
+            None => self.fallback.load(order),
+        }
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        match exec::context() {
+            Some((sched, me)) => {
+                let var = self.var(&sched);
+                sched.atomic_store(me, var, value, is_release(order));
+            }
+            None => self.fallback.store(value, order),
+        }
+    }
+
+    /// Read-modify-write; returns the previous value.  The fallback closure
+    /// runs when outside a model.
+    fn rmw(
+        &self,
+        order: Ordering,
+        f: impl FnOnce(u64) -> u64,
+        fallback: impl FnOnce(&std::sync::atomic::AtomicU64) -> u64,
+    ) -> u64 {
+        match exec::context() {
+            Some((sched, me)) => {
+                let var = self.var(&sched);
+                sched.atomic_rmw(me, var, f, is_acquire(order), is_release(order))
+            }
+            None => fallback(&self.fallback),
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match exec::context() {
+            Some((sched, me)) => {
+                let var = self.var(&sched);
+                sched.atomic_compare_exchange(
+                    me,
+                    var,
+                    current,
+                    new,
+                    is_acquire(success),
+                    is_acquire(failure),
+                    is_release(success),
+                )
+            }
+            None => self
+                .fallback
+                .compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::atomic::AtomicU64`].
+pub struct AtomicU64 {
+    cell: VarCell,
+}
+
+// Opaque Debug impls: formatting must not become a yield point (types are
+// embedded in `#[derive(Debug)]` structs), so no value is read.
+impl std::fmt::Debug for AtomicU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AtomicU64(..)")
+    }
+}
+
+impl std::fmt::Debug for AtomicUsize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AtomicUsize(..)")
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AtomicBool(..)")
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex(..)")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl AtomicU64 {
+    /// Creates a new atomic with the given initial value.
+    pub fn new(value: u64) -> AtomicU64 {
+        AtomicU64 {
+            cell: VarCell::new(value),
+        }
+    }
+
+    /// Loads the value; inside a model the read may observe any store that
+    /// coherence and happens-before allow.
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.cell.load(order)
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: u64, order: Ordering) {
+        self.cell.store(value, order)
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    pub fn swap(&self, value: u64, order: Ordering) -> u64 {
+        self.cell.rmw(order, |_| value, |a| a.swap(value, order))
+    }
+
+    /// Atomically adds (wrapping), returning the previous value.
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.cell.rmw(
+            order,
+            |old| old.wrapping_add(value),
+            |a| a.fetch_add(value, order),
+        )
+    }
+
+    /// Atomically subtracts (wrapping), returning the previous value.
+    pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+        self.cell.rmw(
+            order,
+            |old| old.wrapping_sub(value),
+            |a| a.fetch_sub(value, order),
+        )
+    }
+
+    /// Atomically stores the maximum of the current and given value,
+    /// returning the previous value.
+    pub fn fetch_max(&self, value: u64, order: Ordering) -> u64 {
+        self.cell
+            .rmw(order, |old| old.max(value), |a| a.fetch_max(value, order))
+    }
+
+    /// Atomically compares and (on equality) exchanges the value.
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.cell.compare_exchange(current, new, success, failure)
+    }
+
+    /// Like [`AtomicU64::compare_exchange`].  The model never fails
+    /// spuriously, so retry loops written against `_weak` explore a subset of
+    /// real behaviours (documented approximation).
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.cell.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::atomic::AtomicUsize`].
+pub struct AtomicUsize {
+    cell: VarCell,
+}
+
+impl AtomicUsize {
+    /// Creates a new atomic with the given initial value.
+    pub fn new(value: usize) -> AtomicUsize {
+        AtomicUsize {
+            cell: VarCell::new(value as u64),
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> usize {
+        self.cell.load(order) as usize
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: usize, order: Ordering) {
+        self.cell.store(value as u64, order)
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    pub fn swap(&self, value: usize, order: Ordering) -> usize {
+        self.cell
+            .rmw(order, |_| value as u64, |a| a.swap(value as u64, order)) as usize
+    }
+
+    /// Atomically adds (wrapping), returning the previous value.
+    pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        self.cell.rmw(
+            order,
+            |old| old.wrapping_add(value as u64),
+            |a| a.fetch_add(value as u64, order),
+        ) as usize
+    }
+
+    /// Atomically subtracts (wrapping), returning the previous value.
+    pub fn fetch_sub(&self, value: usize, order: Ordering) -> usize {
+        self.cell.rmw(
+            order,
+            |old| old.wrapping_sub(value as u64),
+            |a| a.fetch_sub(value as u64, order),
+        ) as usize
+    }
+
+    /// Atomically compares and (on equality) exchanges the value.
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.cell
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    cell: VarCell,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            cell: VarCell::new(u64::from(value)),
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.cell.load(order) != 0
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.cell.store(u64::from(value), order)
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.cell.rmw(
+            order,
+            |_| u64::from(value),
+            |a| a.swap(u64::from(value), order),
+        ) != 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+/// Model-checked stand-in for [`std::sync::RwLock`].  Non-poisoning by
+/// design: see the module docs.
+pub struct RwLock<T: ?Sized> {
+    reg: StdMutex<Reg>,
+    data: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            reg: StdMutex::new(Reg::default()),
+            data: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn lock_id(&self, sched: &Scheduler) -> usize {
+        Reg::resolve(&self.reg, sched, || sched.register_lock())
+    }
+
+    /// Acquires shared read access, blocking the model thread while a writer
+    /// holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match exec::context() {
+            Some((sched, me)) => {
+                let id = self.lock_id(&sched);
+                sched.lock_acquire(me, id, false);
+                let inner = match self.data.try_read() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        panic!("interleave: scheduler admitted a reader but the lock is busy")
+                    }
+                };
+                RwLockReadGuard {
+                    inner: Some(inner),
+                    release: Some((sched, me, id)),
+                }
+            }
+            None => RwLockReadGuard {
+                inner: Some(recover(self.data.read())),
+                release: None,
+            },
+        }
+    }
+
+    /// Acquires exclusive write access, blocking the model thread while any
+    /// other thread holds the lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match exec::context() {
+            Some((sched, me)) => {
+                let id = self.lock_id(&sched);
+                sched.lock_acquire(me, id, true);
+                let inner = match self.data.try_write() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        panic!("interleave: scheduler admitted a writer but the lock is busy")
+                    }
+                };
+                RwLockWriteGuard {
+                    inner: Some(inner),
+                    release: Some((sched, me, id)),
+                }
+            }
+            None => RwLockWriteGuard {
+                inner: Some(recover(self.data.write())),
+                release: None,
+            },
+        }
+    }
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    release: Option<(StdArc<Scheduler>, usize, usize)>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // The std guard must go first so a reader/writer admitted by the
+        // scheduler in lock_release finds the inner lock free.
+        drop(self.inner.take());
+        if let Some((sched, me, id)) = self.release.take() {
+            sched.lock_release(me, id, false);
+        }
+    }
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    release: Option<(StdArc<Scheduler>, usize, usize)>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((sched, me, id)) = self.release.take() {
+            sched.lock_release(me, id, true);
+        }
+    }
+}
+
+/// Model-checked stand-in for [`std::sync::Mutex`].  Non-poisoning by
+/// design: see the module docs.
+pub struct Mutex<T: ?Sized> {
+    reg: StdMutex<Reg>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            reg: StdMutex::new(Reg::default()),
+            data: StdMutex::new(value),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking the model thread while another thread
+    /// holds it.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match exec::context() {
+            Some((sched, me)) => {
+                let id = Reg::resolve(&self.reg, &sched, || sched.register_lock());
+                sched.lock_acquire(me, id, true);
+                let inner = match self.data.try_lock() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        panic!("interleave: scheduler admitted a locker but the mutex is busy")
+                    }
+                };
+                MutexGuard {
+                    inner: Some(inner),
+                    release: Some((sched, me, id)),
+                }
+            }
+            None => MutexGuard {
+                inner: Some(recover(self.data.lock())),
+                release: None,
+            },
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    release: Option<(StdArc<Scheduler>, usize, usize)>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((sched, me, id)) = self.release.take() {
+            sched.lock_release(me, id, true);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arc
+// ---------------------------------------------------------------------------
+
+/// Stand-in for [`std::sync::Arc`] whose clone and drop are scheduler yield
+/// points, so reference-count races (a handle dropped concurrently with a
+/// clone) are part of the explored schedules.
+pub struct Arc<T: ?Sized>(StdArc<T>);
+
+impl<T> Arc<T> {
+    /// Creates a new reference-counted value.
+    pub fn new(value: T) -> Arc<T> {
+        Arc(StdArc::new(value))
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    /// The number of live handles, as in [`std::sync::Arc::strong_count`].
+    pub fn strong_count(this: &Arc<T>) -> usize {
+        StdArc::strong_count(&this.0)
+    }
+}
+
+fn arc_yield() {
+    if let Some((sched, me)) = exec::context() {
+        sched.yield_point(me);
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Arc<T> {
+        arc_yield();
+        Arc(StdArc::clone(&self.0))
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        // yield_point itself is a no-op while unwinding, so dropping handles
+        // during an aborted execution cannot double-panic.
+        arc_yield();
+    }
+}
+
+impl<T: ?Sized> Deref for Arc<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}

@@ -1,0 +1,110 @@
+//! Model-thread creation: a stand-in for [`std::thread::spawn`]/`join`.
+//!
+//! Inside a model, spawned closures run on real OS threads but are serialized
+//! by the scheduler — a freshly spawned thread parks until the DFS schedules
+//! it, and `spawn`/`join` are themselves yield points.  Outside a model this
+//! is plain [`std::thread`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc as StdArc;
+
+use crate::exec::{self, Aborted, Scheduler};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        handle: std::thread::JoinHandle<Option<T>>,
+        sched: StdArc<Scheduler>,
+        child: usize,
+    },
+}
+
+/// Handle to a spawned thread; join it to retrieve the closure's result.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.  Inside a
+    /// model, blocking here is a scheduling decision like any other; a
+    /// panicked child aborts the whole execution before `join` can observe
+    /// it, so the `Err` branch is only reachable outside models.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(handle) => handle.join(),
+            Inner::Model {
+                handle,
+                sched,
+                child,
+            } => {
+                if let Some((_, me)) = exec::context() {
+                    sched.join_thread(me, child);
+                }
+                match handle.join() {
+                    Ok(Some(value)) => Ok(value),
+                    Ok(None) => Err(Box::new("model thread panicked".to_string())
+                        as Box<dyn std::any::Any + Send>),
+                    Err(payload) => Err(payload),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread.  Inside a model the new thread becomes part of the
+/// explored schedule; outside it is an ordinary [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match exec::context() {
+        Some((sched, me)) => {
+            let child = sched.register_thread(me);
+            let thread_sched = StdArc::clone(&sched);
+            let handle = std::thread::spawn(move || {
+                exec::set_context(Some((StdArc::clone(&thread_sched), child)));
+                // Park until scheduled, run the closure, and always report
+                // back — the whole body is inside catch_unwind so an abort
+                // while parked still reaches thread_finished (otherwise the
+                // execution's bookkeeping would hang waiting for us).
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    thread_sched.thread_started(child);
+                    f()
+                }));
+                match result {
+                    Ok(value) => {
+                        thread_sched.thread_finished(child, None);
+                        Some(value)
+                    }
+                    Err(payload) => {
+                        if payload.is::<Aborted>() {
+                            thread_sched.thread_finished(child, None);
+                        } else {
+                            thread_sched.thread_finished(
+                                child,
+                                Some(exec::panic_message(payload.as_ref())),
+                            );
+                        }
+                        None
+                    }
+                }
+            });
+            // The spawn itself is a branch point: the child may run first.
+            sched.yield_point(me);
+            JoinHandle(Inner::Model {
+                handle,
+                sched,
+                child,
+            })
+        }
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+/// A bare scheduling point: lets the DFS switch threads here.  Outside a
+/// model it is [`std::thread::yield_now`].
+pub fn yield_now() {
+    match exec::context() {
+        Some((sched, me)) => sched.yield_point(me),
+        None => std::thread::yield_now(),
+    }
+}

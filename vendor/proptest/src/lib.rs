@@ -13,6 +13,7 @@
 //! database: each test draws `cases` deterministic pseudo-random inputs
 //! (seeded per test name) and fails with the offending case's values.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -8,6 +8,7 @@
 //! simulated measurement noise and test-matrix generation (it is *not*
 //! cryptographic, and neither is the real `SmallRng`).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
