@@ -179,7 +179,7 @@ proptest! {
             );
         }
         // The batch entry point agrees with pointwise evaluation.
-        let batch = compiled.eval_batch(&points).unwrap();
+        let batch = compiled.eval_batch_rows(&points).unwrap();
         for (point, b) in points.iter().zip(&batch) {
             prop_assert_eq!(&compiled.eval(point).unwrap(), b);
         }

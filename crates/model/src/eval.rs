@@ -38,7 +38,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use std::cmp::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use dla_blas::{Call, Routine};
 use dla_machine::Locality;
@@ -57,11 +57,124 @@ pub const MAX_DIM: usize = 4;
 
 /// Largest monomial exponent the power ladder supports; polynomials with
 /// higher exponents fall back to the reference evaluator.
-const MAX_EXP: usize = 7;
+pub(crate) const MAX_EXP: usize = 7;
+
+/// Points per micro-tile of the batch evaluator: small enough that the five
+/// accumulator lanes live in registers across the whole monomial plan and the
+/// power-ladder scratch (a few hundred bytes) never leaves L1, while every
+/// inner loop still runs over `TILE` contiguous doubles — the shape
+/// auto-vectorizers want.
+const TILE: usize = 8;
 
 /// Upper bound on the size of a cell table; larger index grids degrade to an
 /// in-order (but still allocation-free) region scan.
 const CELL_CAP: usize = 1 << 18;
+
+/// A flat, structure-of-arrays batch of integer query points: one contiguous
+/// `[usize]` column per dimension.
+///
+/// This is the first-class input of the batch evaluation hot path
+/// ([`CompiledPiecewise::eval_batch`]): the kernel reads whole columns with
+/// unit stride, normalises them into per-tile `f64` lanes, and evaluates the
+/// shared power-ladder basis across the block in auto-vectorizable loops.
+/// Row-major callers (`&[Vec<usize>]`) convert once through
+/// [`BatchPoints::from_rows`] or the [`CompiledPiecewise::eval_batch_rows`]
+/// adapter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchPoints {
+    /// One column per dimension; all columns share the same length.
+    columns: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl BatchPoints {
+    /// An empty batch of `dim`-dimensional points.
+    pub fn new(dim: usize) -> BatchPoints {
+        BatchPoints {
+            columns: vec![Vec::new(); dim],
+            len: 0,
+        }
+    }
+
+    /// An empty batch with room for `capacity` points per column.
+    pub fn with_capacity(dim: usize, capacity: usize) -> BatchPoints {
+        BatchPoints {
+            columns: (0..dim).map(|_| Vec::with_capacity(capacity)).collect(),
+            len: 0,
+        }
+    }
+
+    /// Converts a row-major point list into columns.  Every row must have
+    /// arity `dim`.
+    pub fn from_rows(dim: usize, points: &[Vec<usize>]) -> Result<BatchPoints> {
+        let mut batch = BatchPoints::with_capacity(dim, points.len());
+        for point in points {
+            if point.len() != dim {
+                return Err(ModelError::OutOfDomain(format!(
+                    "point arity {} does not match batch dimension {dim}",
+                    point.len()
+                )));
+            }
+            batch.push(point);
+        }
+        Ok(batch)
+    }
+
+    /// Appends one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `point.len()` differs from the batch dimension (the same
+    /// contract as [`Region::new`]'s arity check).
+    pub fn push(&mut self, point: &[usize]) {
+        assert_eq!(
+            point.len(),
+            self.columns.len(),
+            "point arity must match the batch dimension"
+        );
+        for (column, &value) in self.columns.iter_mut().zip(point) {
+            column.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Number of dimensions (columns).
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the batch holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all points, keeping the column allocations for reuse.
+    pub fn clear(&mut self) {
+        for column in &mut self.columns {
+            column.clear();
+        }
+        self.len = 0;
+    }
+
+    /// The contiguous column of dimension `d`.
+    pub fn column(&self, d: usize) -> &[usize] {
+        &self.columns[d]
+    }
+
+    /// Copies point `i` into fixed scratch (dimensions above [`MAX_DIM`] are
+    /// ignored; callers reject such batches before reading points).
+    #[inline]
+    pub(crate) fn read_point(&self, i: usize, out: &mut [usize; MAX_DIM]) {
+        for (d, column) in self.columns.iter().take(MAX_DIM).enumerate() {
+            out[d] = column[i];
+        }
+    }
+}
 
 /// The five quantity polynomials of a [`VectorPolynomial`] compiled into one
 /// shared monomial plan with an SoA coefficient matrix.
@@ -140,6 +253,69 @@ impl CompiledVectorPolynomial {
         self.term_count
     }
 
+    /// The arity of the compiled plan.
+    pub(crate) fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The term-major exponent matrix (`term_count * dim` bytes) — the exact
+    /// bytes the binary repository format serialises.
+    pub(crate) fn exponent_bytes(&self) -> &[u8] {
+        &self.exponents
+    }
+
+    /// The term-major SoA coefficient matrix (`term_count * 5` doubles) — the
+    /// exact doubles the binary repository format serialises.
+    pub(crate) fn coefficient_matrix(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Reassembles a compiled polynomial from its serialised parts,
+    /// revalidating every invariant the evaluator relies on (the binary
+    /// loader must never panic on corrupt-but-well-framed input).
+    pub(crate) fn from_raw_parts(
+        dim: usize,
+        exponents: Vec<u8>,
+        coefficients: Vec<f64>,
+    ) -> Result<CompiledVectorPolynomial> {
+        if dim == 0 || dim > MAX_DIM {
+            return Err(ModelError::Parse(format!(
+                "binary repository: compiled polynomial dimension {dim} outside 1..={MAX_DIM}"
+            )));
+        }
+        if !exponents.len().is_multiple_of(dim) {
+            return Err(ModelError::Parse(format!(
+                "binary repository: exponent matrix length {} is not a multiple of dim {dim}",
+                exponents.len()
+            )));
+        }
+        let term_count = exponents.len() / dim;
+        if coefficients.len() != term_count * 5 {
+            return Err(ModelError::Parse(format!(
+                "binary repository: coefficient matrix length {} does not match {term_count} terms",
+                coefficients.len()
+            )));
+        }
+        let mut max_exp = [0u8; MAX_DIM];
+        for term in exponents.chunks_exact(dim) {
+            for (d, &e) in term.iter().enumerate() {
+                if e as usize > MAX_EXP {
+                    return Err(ModelError::Parse(format!(
+                        "binary repository: exponent {e} exceeds the power-ladder bound {MAX_EXP}"
+                    )));
+                }
+                max_exp[d] = max_exp[d].max(e);
+            }
+        }
+        Ok(CompiledVectorPolynomial {
+            dim,
+            term_count,
+            exponents,
+            coefficients,
+            max_exp,
+        })
+    }
+
     /// Evaluates all five quantities at a normalised point, with the same
     /// non-negativity clamp and NaN preservation as
     /// [`VectorPolynomial::eval`].
@@ -180,18 +356,22 @@ impl CompiledVectorPolynomial {
 
 /// One region with precomputed bounds and its compiled polynomial.
 #[derive(Debug, Clone, PartialEq)]
-struct CompiledRegion {
+pub(crate) struct CompiledRegion {
     lo: [usize; MAX_DIM],
     hi: [usize; MAX_DIM],
     lo_f: [f64; MAX_DIM],
     hi_f: [f64; MAX_DIM],
     extent_f: [f64; MAX_DIM],
     error: f64,
-    poly: CompiledVectorPolynomial,
+    pub(crate) poly: CompiledVectorPolynomial,
 }
 
 impl CompiledRegion {
-    fn compile(region: &Region, poly: CompiledVectorPolynomial, error: f64) -> CompiledRegion {
+    pub(crate) fn compile(
+        region: &Region,
+        poly: CompiledVectorPolynomial,
+        error: f64,
+    ) -> CompiledRegion {
         let dim = region.dim();
         let mut r = CompiledRegion {
             lo: [0; MAX_DIM],
@@ -252,6 +432,19 @@ impl CompiledRegion {
         // lint: hot-path end
         summary
     }
+}
+
+/// Where a point resolved during location: a concrete region, a cell's
+/// precomputed fallback candidate set, or the full nearest-region scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PointLoc {
+    /// Covered by the region at this index (source region order).
+    Region(usize),
+    /// Uncovered but inside the index: nearest among this fallback set.
+    NearestAmong(usize),
+    /// Outside the indexed range (or unindexed and uncovered): nearest over
+    /// all regions.
+    NearestAll,
 }
 
 /// A [`PiecewiseModel`] compiled into an indexed, allocation-free evaluator.
@@ -382,6 +575,104 @@ impl CompiledPiecewise {
         self.cells.len()
     }
 
+    /// Point dimensionality this model evaluates.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub(crate) fn regions(&self) -> &[CompiledRegion] {
+        &self.regions
+    }
+
+    pub(crate) fn cuts(&self) -> &[Vec<usize>] {
+        &self.cuts
+    }
+
+    pub(crate) fn cells(&self) -> &[u32] {
+        &self.cells
+    }
+
+    pub(crate) fn fallbacks(&self) -> &[Vec<u32>] {
+        &self.fallbacks
+    }
+
+    /// Rebuilds a compiled piecewise model from serialized sections,
+    /// re-validating every invariant [`compile`](CompiledPiecewise::compile)
+    /// establishes so corrupt inputs surface as errors, never panics.
+    pub(crate) fn from_raw_parts(
+        dim: usize,
+        regions: Vec<CompiledRegion>,
+        cuts: Vec<Vec<usize>>,
+        cells: Vec<u32>,
+        fallbacks: Vec<Vec<u32>>,
+        indexed: bool,
+    ) -> Result<CompiledPiecewise> {
+        let bad = |msg: String| Err(ModelError::Parse(format!("binary repository: {msg}")));
+        if dim == 0 || dim > MAX_DIM {
+            return bad(format!("piecewise dimension {dim} out of range"));
+        }
+        if regions.is_empty() {
+            return bad("piecewise model with no regions".to_string());
+        }
+        // Cut arrays exist in both modes (compile() builds them before the
+        // index-size decision); the cell table only in indexed mode.
+        if cuts.len() != dim {
+            return bad(format!("expected {dim} cut arrays, found {}", cuts.len()));
+        }
+        let mut total = 1usize;
+        for c in &cuts {
+            if c.len() < 2 || c.windows(2).any(|w| w[0] >= w[1]) {
+                return bad("cut array not strictly ascending".to_string());
+            }
+            total = match total.checked_mul(c.len() - 1) {
+                Some(t) => t,
+                None => {
+                    if indexed {
+                        return bad("cell table size overflows".to_string());
+                    }
+                    // Oversized grids are exactly why the model degraded to
+                    // the scan path; the product is unused there.
+                    usize::MAX
+                }
+            };
+        }
+        let mut strides = [0usize; MAX_DIM];
+        if indexed {
+            if total != cells.len() {
+                return bad(format!(
+                    "cell table length {} does not match cut grid ({total} cells)",
+                    cells.len()
+                ));
+            }
+            let limit = regions.len() + fallbacks.len();
+            if cells.iter().any(|&v| (v as usize) >= limit) {
+                return bad("cell entry out of range".to_string());
+            }
+            if fallbacks
+                .iter()
+                .any(|f| f.iter().any(|&r| (r as usize) >= regions.len()))
+            {
+                return bad("fallback candidate out of range".to_string());
+            }
+            let mut stride = 1usize;
+            for d in (0..dim).rev() {
+                strides[d] = stride;
+                stride *= cuts[d].len() - 1;
+            }
+        } else if !cells.is_empty() || !fallbacks.is_empty() {
+            return bad("unindexed model carries a cell table".to_string());
+        }
+        Ok(CompiledPiecewise {
+            dim,
+            regions,
+            cuts,
+            cells,
+            strides,
+            fallbacks,
+            indexed,
+        })
+    }
+
     /// Evaluates the compiled model at a raw integer point — the fast,
     /// allocation-free equivalent of [`PiecewiseModel::eval`].
     pub fn eval(&self, point: &[usize]) -> Result<Summary> {
@@ -400,12 +691,24 @@ impl CompiledPiecewise {
                 self.dim
             )));
         }
+        Ok(match self.locate(point) {
+            PointLoc::Region(r) => (self.regions[r].eval(self.dim, point), r as u32),
+            PointLoc::NearestAmong(f) => self.nearest(point, Some(&self.fallbacks[f])),
+            PointLoc::NearestAll => self.nearest(point, None),
+        })
+    }
+
+    /// Locates the region that answers `point`: the cell table's precomputed
+    /// winner on the indexed path, the in-order scan otherwise, or a
+    /// nearest-region fallback directive for uncovered points.
+    #[inline]
+    fn locate(&self, point: &[usize]) -> PointLoc {
         // lint: hot-path begin
         if !self.indexed {
-            if let Some(best) = best_containing(&self.regions, self.dim, point) {
-                return Ok((self.regions[best].eval(self.dim, point), best as u32));
-            }
-            return Ok(self.nearest(point, None));
+            return match best_containing(&self.regions, self.dim, point) {
+                Some(best) => PointLoc::Region(best),
+                None => PointLoc::NearestAll,
+            };
         }
         let mut cell = 0usize;
         for d in 0..self.dim {
@@ -415,22 +718,253 @@ impl CompiledPiecewise {
             if p < cuts[0] || p >= *cuts.last().expect("non-empty cuts") {
                 // Outside the indexed range in this dimension, hence outside
                 // every region: exact nearest-region fallback.
-                return Ok(self.nearest(point, None));
+                return PointLoc::NearestAll;
             }
             cell += (cuts.partition_point(|&b| b <= p) - 1) * self.strides[d];
         }
         let v = self.cells[cell] as usize;
-        if v < self.regions.len() {
-            return Ok((self.regions[v].eval(self.dim, point), v as u32));
-        }
         // lint: hot-path end
-        Ok(self.nearest(point, Some(&self.fallbacks[v - self.regions.len()])))
+        if v < self.regions.len() {
+            PointLoc::Region(v)
+        } else {
+            PointLoc::NearestAmong(v - self.regions.len())
+        }
     }
 
-    /// Evaluates the model at every point of a batch (one output allocation,
-    /// zero allocations per point).
-    pub fn eval_batch(&self, points: &[Vec<usize>]) -> Result<Vec<Summary>> {
-        points.iter().map(|p| self.eval(p)).collect()
+    /// Evaluates the model at every point of a batch through the SoA block
+    /// kernel (one output allocation, zero allocations per point; results are
+    /// bit-identical to pointwise [`eval`](CompiledPiecewise::eval)).
+    pub fn eval_batch(&self, points: &BatchPoints) -> Result<Vec<Summary>> {
+        let mut out = Vec::with_capacity(points.len());
+        self.eval_batch_into(points, &mut out)?;
+        Ok(out)
+    }
+
+    /// Row-major adapter for [`eval_batch`](CompiledPiecewise::eval_batch):
+    /// converts `&[Vec<usize>]` callers once and runs the same tile kernel.
+    pub fn eval_batch_rows(&self, points: &[Vec<usize>]) -> Result<Vec<Summary>> {
+        self.eval_batch(&BatchPoints::from_rows(self.dim, points)?)
+    }
+
+    /// Streaming batch evaluation into a caller-owned output slab (cleared
+    /// and refilled), so sweeps can reuse one allocation across batches.
+    pub fn eval_batch_into(&self, points: &BatchPoints, out: &mut Vec<Summary>) -> Result<()> {
+        self.eval_batch_traced_into(points, out, None)
+    }
+
+    /// [`eval_batch_into`](CompiledPiecewise::eval_batch_into), additionally
+    /// reporting the answering region index per point (source region order)
+    /// when `regions` is given — the batch counterpart of
+    /// [`eval_traced`](CompiledPiecewise::eval_traced) that the serving
+    /// layer's telemetry consumes.
+    pub fn eval_batch_traced_into(
+        &self,
+        points: &BatchPoints,
+        out: &mut Vec<Summary>,
+        mut regions: Option<&mut Vec<u32>>,
+    ) -> Result<()> {
+        if points.dim() != self.dim {
+            return Err(ModelError::OutOfDomain(format!(
+                "point arity {} does not match model dimension {}",
+                points.dim(),
+                self.dim
+            )));
+        }
+        out.clear();
+        if let Some(r) = regions.as_deref_mut() {
+            r.clear();
+        }
+        let n = points.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut scratch = [0usize; MAX_DIM];
+        if n <= 2 {
+            // Tiny batches: the scalar path beats the batch machinery's
+            // fixed costs (slab allocation, grouping), and results are
+            // identical either way.
+            for i in 0..n {
+                points.read_point(i, &mut scratch);
+                let (summary, region) = self.eval_traced(&scratch[..self.dim])?;
+                out.push(summary);
+                if let Some(regs) = regions.as_deref_mut() {
+                    regs.push(region);
+                }
+            }
+            return Ok(());
+        }
+        if n > u32::MAX as usize {
+            return Err(ModelError::OutOfDomain(format!(
+                "batch of {n} points exceeds the supported maximum {}",
+                u32::MAX
+            )));
+        }
+        // Results are scattered back by point index, so grouping below can
+        // reorder evaluation freely without changing the output order.
+        out.resize(n, Summary::from_quantities(&[0.0; 5]));
+        if let Some(r) = regions.as_deref_mut() {
+            r.resize(n, 0);
+        }
+        // Locate pass: record every covered point's answering region and
+        // resolve uncovered points through the exact scalar fallback right
+        // away.  The per-region counts feed a counting sort below —
+        // O(n + regions) instead of a comparison sort, and stable in point
+        // order, so grouping is fully deterministic.
+        const UNCOVERED: u32 = u32::MAX;
+        let mut locs: Vec<u32> = Vec::with_capacity(n);
+        let mut counts = vec![0u32; self.regions.len()];
+        for i in 0..n {
+            points.read_point(i, &mut scratch);
+            match self.locate(&scratch[..self.dim]) {
+                PointLoc::Region(r) => {
+                    counts[r] += 1;
+                    locs.push(r as u32);
+                }
+                loc => {
+                    let (summary, region) = match loc {
+                        PointLoc::NearestAmong(f) => {
+                            self.nearest(&scratch[..self.dim], Some(&self.fallbacks[f]))
+                        }
+                        _ => self.nearest(&scratch[..self.dim], None),
+                    };
+                    out[i] = summary;
+                    if let Some(regs) = regions.as_deref_mut() {
+                        regs[i] = region;
+                    }
+                    locs.push(UNCOVERED);
+                }
+            }
+        }
+        // Counting sort: exclusive prefix sum over the region counts, then
+        // one placement pass scatters each covered point's index into its
+        // region's slice of `order`.
+        let mut cursor: Vec<u32> = Vec::with_capacity(counts.len());
+        let mut covered = 0u32;
+        for &c in &counts {
+            cursor.push(covered);
+            covered += c;
+        }
+        let mut order = vec![0u32; covered as usize];
+        for (i, &r) in locs.iter().enumerate() {
+            if r != UNCOVERED {
+                order[cursor[r as usize] as usize] = i as u32;
+                cursor[r as usize] += 1;
+            }
+        }
+        // Per-region evaluation over the gathered groups.
+        let mut begin = 0usize;
+        for (r, &count) in counts.iter().enumerate() {
+            let count = count as usize;
+            if count == 0 {
+                continue;
+            }
+            let ids = &order[begin..begin + count];
+            self.eval_region_batch(r, points, ids, out);
+            if let Some(regs) = regions.as_deref_mut() {
+                for &i in ids {
+                    regs[i as usize] = r as u32;
+                }
+            }
+            begin += count;
+        }
+        Ok(())
+    }
+
+    /// Evaluates one region's fused polynomial over a gathered group of
+    /// batch points (`ids` holds the point indices) in micro-tiles of
+    /// [`TILE`].  Per tile: gather and normalise the coordinates into
+    /// per-dimension lanes, grow the power ladders one multiply per level,
+    /// then stream the shared monomial plan with the five accumulator lanes
+    /// held in registers — every inner loop runs over `TILE` contiguous
+    /// doubles, and the only memory traffic per term is the ladder loads.
+    /// The per-point operation order matches the scalar evaluator exactly
+    /// (skipped `x^0` factors multiply by literal `1.0` there, which is
+    /// bit-exact), so batch results equal pointwise results bit-for-bit.
+    fn eval_region_batch(
+        &self,
+        region: usize,
+        points: &BatchPoints,
+        ids: &[u32],
+        out: &mut [Summary],
+    ) {
+        let reg = &self.regions[region];
+        let poly = &reg.poly;
+        let dim = self.dim;
+        // lint: hot-path begin
+        // The ladder scratch is zeroed once per group: lanes past the tail
+        // length are never read, and zero-extent dimensions (never written)
+        // must read as the scalar path's `x = 0.0`.
+        let mut lad = [[[0.0f64; TILE]; MAX_EXP]; MAX_DIM];
+        let mut base = 0;
+        while base < ids.len() {
+            let tl = (ids.len() - base).min(TILE);
+            let tile = &ids[base..base + tl];
+            // Gathered, normalised coordinates (same arithmetic as the
+            // scalar path, including the zero-extent rule), then the power
+            // ladders: level `e` lane = level `e - 1` lane times `x`, the
+            // same single multiply per entry as the scalar ladder.
+            for d in 0..dim {
+                if reg.extent_f[d] != 0.0 {
+                    let column = points.column(d);
+                    let lo = reg.lo_f[d];
+                    let extent = reg.extent_f[d];
+                    for (j, &i) in tile.iter().enumerate() {
+                        lad[d][0][j] = (column[i as usize] as f64 - lo) / extent;
+                    }
+                }
+                let levels = poly.max_exp[d] as usize;
+                for e in 1..levels {
+                    for j in 0..tl {
+                        lad[d][e][j] = lad[d][e - 1][j] * lad[d][0][j];
+                    }
+                }
+            }
+            // Stream the monomial plan: build each term's basis lane from the
+            // ladders (skipping exact `* 1.0` factors), then feed the five
+            // register-resident accumulator lanes.
+            let mut acc = [[0.0f64; TILE]; 5];
+            for t in 0..poly.term_count {
+                let exps = &poly.exponents[t * dim..(t + 1) * dim];
+                let mut basis = [0.0f64; TILE];
+                let mut have_factor = false;
+                for (d, &e) in exps.iter().enumerate() {
+                    if e == 0 {
+                        continue;
+                    }
+                    let level = &lad[d][e as usize - 1];
+                    if have_factor {
+                        for j in 0..TILE {
+                            basis[j] *= level[j];
+                        }
+                    } else {
+                        basis.copy_from_slice(level);
+                        have_factor = true;
+                    }
+                }
+                if !have_factor {
+                    basis.fill(1.0);
+                }
+                let coeffs = &poly.coefficients[t * 5..t * 5 + 5];
+                for (row, &c) in acc.iter_mut().zip(coeffs) {
+                    for j in 0..TILE {
+                        row[j] += c * basis[j];
+                    }
+                }
+            }
+            // Clamp and scatter back to each point's slot, identical to the
+            // scalar epilogue.
+            for (j, &i) in tile.iter().enumerate() {
+                let mut values = [acc[0][j], acc[1][j], acc[2][j], acc[3][j], acc[4][j]];
+                for v in &mut values {
+                    if !v.is_nan() {
+                        *v = v.max(0.0);
+                    }
+                }
+                out[i as usize] = Summary::from_quantities(&values);
+            }
+            base += tl;
+        }
+        // lint: hot-path end
     }
 
     /// Nearest-region fallback over a candidate subset (or all regions),
@@ -528,8 +1062,11 @@ fn fallback_candidates(
 /// One submodel in compiled form, or the reference model when the fast path
 /// cannot represent it.
 #[derive(Debug, Clone, PartialEq)]
-enum CompiledSubmodel {
+pub(crate) enum CompiledSubmodel {
+    /// Compiled onto the indexed, fused fast path.
     Fast(CompiledPiecewise),
+    /// Shapes the fast path cannot represent fall back to the reference
+    /// evaluator.
     Reference(PiecewiseModel),
 }
 
@@ -653,6 +1190,102 @@ impl CompiledRoutineModel {
             .eval_traced(&clamped[..len])
             .map(|(summary, region)| (summary, key, region))
     }
+
+    /// Returns `true` when a compiled submodel exists for this flag key.
+    pub fn has_submodel(&self, key: FlagKey) -> bool {
+        self.submodels.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Clamps `sizes` into the model's sampled space — the exact per-call
+    /// clamping [`estimate_traced`](CompiledRoutineModel::estimate_traced)
+    /// applies before evaluation, exposed so batch callers can pre-clamp
+    /// points into a [`BatchPoints`] column store.
+    pub fn clamp_sizes(&self, sizes: &[usize], clamped: &mut [usize; MAX_DIM]) {
+        for d in 0..sizes.len().min(MAX_DIM) {
+            clamped[d] = sizes[d].clamp(self.space_lo[d], self.space_hi[d]);
+        }
+    }
+
+    /// Batch counterpart of the evaluation step of
+    /// [`estimate_traced`](CompiledRoutineModel::estimate_traced): evaluates
+    /// every (already clamped) point of `points` against the submodel for
+    /// `key`, filling `out` (and `regions`, when given, with the answering
+    /// region index per point).  Results are bit-identical to the pointwise
+    /// path.
+    pub fn estimate_batch_clamped(
+        &self,
+        key: FlagKey,
+        points: &BatchPoints,
+        out: &mut Vec<Summary>,
+        mut regions: Option<&mut Vec<u32>>,
+    ) -> Result<()> {
+        let submodel = self
+            .submodels
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, s)| s)
+            .ok_or_else(|| {
+                ModelError::MissingSubmodel(format!(
+                    "no submodel for {} flags {:?}",
+                    self.routine,
+                    key.to_vec()
+                ))
+            })?;
+        match submodel {
+            CompiledSubmodel::Fast(c) => {
+                c.eval_batch_traced_into(points, out, regions.as_deref_mut())
+            }
+            CompiledSubmodel::Reference(m) => {
+                let dim = points.dim();
+                if dim > MAX_DIM {
+                    return Err(ModelError::OutOfDomain(format!(
+                        "point arity {dim} exceeds the supported maximum {MAX_DIM}"
+                    )));
+                }
+                out.clear();
+                out.reserve(points.len());
+                if let Some(r) = regions.as_deref_mut() {
+                    r.clear();
+                    r.reserve(points.len());
+                }
+                let mut scratch = [0usize; MAX_DIM];
+                for i in 0..points.len() {
+                    points.read_point(i, &mut scratch);
+                    let (summary, region) = m.eval_traced(&scratch[..dim])?;
+                    out.push(summary);
+                    if let Some(r) = regions.as_deref_mut() {
+                        r.push(region as u32);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn submodels(&self) -> &[(FlagKey, CompiledSubmodel)] {
+        &self.submodels
+    }
+
+    /// Rebuilds a compiled routine model from serialized sections, applying
+    /// the same space-clamp initialisation as
+    /// [`compile`](CompiledRoutineModel::compile).
+    pub(crate) fn from_raw_parts(
+        routine: Routine,
+        space: &Region,
+        submodels: Vec<(FlagKey, CompiledSubmodel)>,
+    ) -> CompiledRoutineModel {
+        let mut space_lo = [0usize; MAX_DIM];
+        let mut space_hi = [usize::MAX; MAX_DIM];
+        let dims = space.dim().min(MAX_DIM);
+        space_lo[..dims].copy_from_slice(&space.lo()[..dims]);
+        space_hi[..dims].copy_from_slice(&space.hi()[..dims]);
+        CompiledRoutineModel {
+            routine,
+            space_lo,
+            space_hi,
+            submodels,
+        }
+    }
 }
 
 /// A fully compiled [`ModelRepository`]: the source repository plus one
@@ -661,9 +1294,18 @@ impl CompiledRoutineModel {
 /// Compilation happens once — [`SharedRepository`](crate::SharedRepository)
 /// compiles at construction and on every swap/merge, so every reader
 /// snapshot is already compiled.
+///
+/// Binary-loaded repositories ([`crate::binfmt::decode`]) start with the
+/// compiled entries only: the source repository materialises lazily from
+/// the retained (already validated) bytes on first
+/// [`source()`](CompiledRepository::source) access, so the serving path
+/// never pays for structures only merge/save/reference evaluation need.
 #[derive(Debug, Clone)]
 pub struct CompiledRepository {
-    source: Arc<ModelRepository>,
+    source: OnceLock<Arc<ModelRepository>>,
+    /// The validated encoded form, kept only by the binary loader so the
+    /// lazy `source()` rebuild has something to decode from.
+    raw: Option<Vec<u8>>,
     entries: Vec<(ModelKey, CompiledRoutineModel)>,
 }
 
@@ -679,12 +1321,49 @@ impl CompiledRepository {
             .iter()
             .map(|(key, model)| (key.clone(), CompiledRoutineModel::compile(model)))
             .collect();
-        CompiledRepository { source, entries }
+        CompiledRepository {
+            source: OnceLock::from(source),
+            raw: None,
+            entries,
+        }
+    }
+
+    /// Assembles a compiled repository straight from its validated encoded
+    /// form (the binary loader's entry point): the source stays
+    /// unmaterialised until [`source()`](CompiledRepository::source) asks
+    /// for it.
+    pub(crate) fn from_encoded(
+        raw: Vec<u8>,
+        entries: Vec<(ModelKey, CompiledRoutineModel)>,
+    ) -> CompiledRepository {
+        CompiledRepository {
+            source: OnceLock::new(),
+            raw: Some(raw),
+            entries,
+        }
+    }
+
+    pub(crate) fn entries(&self) -> &[(ModelKey, CompiledRoutineModel)] {
+        &self.entries
     }
 
     /// The uncompiled source repository (the reference implementation).
+    ///
+    /// For binary-loaded repositories the first call rebuilds the source
+    /// from the retained bytes (concurrent callers are serialised by the
+    /// cell); every other constructor fills the cell up front.
     pub fn source(&self) -> &Arc<ModelRepository> {
-        &self.source
+        self.source.get_or_init(|| {
+            // lint: allow(unwrap): every constructor either fills the cell or stores the bytes
+            let raw = self
+                .raw
+                .as_ref()
+                .expect("unmaterialised source without retained bytes");
+            // lint: allow(unwrap): these exact bytes passed the full decode validation already
+            let repo =
+                crate::binfmt::decode_source(raw).expect("validated bytes failed to re-decode");
+            Arc::new(repo)
+        })
     }
 
     /// Number of compiled models.
@@ -850,12 +1529,30 @@ mod tests {
         for p in space.sample_grid(9, 1) {
             assert_matches(&model, &compiled, &p);
         }
-        // Batch evaluation agrees with pointwise evaluation.
+        // Batch evaluation agrees bit-for-bit with pointwise evaluation,
+        // through both the row adapter and the column store directly.
         let points = space.sample_grid(5, 8);
-        let batch = compiled.eval_batch(&points).unwrap();
+        let batch = compiled.eval_batch_rows(&points).unwrap();
         for (p, b) in points.iter().zip(&batch) {
             assert_eq!(compiled.eval(p).unwrap(), *b);
         }
+        let columns = BatchPoints::from_rows(2, &points).unwrap();
+        assert_eq!(columns.len(), points.len());
+        assert_eq!(compiled.eval_batch(&columns).unwrap(), batch);
+        // The traced variant reports the same regions as scalar tracing.
+        let mut out = Vec::new();
+        let mut regs = Vec::new();
+        compiled
+            .eval_batch_traced_into(&columns, &mut out, Some(&mut regs))
+            .unwrap();
+        for ((p, s), r) in points.iter().zip(&out).zip(&regs) {
+            let (scalar, region) = compiled.eval_traced(p).unwrap();
+            assert_eq!(scalar, *s);
+            assert_eq!(region, *r);
+        }
+        // Arity mismatches surface as errors on the batch path too.
+        let wrong = BatchPoints::from_rows(1, &[vec![64]]).unwrap();
+        assert!(compiled.eval_batch(&wrong).is_err());
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod binfmt;
 mod eval;
 mod fit;
 mod piecewise;
@@ -61,14 +62,14 @@ pub mod sync;
 mod telemetry;
 
 pub use eval::{
-    CompiledPiecewise, CompiledRepository, CompiledRoutineModel, CompiledVectorPolynomial,
-    RoutineTable, MAX_DIM,
+    BatchPoints, CompiledPiecewise, CompiledRepository, CompiledRoutineModel,
+    CompiledVectorPolynomial, RoutineTable, MAX_DIM,
 };
 pub use fit::FitWorkspace;
 pub use piecewise::{error_order, PiecewiseModel, RegionModel, VectorPolynomial};
 pub use poly::{monomial_exponents, Polynomial};
 pub use region::Region;
-pub use repo::{ModelKey, ModelRepository};
+pub use repo::{ModelKey, ModelRepository, RepositoryFormat};
 pub use routine_model::{submodel_key, submodel_key_fixed, FlagKey, RoutineModel};
 pub use shared::SharedRepository;
 pub use telemetry::{HotRegion, RefinementReport, TelemetryCounters};

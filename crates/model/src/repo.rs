@@ -243,15 +243,95 @@ impl ModelRepository {
         Ok(repo)
     }
 
-    /// Writes the repository to a file.
-    pub fn save_file(&self, path: &Path) -> Result<()> {
-        std::fs::write(path, self.to_text()?).map_err(|e| ModelError::Io(e.to_string()))
+    /// Serialises the repository to the binary format (compiling it first —
+    /// use [`crate::binfmt::encode`] directly when a compiled form is
+    /// already at hand).
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        crate::binfmt::encode(&self.compiled())
     }
 
-    /// Loads a repository from a file.
+    /// Parses a repository from its binary form, discarding the compiled
+    /// layout (use [`crate::binfmt::decode`] to keep it).
+    pub fn from_binary(bytes: &[u8]) -> Result<ModelRepository> {
+        Ok(crate::binfmt::decode(bytes)?.source().as_ref().clone())
+    }
+
+    /// Writes the repository to a file in the codec
+    /// [`RepositoryFormat::for_path`] selects from the extension
+    /// (`.dlapb`/`.bin` → binary, anything else → text).
+    pub fn save_file(&self, path: &Path) -> Result<()> {
+        self.save_file_as(path, RepositoryFormat::for_path(path))
+    }
+
+    /// Writes the repository to a file in an explicitly chosen codec.
+    pub fn save_file_as(&self, path: &Path, format: RepositoryFormat) -> Result<()> {
+        let bytes = match format {
+            RepositoryFormat::Text => self.to_text()?.into_bytes(),
+            RepositoryFormat::Binary => self.to_binary()?,
+        };
+        std::fs::write(path, bytes).map_err(|e| ModelError::Io(e.to_string()))
+    }
+
+    /// Loads a repository from a file, sniffing the codec from the magic
+    /// bytes (so either format loads regardless of extension).
     pub fn load_file(path: &Path) -> Result<ModelRepository> {
-        let text = std::fs::read_to_string(path).map_err(|e| ModelError::Io(e.to_string()))?;
-        ModelRepository::from_text(&text)
+        let bytes = std::fs::read(path).map_err(|e| ModelError::Io(e.to_string()))?;
+        match RepositoryFormat::sniff(&bytes) {
+            RepositoryFormat::Binary => ModelRepository::from_binary(&bytes),
+            RepositoryFormat::Text => {
+                let text = String::from_utf8(bytes).map_err(|_| {
+                    ModelError::Parse("repository text is not valid UTF-8".to_string())
+                })?;
+                ModelRepository::from_text(&text)
+            }
+        }
+    }
+
+    /// Loads a repository from a file straight into serve-ready compiled
+    /// form.  Binary files skip compilation entirely (the stored layout *is*
+    /// the compiled layout); text files parse and compile once.
+    pub fn load_file_compiled(path: &Path) -> Result<crate::CompiledRepository> {
+        let bytes = std::fs::read(path).map_err(|e| ModelError::Io(e.to_string()))?;
+        match RepositoryFormat::sniff(&bytes) {
+            RepositoryFormat::Binary => crate::binfmt::decode(&bytes),
+            RepositoryFormat::Text => {
+                let text = String::from_utf8(bytes).map_err(|_| {
+                    ModelError::Parse("repository text is not valid UTF-8".to_string())
+                })?;
+                Ok(ModelRepository::from_text(&text)?.compiled())
+            }
+        }
+    }
+}
+
+/// The two repository codecs behind the format-sniffing front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepositoryFormat {
+    /// The whitespace-tokenised text format — readable, diffable, the debug
+    /// format of choice; every load re-parses and re-compiles.
+    Text,
+    /// The zero-copy binary format (see [`crate::binfmt`]) — the serving
+    /// format; loads are one validated bulk decode per section.
+    Binary,
+}
+
+impl RepositoryFormat {
+    /// Picks the codec for a path from its extension: `.dlapb` or `.bin`
+    /// mean binary, everything else (including no extension) means text.
+    pub fn for_path(path: &Path) -> RepositoryFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("dlapb") | Some("bin") => RepositoryFormat::Binary,
+            _ => RepositoryFormat::Text,
+        }
+    }
+
+    /// Detects the codec of serialized bytes from the binary magic.
+    pub fn sniff(bytes: &[u8]) -> RepositoryFormat {
+        if crate::binfmt::is_binary(bytes) {
+            RepositoryFormat::Binary
+        } else {
+            RepositoryFormat::Text
+        }
     }
 }
 
@@ -555,6 +635,73 @@ mod tests {
         let loaded = ModelRepository::load_file(&path).unwrap();
         assert_eq!(loaded.len(), repo.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn front_door_routes_both_codecs_by_extension_and_magic() {
+        let mut repo = ModelRepository::new();
+        repo.insert(build_model());
+        let dir = std::env::temp_dir().join("dlaperf-repo-frontdoor-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // `.dlapb` selects the binary codec on save; load sniffs the magic.
+        let bin_path = dir.join("models.dlapb");
+        repo.save_file(&bin_path).unwrap();
+        let bytes = std::fs::read(&bin_path).unwrap();
+        assert!(matches!(
+            RepositoryFormat::sniff(&bytes),
+            RepositoryFormat::Binary
+        ));
+        let from_bin = ModelRepository::load_file(&bin_path).unwrap();
+        assert_eq!(from_bin.len(), repo.len());
+
+        // A text save of the same repository loads through the same door.
+        let text_path = dir.join("models.txt");
+        repo.save_file(&text_path).unwrap();
+        let text_bytes = std::fs::read(&text_path).unwrap();
+        assert!(matches!(
+            RepositoryFormat::sniff(&text_bytes),
+            RepositoryFormat::Text
+        ));
+        let from_text = ModelRepository::load_file(&text_path).unwrap();
+
+        // Both codecs reload to the same text serialisation.
+        assert_eq!(from_bin.to_text().unwrap(), from_text.to_text().unwrap());
+
+        // Binary shards also load straight into the compiled form.
+        let compiled = ModelRepository::load_file_compiled(&bin_path).unwrap();
+        assert_eq!(compiled.source().len(), repo.len());
+
+        // An explicitly chosen codec wins over the extension; the sniffing
+        // loader still gets it right.
+        let explicit = dir.join("models.model");
+        repo.save_file_as(&explicit, RepositoryFormat::Binary)
+            .unwrap();
+        let sniffed = ModelRepository::load_file(&explicit).unwrap();
+        assert_eq!(sniffed.to_text().unwrap(), from_bin.to_text().unwrap());
+
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&explicit).ok();
+    }
+
+    #[test]
+    fn for_path_picks_the_codec_by_extension() {
+        use std::path::Path;
+        for (path, want_binary) in [
+            ("models.dlapb", true),
+            ("models.bin", true),
+            ("dir.dlapb/models.txt", false),
+            ("models.txt", false),
+            ("models", false),
+        ] {
+            let got = RepositoryFormat::for_path(Path::new(path));
+            assert_eq!(
+                matches!(got, RepositoryFormat::Binary),
+                want_binary,
+                "{path}"
+            );
+        }
     }
 
     #[test]

@@ -83,6 +83,18 @@ impl SharedRepository {
         Arc::clone(previous.source())
     }
 
+    /// Atomically replaces the repository with an **already compiled** one,
+    /// returning the previous source — the zero-recompilation entry point the
+    /// binary loader feeds (see [`crate::binfmt::decode`]).
+    pub fn swap_compiled(&self, compiled: Arc<CompiledRepository>) -> Arc<ModelRepository> {
+        let mut guard = self.inner.write();
+        // ordering: Release — same pairing and same reasoning as the bump in
+        // `swap` above; only the compilation step differs (none here).
+        self.generation.fetch_add(1, Ordering::Release);
+        let previous = std::mem::replace(&mut *guard, compiled);
+        Arc::clone(previous.source())
+    }
+
     /// Merges `other` into the current repository, recompiles, and swaps the
     /// result in.
     ///

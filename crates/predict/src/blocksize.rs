@@ -16,6 +16,12 @@ pub struct BlockSizeSweep {
     pub n: usize,
     /// `(block size, predicted efficiency)` for every candidate.
     pub candidates: Vec<(usize, EfficiencyPrediction)>,
+    /// Total per-call model evaluations behind the sweep (all candidate
+    /// traces combined, degenerate calls excluded).
+    pub evaluated_calls: usize,
+    /// Model queries per second achieved by the batched evaluation pass —
+    /// the sweep's throughput figure (0 when nothing was evaluated).
+    pub queries_per_sec: f64,
 }
 
 impl BlockSizeSweep {
@@ -73,7 +79,15 @@ pub fn optimize_block_size_trinv<E: TraceEvaluator>(
         .map(|&b| trinv_trace(variant, n, b, n))
         .collect();
     let trace_refs: Vec<&[Call]> = traces.iter().map(|t| t.as_slice()).collect();
+    let started = std::time::Instant::now();
     let predictions = evaluator.predict_traces(&trace_refs)?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let evaluated_calls: usize = predictions.iter().map(|p| p.predicted_calls).sum();
+    let queries_per_sec = if elapsed > 0.0 && evaluated_calls > 0 {
+        evaluated_calls as f64 / elapsed
+    } else {
+        0.0
+    };
     let useful_flops = trinv_useful_flops(n);
     let results = kept
         .into_iter()
@@ -89,6 +103,8 @@ pub fn optimize_block_size_trinv<E: TraceEvaluator>(
         variant,
         n,
         candidates: results,
+        evaluated_calls,
+        queries_per_sec,
     })
 }
 
@@ -112,6 +128,8 @@ mod tests {
             variant: TrinvVariant::V1,
             n: 128,
             candidates: vec![(32, nan), (64, nan)],
+            evaluated_calls: 0,
+            queries_per_sec: 0.0,
         };
         assert_eq!(sweep.best_block_size(), None);
         assert_eq!(sweep.best_efficiency(), None);

@@ -7,7 +7,10 @@ use dla_blas::flops::is_empty_call;
 use dla_blas::Call;
 use dla_machine::{Locality, MachineConfig};
 use dla_mat::stats::Summary;
-use dla_model::{CompiledRepository, ModelError, ModelRepository, Result, RoutineTable};
+use dla_model::{
+    submodel_key_fixed, BatchPoints, CompiledRepository, FlagKey, ModelError, ModelRepository,
+    Result, RoutineTable, MAX_DIM,
+};
 
 /// The predicted execution time of a whole trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,6 +231,118 @@ impl<'a> Predictor<'a> {
         TraceEvaluator::predict_traces(self, traces)
     }
 
+    /// The batched trace path: groups every call of every trace by
+    /// (routine, flag key, arity) into flat [`BatchPoints`] column stores,
+    /// evaluates each group through the SoA block kernel, then accumulates
+    /// per trace in original call order — bit-identical results to the
+    /// pointwise path, at batch-evaluation throughput.
+    fn predict_traces_batched(&self, traces: &[&[Call]]) -> Result<Vec<TracePrediction>> {
+        enum Placement {
+            Skip,
+            At(usize, usize),
+        }
+        struct Group {
+            slot: usize,
+            key: FlagKey,
+            dim: usize,
+            points: BatchPoints,
+            summaries: Vec<Summary>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut placements: Vec<Vec<Placement>> = Vec::with_capacity(traces.len());
+        for trace in traces {
+            let mut places = Vec::with_capacity(trace.len());
+            for call in *trace {
+                if is_empty_call(call) {
+                    places.push(Placement::Skip);
+                    continue;
+                }
+                let slot = self.table.slot(call.routine()).ok_or_else(|| {
+                    missing_model_error(call.routine(), &self.machine.id(), self.locality)
+                })?;
+                let model = self.compiled.model_at(slot);
+                let key = submodel_key_fixed(call);
+                if !model.has_submodel(key) {
+                    // Reproduce the exact pointwise error (with the call's
+                    // flag characters) by asking the scalar path.
+                    return match model.estimate(call) {
+                        Err(e) => Err(e),
+                        Ok(_) => Err(ModelError::MissingSubmodel(format!(
+                            "submodel for {} appeared mid-batch",
+                            call.routine()
+                        ))),
+                    };
+                }
+                let (sizes, len) = call.sizes_fixed();
+                let mut clamped = [0usize; MAX_DIM];
+                model.clamp_sizes(&sizes[..len], &mut clamped);
+                let group = match groups
+                    .iter()
+                    .position(|g| g.slot == slot && g.key == key && g.dim == len)
+                {
+                    Some(g) => g,
+                    None => {
+                        groups.push(Group {
+                            slot,
+                            key,
+                            dim: len,
+                            points: BatchPoints::new(len),
+                            summaries: Vec::new(),
+                        });
+                        groups.len() - 1
+                    }
+                };
+                // Consecutive duplicates collapse onto one batch slot: loop
+                // algorithms re-issue identical calls every iteration (e.g.
+                // the constant-size unblocked factor in a blocked sweep), and
+                // the placement table already shares indices naturally.
+                let last = groups[group].points.len();
+                let dup = last > 0
+                    && (0..len).all(|d| groups[group].points.column(d)[last - 1] == clamped[d]);
+                let index = if dup {
+                    last - 1
+                } else {
+                    groups[group].points.push(&clamped[..len]);
+                    last
+                };
+                places.push(Placement::At(group, index));
+            }
+            placements.push(places);
+        }
+        for g in &mut groups {
+            self.compiled.model_at(g.slot).estimate_batch_clamped(
+                g.key,
+                &g.points,
+                &mut g.summaries,
+                None,
+            )?;
+        }
+        let mut out = Vec::with_capacity(traces.len());
+        for (trace, places) in traces.iter().zip(&placements) {
+            let mut ticks = Summary::zero();
+            let mut flops = 0.0;
+            let mut predicted = 0;
+            let mut skipped = 0;
+            for (call, place) in trace.iter().zip(places) {
+                match place {
+                    Placement::Skip => skipped += 1,
+                    Placement::At(g, i) => {
+                        ticks.accumulate(&groups[*g].summaries[*i]);
+                        flops += call.flops();
+                        predicted += 1;
+                    }
+                }
+            }
+            out.push(TracePrediction {
+                ticks,
+                flops,
+                predicted_calls: predicted,
+                skipped_calls: skipped,
+            });
+        }
+        Ok(out)
+    }
+
     /// Predicts the efficiency of a trace for an operation whose useful flop
     /// count is `useful_flops`.
     pub fn predict_efficiency(
@@ -246,6 +361,10 @@ impl TraceEvaluator for Predictor<'_> {
 
     fn predict_call(&self, call: &Call) -> Result<Summary> {
         Predictor::predict_call(self, call)
+    }
+
+    fn predict_traces(&self, traces: &[&[Call]]) -> Result<Vec<TracePrediction>> {
+        self.predict_traces_batched(traces)
     }
 }
 

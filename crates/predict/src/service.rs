@@ -45,6 +45,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
+use dla_blas::flops::is_empty_call;
 use dla_blas::{Call, Routine};
 use dla_machine::{Locality, MachineConfig};
 use dla_mat::stats::Summary;
@@ -54,8 +55,8 @@ use dla_mat::stats::Summary;
 use dla_model::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use dla_model::sync::{Arc, RwLock};
 use dla_model::{
-    submodel_key, FlagKey, HotRegion, ModelRepository, RefinementReport, Region, SharedRepository,
-    TelemetryCounters,
+    submodel_key, submodel_key_fixed, BatchPoints, FlagKey, HotRegion, ModelError, ModelRepository,
+    RefinementReport, Region, SharedRepository, TelemetryCounters, MAX_DIM,
 };
 
 use crate::predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
@@ -351,6 +352,27 @@ impl ModelService {
         self.shared.merge(other);
     }
 
+    /// Atomically replaces the repository with an **already compiled** one —
+    /// the zero-recompilation hot-swap entry the binary loader feeds (a
+    /// `.dlapb` shard deserializes straight into its compiled form; see
+    /// [`dla_model::binfmt`]).  Returns the previous source repository.
+    ///
+    /// Invalidation precedes the generation bump for the same reason as in
+    /// [`swap`](ModelService::swap).
+    pub fn swap_compiled(
+        &self,
+        compiled: Arc<dla_model::CompiledRepository>,
+    ) -> Arc<ModelRepository> {
+        self.clear_cache();
+        self.shared.swap_compiled(compiled)
+    }
+
+    /// The current compiled snapshot, as a cheap `Arc` clone — what binary
+    /// persistence encodes without recompiling anything.
+    pub fn compiled_snapshot(&self) -> Arc<dla_model::CompiledRepository> {
+        self.shared.compiled()
+    }
+
     /// A predictor over the current snapshot.
     ///
     /// The predictor owns its snapshot (`'static`), so it can be handed to
@@ -495,8 +517,258 @@ impl ModelService {
 
     /// Predicts a batch of traces, memoized per call (see
     /// [`TraceEvaluator::predict_traces`]).
+    ///
+    /// Cache-cold calls are grouped by (routine, flag key, arity) and
+    /// evaluated through the compiled engine's SoA batch kernel instead of
+    /// one at a time; hit/miss statistics, telemetry counting and cache
+    /// population behave exactly as a call-by-call walk would.
     pub fn predict_traces(&self, traces: &[&[Call]]) -> dla_model::Result<Vec<TracePrediction>> {
-        TraceEvaluator::predict_traces(self, traces)
+        self.predict_traces_batched(traces)
+    }
+
+    /// The batched trace path behind [`predict_traces`].  One pass places
+    /// every call (cache hit, batch-duplicate, or pending group member), one
+    /// batched evaluation per group answers the cold calls, then telemetry /
+    /// cache bookkeeping and per-trace accumulation run in original order.
+    ///
+    /// [`predict_traces`]: ModelService::predict_traces
+    fn predict_traces_batched(
+        &self,
+        traces: &[&[Call]],
+    ) -> dla_model::Result<Vec<TracePrediction>> {
+        /// Where a call's estimate comes from.
+        enum Place {
+            /// Degenerate call, skipped at zero cost.
+            Skip,
+            /// Answered from the memo cache (or an earlier batch duplicate).
+            Ready(Summary),
+            /// Awaiting the group evaluation; index into `pending`.
+            Pending(usize),
+        }
+        /// One cache-cold call awaiting its group's batched evaluation.
+        struct PendingEntry {
+            key: CallKey,
+            group: usize,
+            index: usize,
+            /// Later occurrences of the same key in this batch, deduplicated
+            /// onto this evaluation; they count as cache hits and owe the
+            /// telemetry counter one lossy bump each.
+            extra_hits: u64,
+        }
+        /// Calls sharing (routine, flag key, arity): one flat column store,
+        /// answered by one batched submodel evaluation.
+        struct Group {
+            slot: usize,
+            routine: Routine,
+            flag_key: FlagKey,
+            dim: usize,
+            points: BatchPoints,
+            summaries: Vec<Summary>,
+            regions: Vec<u32>,
+        }
+        /// Batch-local dedup state for one call key.
+        enum Seen {
+            Ready(Summary, Option<Arc<AtomicU64>>),
+            Pending(usize),
+        }
+
+        let generation = self.shared.generation();
+        let mut resolved = None;
+        let mut groups: Vec<Group> = Vec::new();
+        let mut pending: Vec<PendingEntry> = Vec::new();
+        let mut seen: HashMap<CallKey, Seen> = HashMap::new();
+        let mut placements: Vec<Vec<Place>> = Vec::with_capacity(traces.len());
+
+        for trace in traces {
+            let mut places = Vec::with_capacity(trace.len());
+            for call in *trace {
+                if is_empty_call(call) {
+                    places.push(Place::Skip);
+                    continue;
+                }
+                let key = CallKey::new(call);
+                // Batch-local dedup first: a repeated key is a cache hit
+                // whether its first occurrence was itself a hit or is still
+                // pending (a call-by-call walk would find the entry the
+                // first miss inserted).
+                if let Some(s) = seen.get(&key) {
+                    // ordering: Relaxed — hit/miss totals are standalone
+                    // statistics; nothing is published through them.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    match s {
+                        Seen::Ready(summary, counter) => {
+                            // ordering: Relaxed — the flag gates a
+                            // best-effort statistic (see `predict_call`).
+                            if self.telemetry_enabled.load(Ordering::Relaxed) {
+                                if let Some(counter) = counter {
+                                    TelemetryCounters::bump_lossy(counter);
+                                }
+                            }
+                            places.push(Place::Ready(*summary));
+                        }
+                        Seen::Pending(pi) => {
+                            pending[*pi].extra_hits += 1;
+                            places.push(Place::Pending(*pi));
+                        }
+                    }
+                    continue;
+                }
+                let shard = &self.shards[key.shard(self.shards.len())];
+                let cached = shard.read().get(&key).and_then(|cached| {
+                    (cached.generation == generation)
+                        .then(|| (cached.summary, cached.counter.clone()))
+                });
+                if let Some((summary, counter)) = cached {
+                    // ordering: Relaxed — standalone statistic, as above.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    // ordering: Relaxed — best-effort statistic gate.
+                    if self.telemetry_enabled.load(Ordering::Relaxed) {
+                        if let Some(counter) = &counter {
+                            TelemetryCounters::bump_lossy(counter);
+                        }
+                    }
+                    places.push(Place::Ready(summary));
+                    seen.insert(key, Seen::Ready(summary, counter));
+                    continue;
+                }
+                // ordering: Relaxed — standalone statistic, as above.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let (compiled, table, _) =
+                    resolved.get_or_insert_with(|| self.resolved(generation));
+                let slot = table.slot(call.routine()).ok_or_else(|| {
+                    crate::predictor::missing_model_error(
+                        call.routine(),
+                        &self.machine.id(),
+                        self.locality,
+                    )
+                })?;
+                let model = compiled.model_at(slot);
+                let flag_key = submodel_key_fixed(call);
+                if !model.has_submodel(flag_key) {
+                    // Reproduce the exact pointwise error (with the call's
+                    // flag characters) by asking the scalar path.
+                    return match model.estimate(call) {
+                        Err(e) => Err(e),
+                        Ok(_) => Err(ModelError::MissingSubmodel(format!(
+                            "submodel for {} appeared mid-batch",
+                            call.routine()
+                        ))),
+                    };
+                }
+                let (sizes, len) = call.sizes_fixed();
+                let mut clamped = [0usize; MAX_DIM];
+                model.clamp_sizes(&sizes[..len], &mut clamped);
+                let group = match groups
+                    .iter()
+                    .position(|g| g.slot == slot && g.flag_key == flag_key && g.dim == len)
+                {
+                    Some(g) => g,
+                    None => {
+                        groups.push(Group {
+                            slot,
+                            routine: call.routine(),
+                            flag_key,
+                            dim: len,
+                            points: BatchPoints::new(len),
+                            summaries: Vec::new(),
+                            regions: Vec::new(),
+                        });
+                        groups.len() - 1
+                    }
+                };
+                let index = groups[group].points.len();
+                groups[group].points.push(&clamped[..len]);
+                pending.push(PendingEntry {
+                    key: key.clone(),
+                    group,
+                    index,
+                    extra_hits: 0,
+                });
+                seen.insert(key, Seen::Pending(pending.len() - 1));
+                places.push(Place::Pending(pending.len() - 1));
+            }
+            placements.push(places);
+        }
+
+        // One batched evaluation per group, on the compiled engine.
+        if let Some((compiled, _, _)) = &resolved {
+            for g in &mut groups {
+                compiled.model_at(g.slot).estimate_batch_clamped(
+                    g.flag_key,
+                    &g.points,
+                    &mut g.summaries,
+                    Some(&mut g.regions),
+                )?;
+            }
+        }
+
+        // Telemetry and cache population for the cold calls, exactly as the
+        // scalar miss path would have done them one at a time.
+        if let Some((_, _, telemetry)) = &resolved {
+            for entry in &pending {
+                let g = &groups[entry.group];
+                let summary = g.summaries[entry.index];
+                let region = g.regions[entry.index];
+                let counter = telemetry.counter(g.routine, g.flag_key, region).cloned();
+                // ordering: Relaxed — best-effort statistic gate, as above.
+                if self.telemetry_enabled.load(Ordering::Relaxed) {
+                    if let Some(counter) = &counter {
+                        // The cold evaluation counts exactly; its batch
+                        // duplicates count lossily, like cache hits do.
+                        TelemetryCounters::bump_exact(counter);
+                        for _ in 0..entry.extra_hits {
+                            TelemetryCounters::bump_lossy(counter);
+                        }
+                    }
+                }
+                // Only cache if no swap happened while we evaluated; a
+                // racing entry from a stale snapshot must not survive the
+                // swap's invalidation (see `predict_call`).
+                if self.shared.generation() == generation {
+                    let shard = &self.shards[entry.key.shard(self.shards.len())];
+                    shard.write().insert(
+                        entry.key.clone(),
+                        CachedPrediction {
+                            generation,
+                            summary,
+                            counter,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Accumulate per trace in original call order.
+        let mut out = Vec::with_capacity(traces.len());
+        for (trace, places) in traces.iter().zip(&placements) {
+            let mut ticks = Summary::zero();
+            let mut flops = 0.0;
+            let mut predicted = 0;
+            let mut skipped = 0;
+            for (call, place) in trace.iter().zip(places) {
+                let summary = match place {
+                    Place::Skip => {
+                        skipped += 1;
+                        continue;
+                    }
+                    Place::Ready(summary) => summary,
+                    Place::Pending(pi) => {
+                        let entry = &pending[*pi];
+                        &groups[entry.group].summaries[entry.index]
+                    }
+                };
+                ticks.accumulate(summary);
+                flops += call.flops();
+                predicted += 1;
+            }
+            out.push(TracePrediction {
+                ticks,
+                flops,
+                predicted_calls: predicted,
+                skipped_calls: skipped,
+            });
+        }
+        Ok(out)
     }
 
     /// Predicts the efficiency of a trace for an operation with the given
@@ -543,6 +815,10 @@ impl TraceEvaluator for ModelService {
 
     fn predict_call(&self, call: &Call) -> dla_model::Result<Summary> {
         ModelService::predict_call(self, call)
+    }
+
+    fn predict_traces(&self, traces: &[&[Call]]) -> dla_model::Result<Vec<TracePrediction>> {
+        self.predict_traces_batched(traces)
     }
 }
 
