@@ -140,7 +140,7 @@ fn bench_refine_and_swap(c: &mut Criterion) {
         .with_templates(&templates);
         bench.iter(|| {
             let (delta, _) = refiner.refine(black_box(&snapshot), black_box(&report));
-            service.merge(delta);
+            service.merge(delta).unwrap();
             service.snapshot().len()
         });
     });
@@ -159,7 +159,7 @@ fn bench_refine_and_swap(c: &mut Criterion) {
         .with_templates(&templates);
         let (delta, _) = refiner.refine(&snapshot, &report);
         bench.iter(|| {
-            service.merge(delta.clone());
+            service.merge(delta.clone()).unwrap();
             service.snapshot().len()
         });
     });

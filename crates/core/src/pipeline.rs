@@ -128,7 +128,10 @@ impl Pipeline {
             &self.model_config,
             workloads,
         );
-        self.service.merge(built);
+        self.service
+            .merge(built)
+            // lint: allow(unwrap): the pipeline's own offline build samples a simulated executor with finite noise, so its coefficients validate by construction
+            .expect("freshly built models validate");
         self.reports.extend(reports);
         for &w in workloads {
             if !self.workloads.contains(&w) {
@@ -194,8 +197,17 @@ impl Pipeline {
         let snapshot = self.service.snapshot();
         let (delta, outcome) = refiner.refine(&snapshot, &report);
         if !delta.is_empty() {
-            self.service.merge(delta);
+            // A delta the publication gate rejects is dropped: the service
+            // keeps serving the last good generation, and the rejection is
+            // accounted in [`ModelService::health`] (the refiner's own
+            // per-submodel validation makes this a second line of defense,
+            // so an actual rejection here indicates a refiner bug — but a
+            // degraded service beats a poisoned one).
+            let _ = self.service.merge(delta);
         }
+        // Fold the round's quarantine and sampling-fault statistics into the
+        // serving-health ledger, next to the publication accounting.
+        self.service.record_refinement(&outcome);
         outcome
     }
 
@@ -207,7 +219,7 @@ impl Pipeline {
     /// format parses and compiles once, as before.
     pub fn load_repository(&mut self, path: &Path) -> Result<()> {
         let compiled = ModelRepository::load_file_compiled(path)?;
-        self.service.swap_compiled(Arc::new(compiled));
+        self.service.swap_compiled(Arc::new(compiled))?;
         Ok(())
     }
 
@@ -335,13 +347,42 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_repository_is_rejected_and_service_keeps_ranking() {
+        let p = quick_pipeline();
+        let before = p.service().health();
+        let generation_before = p.service().refinement_report().generation;
+        let mut poisoned = (*p.repository()).clone();
+        poisoned.insert(nan_gemm_model(&p.machine().id()));
+        // The publication gate refuses the NaN-carrying repository...
+        let err = p.service().swap(poisoned).unwrap_err();
+        assert!(matches!(err, dla_model::ModelError::Validation(_)));
+        let after = p.service().health();
+        assert_eq!(after.publishes_rejected, before.publishes_rejected + 1);
+        assert_eq!(after.last_good_generation, before.last_good_generation);
+        assert_eq!(
+            p.service().refinement_report().generation,
+            generation_before,
+            "a rejected publish must not bump the served generation"
+        );
+        // ...and the service keeps answering from the last good repository,
+        // with every prediction finite.
+        let ranking = p.rank_trinv(224, 32).unwrap();
+        assert_eq!(ranking.len(), 4);
+        assert!(ranking.iter().all(|(_, pred)| pred.median.is_finite()));
+    }
+
+    #[test]
     fn nan_predictions_rank_last_instead_of_panicking() {
+        // The serving gate (above) keeps NaN models out of a `ModelService`;
+        // this regression guards the evaluator itself, for predictors built
+        // directly over an unguarded snapshot.
         let p = quick_pipeline();
         let mut poisoned = (*p.repository()).clone();
         poisoned.insert(nan_gemm_model(&p.machine().id()));
-        p.service().swap(poisoned);
+        let predictor =
+            dla_predict::Predictor::new(&poisoned, p.machine().clone(), Locality::InCache);
         // Regression: this used to panic in the sort's `expect("finite")`.
-        let ranking = p.rank_trinv(224, 32).unwrap();
+        let ranking = dla_predict::workloads::rank_trinv_variants(&predictor, 224, 32).unwrap();
         assert_eq!(ranking.len(), 4);
         // v1 performs no gemm, so its prediction stays finite and must not be
         // displaced by the NaN-scored variants.

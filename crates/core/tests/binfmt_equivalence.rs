@@ -448,7 +448,7 @@ fn binary_loaded_repository_merges_refines_and_serves() {
     // service built from the original repository.
     let reference = ModelService::new(repo.clone(), machine.clone(), Locality::InCache);
     let service = ModelService::new(ModelRepository::new(), machine.clone(), Locality::InCache);
-    service.swap_compiled(Arc::new(compiled));
+    service.swap_compiled(Arc::new(compiled)).unwrap();
     let probe = |n: usize| {
         Call::trsm(
             Side::Left,
@@ -484,7 +484,7 @@ fn binary_loaded_repository_merges_refines_and_serves() {
     let (delta, outcome) = refiner.refine(&service.snapshot(), &report);
     assert!(outcome.cells_refined > 0);
     let generation_before = service.refinement_report().generation;
-    service.merge(delta);
+    service.merge(delta).unwrap();
     assert!(service.refinement_report().generation > generation_before);
     assert!(service.predict_call(&probe(96)).is_ok());
 

@@ -136,13 +136,13 @@ fn hot_swap_under_concurrent_readers_is_panic_free() {
         let swap_repo = Arc::clone(&repo);
         scope.spawn(move || {
             for _ in 0..50 {
-                let _ = swapper.swap((*swap_repo).clone());
+                swapper.swap((*swap_repo).clone()).unwrap();
             }
         });
     });
     // A predictor taken now survives any later swap.
     let predictor = service.predictor();
-    let _ = service.swap(dla_core::ModelRepository::new());
+    service.swap(dla_core::ModelRepository::new()).unwrap();
     assert_eq!(predictor.predict_call(&call).unwrap(), expected);
 }
 

@@ -137,6 +137,7 @@ fn online_refinement_recovers_from_machine_drift() {
             sample_budget: 4096,
             max_cells: 256,
             min_queries: 1,
+            ..Default::default()
         },
     )
     .with_templates(&dedupe_templates(&templates));
@@ -164,7 +165,7 @@ fn online_refinement_recovers_from_machine_drift() {
         let snapshot = service.snapshot();
         let (delta, outcome) = refiner.refine(&snapshot, &report);
         assert!(!delta.is_empty());
-        service.merge(delta);
+        service.merge(delta).unwrap();
         stop.store(true, Ordering::Relaxed);
         outcome
     });
@@ -211,7 +212,7 @@ fn online_refinement_recovers_from_machine_drift() {
     assert!(report2.cells.iter().any(|c| c.revision > 0));
     let (delta2, outcome2) = refiner.refine(&service.snapshot(), &report2);
     if !delta2.is_empty() {
-        service.merge(delta2);
+        service.merge(delta2).unwrap();
         let error_round2 = mean_error(&service, &drifted_machine, &calls);
         assert!(
             error_round2 <= error_after * 1.5,

@@ -302,7 +302,7 @@ fn refined_repository_survives_save_load_compile() {
     .with_templates(&dedupe_templates(&templates));
     let (delta, outcome) = refiner.refine(&service.snapshot(), &report);
     assert!(outcome.cells_refined > 0);
-    service.merge(delta);
+    service.merge(delta).unwrap();
 
     // Persist → reload → compile: identical predictions everywhere.
     let refined = (*service.snapshot()).clone();

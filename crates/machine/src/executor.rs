@@ -7,6 +7,34 @@ use rand::{Rng, SeedableRng};
 use crate::cost::{counters_from_cost, estimate_cost};
 use crate::{Locality, MachineConfig, Measurement};
 
+/// Why an execution attempt produced no usable measurement.
+///
+/// Real measurement harnesses fail transiently — a competing process steals
+/// the machine, a counter read glitches, the library call is interrupted.
+/// The fallible [`Executor::try_execute`]/[`Executor::try_execute_ticks`]
+/// surface reports these as structured errors so callers can retry instead of
+/// ingesting garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The call failed transiently; retrying the same call may succeed.
+    Transient {
+        /// Executor-local 1-based index of the execution that failed.
+        execution: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Transient { execution } => {
+                write!(f, "transient execution failure (execution #{execution})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Something that can "run" a routine call and report a measurement.
 ///
 /// Two implementations exist: [`SimExecutor`] (the simulated machine) and
@@ -37,6 +65,31 @@ pub trait Executor: Send {
         for _ in 0..count {
             out.push(self.execute(call, locality).ticks);
         }
+    }
+
+    /// Fallible variant of [`Executor::execute`].
+    ///
+    /// The default implementation never fails (the simulated and native
+    /// executors always deliver a measurement); wrappers that model flaky
+    /// harnesses — [`crate::ChaosExecutor`] — override it to report
+    /// [`ExecError::Transient`] instead of a measurement.
+    fn try_execute(&mut self, call: &Call, locality: Locality) -> Result<Measurement, ExecError> {
+        Ok(self.execute(call, locality))
+    }
+
+    /// Fallible variant of [`Executor::execute_ticks`].
+    ///
+    /// On error, `out` is left exactly as it was before the call (no partial
+    /// batch is delivered), so callers can retry without cleanup.
+    fn try_execute_ticks(
+        &mut self,
+        call: &Call,
+        locality: Locality,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ExecError> {
+        self.execute_ticks(call, locality, count, out);
+        Ok(())
     }
 
     /// Creates an independent executor for the given worker stream.

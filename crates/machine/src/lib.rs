@@ -22,6 +22,9 @@
 //! * [`NativeExecutor`] — the real-hardware path: executes the pure-Rust
 //!   kernels of `dla-blas` and measures wall-clock time, for users who want to
 //!   model the machine the reproduction itself runs on.
+//! * [`ChaosExecutor`] — deterministic fault injection wrapping any executor
+//!   (transient failures, latency spikes, NaN/∞ ticks, stuck-slow phases) for
+//!   testing the fault-tolerant measurement-to-serving path.
 //! * [`counters`] — virtual hardware counters (the PAPI substitute).
 //! * [`presets`] — ready-made machine configurations used by the experiments.
 //!
@@ -38,6 +41,7 @@
 #![warn(clippy::all)]
 
 mod blasprofile;
+mod chaos;
 mod config;
 mod cpu;
 mod executor;
@@ -48,7 +52,8 @@ pub mod counters;
 pub mod presets;
 
 pub use blasprofile::{BlasProfile, RoutineParams};
+pub use chaos::{ChaosConfig, ChaosExecutor, FaultCounts};
 pub use config::{Locality, MachineConfig, Measurement};
 pub use cpu::{CacheLevel, CpuSpec};
-pub use executor::{Executor, SimExecutor};
+pub use executor::{ExecError, Executor, SimExecutor};
 pub use native::NativeExecutor;

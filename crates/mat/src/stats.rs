@@ -61,6 +61,63 @@ impl Quantity {
     }
 }
 
+/// Why a sample set could not be summarised.
+///
+/// Historically `Summary::from_samples` returned `Option` and panicked on NaN
+/// input; with fault injection in the measurement path, empty and non-finite
+/// sample sets are expected events and must surface as structured errors that
+/// callers can retry on instead of silently producing NaN statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// No observations were provided.
+    Empty,
+    /// At least one observation was NaN or infinite.
+    NonFinite {
+        /// Total number of observations provided.
+        total: usize,
+        /// How many of them were non-finite.
+        non_finite: usize,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "no samples to summarise"),
+            StatsError::NonFinite { total, non_finite } => {
+                write!(f, "{non_finite} of {total} samples are non-finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Bookkeeping from [`Summary::from_samples_robust`]: how many observations
+/// were discarded and why, plus the dispersion the trimming rule saw.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RobustTrim {
+    /// Observations dropped because they were NaN or infinite.
+    pub non_finite: usize,
+    /// Finite observations dropped as outliers by the median/MAD rule.
+    pub outliers: usize,
+    /// Scaled (×1.4826) median-absolute-deviation of the finite observations
+    /// *before* trimming; 0 for a single observation.  Callers use this as a
+    /// contamination signal: median/MAD trimming breaks down at 50 %
+    /// contamination (e.g. two spikes among four kept observations inflate
+    /// the median *and* the MAD, so nothing gets trimmed), and a batch whose
+    /// scaled MAD is a large fraction of its median is exactly that case —
+    /// corrupted past what trimming can repair.
+    pub scaled_mad: f64,
+}
+
+impl RobustTrim {
+    /// Total number of discarded observations.
+    pub fn discarded(&self) -> usize {
+        self.non_finite + self.outliers
+    }
+}
+
 /// Summary of a set of repeated measurements.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -79,27 +136,136 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// Fewest finite observations for which [`Summary::from_samples_robust`]
+    /// attempts median/MAD outlier trimming; below this the set summarises
+    /// untrimmed (a 2- or 3-point MAD is dominated by any outlier present).
+    pub const MIN_ROBUST_SAMPLES: usize = 4;
+
     /// Computes a summary of the given observations.
     ///
-    /// Returns `None` for an empty slice.  Small sample sets (up to 16
-    /// observations — every Sampler repetition count the Modeler uses) are
-    /// summarised in stack scratch without allocating.
-    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+    /// Returns [`StatsError::Empty`] for an empty slice and
+    /// [`StatsError::NonFinite`] if any observation is NaN or infinite, so bad
+    /// measurements surface as errors instead of propagating NaN statistics
+    /// into fits.  Small sample sets (up to 16 observations — every Sampler
+    /// repetition count the Modeler uses) are summarised in stack scratch
+    /// without allocating.
+    pub fn from_samples(samples: &[f64]) -> Result<Summary, StatsError> {
         if samples.is_empty() {
-            return None;
+            return Err(StatsError::Empty);
+        }
+        let non_finite = samples.iter().filter(|v| !v.is_finite()).count();
+        if non_finite > 0 {
+            return Err(StatsError::NonFinite {
+                total: samples.len(),
+                non_finite,
+            });
         }
         if samples.len() <= 16 {
             let mut buf = [0.0f64; 16];
             let scratch = &mut buf[..samples.len()];
             scratch.copy_from_slice(samples);
-            // lint: allow(unwrap): summaries are computed from measured (finite) samples; NaN here is a harness bug worth a loud panic
-            scratch.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
-            return Some(Summary::from_sorted(scratch));
+            scratch.sort_by(f64::total_cmp);
+            return Ok(Summary::from_sorted(scratch));
         }
         let mut sorted: Vec<f64> = samples.to_vec();
-        // lint: allow(unwrap): summaries are computed from measured (finite) samples; NaN here is a harness bug worth a loud panic
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
-        Some(Summary::from_sorted(&sorted))
+        sorted.sort_by(f64::total_cmp);
+        Ok(Summary::from_sorted(&sorted))
+    }
+
+    /// Computes a summary robust to injected faults: non-finite observations
+    /// are discarded, then finite observations farther than `mad_k` scaled
+    /// median-absolute-deviations from the median are trimmed as outliers.
+    ///
+    /// The MAD is scaled by 1.4826 so that for Gaussian noise `mad_k` is
+    /// comparable to a standard-deviation multiple.  When the MAD is zero
+    /// (at least half the samples identical) a tiny relative tolerance around
+    /// the median is used instead, so duplicate-heavy sample sets still shed
+    /// isolated spikes.  The median itself always survives trimming, so a set
+    /// with at least one finite observation always summarises.
+    ///
+    /// Fewer than [`Summary::MIN_ROBUST_SAMPLES`] finite observations carry
+    /// too little information to estimate a scale at all — the MAD of 2 or 3
+    /// points is dominated by the very outlier it is meant to detect — so
+    /// small sets skip outlier trimming entirely (non-finite observations are
+    /// still discarded) and summarise exactly like [`Summary::from_samples`].
+    ///
+    /// Returns the summary of the surviving observations together with a
+    /// [`RobustTrim`] account of everything discarded.
+    pub fn from_samples_robust(
+        samples: &[f64],
+        mad_k: f64,
+    ) -> Result<(Summary, RobustTrim), StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mut finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        let non_finite = samples.len() - finite.len();
+        if finite.is_empty() {
+            return Err(StatsError::NonFinite {
+                total: samples.len(),
+                non_finite,
+            });
+        }
+        finite.sort_by(f64::total_cmp);
+        let n = finite.len();
+        let median = if n % 2 == 1 {
+            finite[n / 2]
+        } else {
+            0.5 * (finite[n / 2 - 1] + finite[n / 2])
+        };
+        let mut deviations: Vec<f64> = finite.iter().map(|v| (v - median).abs()).collect();
+        deviations.sort_by(f64::total_cmp);
+        let mad = if n % 2 == 1 {
+            deviations[n / 2]
+        } else {
+            0.5 * (deviations[n / 2 - 1] + deviations[n / 2])
+        };
+        // 1.4826 makes the MAD a consistent estimator of sigma under Gaussian
+        // noise; the zero-MAD fallback keeps exact duplicates and trims spikes.
+        let scaled_mad = 1.4826 * mad;
+        if n < Summary::MIN_ROBUST_SAMPLES {
+            return Ok((
+                Summary::from_sorted(&finite),
+                RobustTrim {
+                    non_finite,
+                    outliers: 0,
+                    scaled_mad,
+                },
+            ));
+        }
+        let threshold = if mad > 0.0 {
+            mad_k * scaled_mad
+        } else {
+            median.abs().max(1.0) * 1e-9
+        };
+        let kept: Vec<f64> = finite
+            .iter()
+            .copied()
+            .filter(|v| (v - median).abs() <= threshold)
+            .collect();
+        let (summary, outliers) = if kept.is_empty() {
+            // Degenerate threshold (e.g. two distinct duplicates straddling the
+            // median): keep the observations closest to the median.
+            let best = deviations[0];
+            let closest: Vec<f64> = finite
+                .iter()
+                .copied()
+                .filter(|v| (v - median).abs() <= best)
+                .collect();
+            let outliers = n - closest.len();
+            (Summary::from_sorted(&closest), outliers)
+        } else {
+            let outliers = n - kept.len();
+            (Summary::from_sorted(&kept), outliers)
+        };
+        Ok((
+            summary,
+            RobustTrim {
+                non_finite,
+                outliers,
+                scaled_mad,
+            },
+        ))
     }
 
     /// Summary of an already ascending-sorted, non-empty sample slice.
@@ -217,8 +383,7 @@ pub fn quantile(samples: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    // lint: allow(unwrap): summaries are computed from measured (finite) samples; NaN here is a harness bug worth a loud panic
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n == 1 {
         return Some(sorted[0]);
@@ -271,8 +436,79 @@ mod tests {
     }
 
     #[test]
-    fn summary_empty_is_none() {
-        assert!(Summary::from_samples(&[]).is_none());
+    fn summary_empty_is_structured_error() {
+        assert_eq!(Summary::from_samples(&[]), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn summary_non_finite_is_structured_error() {
+        assert_eq!(
+            Summary::from_samples(&[1.0, f64::NAN, 2.0]),
+            Err(StatsError::NonFinite {
+                total: 3,
+                non_finite: 1
+            })
+        );
+        assert_eq!(
+            Summary::from_samples(&[f64::INFINITY]),
+            Err(StatsError::NonFinite {
+                total: 1,
+                non_finite: 1
+            })
+        );
+        let msg = StatsError::NonFinite {
+            total: 3,
+            non_finite: 1,
+        }
+        .to_string();
+        assert!(msg.contains("non-finite"));
+    }
+
+    #[test]
+    fn robust_summary_trims_non_finite_and_spikes() {
+        let samples = [10.0, 10.2, 9.8, f64::NAN, 10.1, 500.0, 9.9, f64::INFINITY];
+        let (s, trim) = Summary::from_samples_robust(&samples, 5.0).unwrap();
+        assert_eq!(trim.non_finite, 2);
+        assert_eq!(trim.outliers, 1);
+        assert_eq!(trim.discarded(), 3);
+        assert_eq!(s.count, 5);
+        assert!(s.max <= 10.2);
+        assert!((s.median - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_summary_zero_mad_sheds_isolated_spike() {
+        // MAD is zero (three identical observations); the spike must still go.
+        let (s, trim) = Summary::from_samples_robust(&[1.0, 1.0, 1.0, 100.0], 5.0).unwrap();
+        assert_eq!(trim.outliers, 1);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 1.0);
+    }
+
+    #[test]
+    fn robust_summary_keeps_clean_samples_intact() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        let (robust, trim) = Summary::from_samples_robust(&samples, 5.0).unwrap();
+        let plain = Summary::from_samples(&samples).unwrap();
+        assert_eq!(trim.discarded(), 0);
+        // median 2.5, deviations {0.5, 0.5, 1.5, 1.5}, MAD 1.0, scaled 1.4826.
+        assert!((trim.scaled_mad - 1.4826).abs() < 1e-12);
+        assert_eq!(robust, plain);
+    }
+
+    #[test]
+    fn robust_summary_all_non_finite_is_error() {
+        assert_eq!(
+            Summary::from_samples_robust(&[f64::NAN, f64::NAN], 5.0),
+            Err(StatsError::NonFinite {
+                total: 2,
+                non_finite: 2
+            })
+        );
+        assert_eq!(
+            Summary::from_samples_robust(&[], 5.0),
+            Err(StatsError::Empty)
+        );
     }
 
     #[test]

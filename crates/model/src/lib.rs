@@ -60,6 +60,7 @@ mod routine_model;
 mod shared;
 pub mod sync;
 mod telemetry;
+mod validate;
 
 pub use eval::{
     BatchPoints, CompiledPiecewise, CompiledRepository, CompiledRoutineModel,
@@ -73,6 +74,7 @@ pub use repo::{ModelKey, ModelRepository, RepositoryFormat};
 pub use routine_model::{submodel_key, submodel_key_fixed, FlagKey, RoutineModel};
 pub use shared::SharedRepository;
 pub use telemetry::{HotRegion, RefinementReport, TelemetryCounters};
+pub use validate::RepositoryValidator;
 
 /// Errors raised while building, evaluating or (de)serialising models.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +99,9 @@ pub enum ModelError {
     Serialize(String),
     /// An I/O error occurred while reading or writing the repository.
     Io(String),
+    /// A repository failed pre-publication validation (see
+    /// [`RepositoryValidator`]) and must not be served.
+    Validation(String),
 }
 
 impl std::fmt::Display for ModelError {
@@ -111,6 +116,7 @@ impl std::fmt::Display for ModelError {
             ModelError::Parse(d) => write!(f, "parse error: {d}"),
             ModelError::Serialize(d) => write!(f, "serialisation error: {d}"),
             ModelError::Io(d) => write!(f, "i/o error: {d}"),
+            ModelError::Validation(d) => write!(f, "validation failed: {d}"),
         }
     }
 }

@@ -264,25 +264,38 @@ impl ModelRepository {
     }
 
     /// Writes the repository to a file in an explicitly chosen codec.
+    ///
+    /// Errors carry the offending path, so a failed write in a fleet of
+    /// repository files is diagnosable from the message alone.
     pub fn save_file_as(&self, path: &Path, format: RepositoryFormat) -> Result<()> {
         let bytes = match format {
             RepositoryFormat::Text => self.to_text()?.into_bytes(),
             RepositoryFormat::Binary => self.to_binary()?,
         };
-        std::fs::write(path, bytes).map_err(|e| ModelError::Io(e.to_string()))
+        std::fs::write(path, bytes).map_err(|e| file_error(path, ModelError::Io(e.to_string())))
     }
 
     /// Loads a repository from a file, sniffing the codec from the magic
     /// bytes (so either format loads regardless of extension).
+    ///
+    /// Errors — I/O and parse/decode alike — carry the offending path, so a
+    /// corrupt file among many distributed repositories is diagnosable from
+    /// the message alone.
     pub fn load_file(path: &Path) -> Result<ModelRepository> {
-        let bytes = std::fs::read(path).map_err(|e| ModelError::Io(e.to_string()))?;
+        let bytes =
+            std::fs::read(path).map_err(|e| file_error(path, ModelError::Io(e.to_string())))?;
         match RepositoryFormat::sniff(&bytes) {
-            RepositoryFormat::Binary => ModelRepository::from_binary(&bytes),
+            RepositoryFormat::Binary => {
+                ModelRepository::from_binary(&bytes).map_err(|e| file_error(path, e))
+            }
             RepositoryFormat::Text => {
                 let text = String::from_utf8(bytes).map_err(|_| {
-                    ModelError::Parse("repository text is not valid UTF-8".to_string())
+                    file_error(
+                        path,
+                        ModelError::Parse("repository text is not valid UTF-8".to_string()),
+                    )
                 })?;
-                ModelRepository::from_text(&text)
+                ModelRepository::from_text(&text).map_err(|e| file_error(path, e))
             }
         }
     }
@@ -290,17 +303,40 @@ impl ModelRepository {
     /// Loads a repository from a file straight into serve-ready compiled
     /// form.  Binary files skip compilation entirely (the stored layout *is*
     /// the compiled layout); text files parse and compile once.
+    ///
+    /// Errors carry the offending path, like [`ModelRepository::load_file`].
     pub fn load_file_compiled(path: &Path) -> Result<crate::CompiledRepository> {
-        let bytes = std::fs::read(path).map_err(|e| ModelError::Io(e.to_string()))?;
+        let bytes =
+            std::fs::read(path).map_err(|e| file_error(path, ModelError::Io(e.to_string())))?;
         match RepositoryFormat::sniff(&bytes) {
-            RepositoryFormat::Binary => crate::binfmt::decode(&bytes),
+            RepositoryFormat::Binary => {
+                crate::binfmt::decode(&bytes).map_err(|e| file_error(path, e))
+            }
             RepositoryFormat::Text => {
                 let text = String::from_utf8(bytes).map_err(|_| {
-                    ModelError::Parse("repository text is not valid UTF-8".to_string())
+                    file_error(
+                        path,
+                        ModelError::Parse("repository text is not valid UTF-8".to_string()),
+                    )
                 })?;
-                Ok(ModelRepository::from_text(&text)?.compiled())
+                Ok(ModelRepository::from_text(&text)
+                    .map_err(|e| file_error(path, e))?
+                    .compiled())
             }
         }
+    }
+}
+
+/// Prefixes a repository-file error with the offending path, preserving the
+/// error's variant (an I/O error stays `Io`, a parse error stays `Parse`).
+fn file_error(path: &Path, error: ModelError) -> ModelError {
+    let p = path.display();
+    match error {
+        ModelError::Io(msg) => ModelError::Io(format!("{p}: {msg}")),
+        ModelError::Parse(msg) => ModelError::Parse(format!("{p}: {msg}")),
+        ModelError::Serialize(msg) => ModelError::Serialize(format!("{p}: {msg}")),
+        ModelError::Validation(msg) => ModelError::Validation(format!("{p}: {msg}")),
+        other => other,
     }
 }
 
@@ -635,6 +671,36 @@ mod tests {
         let loaded = ModelRepository::load_file(&path).unwrap();
         assert_eq!(loaded.len(), repo.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_errors_name_the_offending_path() {
+        let dir = std::env::temp_dir().join("dlaperf-repo-patherr-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file: the I/O error names the path.
+        let missing = dir.join("no-such-repo.txt");
+        let err = ModelRepository::load_file(&missing).unwrap_err();
+        assert!(matches!(err, ModelError::Io(ref m) if m.contains("no-such-repo.txt")));
+        let err = ModelRepository::load_file_compiled(&missing).unwrap_err();
+        assert!(matches!(err, ModelError::Io(ref m) if m.contains("no-such-repo.txt")));
+
+        // Corrupt file: the parse error names the path too.
+        let corrupt = dir.join("corrupt-repo.txt");
+        std::fs::write(&corrupt, "this is not a repository").unwrap();
+        let err = ModelRepository::load_file(&corrupt).unwrap_err();
+        assert!(matches!(err, ModelError::Parse(ref m) if m.contains("corrupt-repo.txt")));
+        let err = ModelRepository::load_file_compiled(&corrupt).unwrap_err();
+        assert!(matches!(err, ModelError::Parse(ref m) if m.contains("corrupt-repo.txt")));
+
+        // Unwritable target: the save error names the path.
+        let unwritable = dir.join("not-a-dir").join("repo.txt");
+        let repo = ModelRepository::new();
+        let err = repo
+            .save_file_as(&unwritable, RepositoryFormat::Text)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Io(ref m) if m.contains("repo.txt")));
+        std::fs::remove_file(&corrupt).ok();
     }
 
     #[test]

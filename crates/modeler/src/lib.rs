@@ -40,6 +40,6 @@ mod refinement;
 
 pub use expansion::{Direction, ExpansionConfig};
 pub use modeler::{Modeler, ModelingReport, Strategy};
-pub use online::{OnlineRefiner, OnlineRefinerConfig, RefineOutcome};
+pub use online::{OnlineRefiner, OnlineRefinerConfig, QuarantinedCell, RefineOutcome};
 pub use oracle::{SampleCache, SampleOracle};
 pub use refinement::RefinementConfig;

@@ -23,14 +23,14 @@
 
 use std::collections::BTreeMap;
 
-use dla_blas::Call;
+use dla_blas::{Call, Routine};
 use dla_machine::{Executor, Locality};
 use dla_mat::stats::Summary;
 use dla_model::{
     error_order, submodel_key, FitWorkspace, ModelRepository, PiecewiseModel, RefinementReport,
-    RoutineModel,
+    Region, RepositoryValidator, RoutineModel,
 };
-use dla_sampler::{Sampler, SamplerConfig};
+use dla_sampler::{SampleTelemetry, Sampler, SamplerConfig};
 
 use crate::{RefinementConfig, SampleCache, SampleOracle};
 
@@ -53,6 +53,30 @@ pub struct OnlineRefinerConfig {
     /// Cells with fewer queries than this are ignored (traffic too cold to
     /// justify spending samples on).
     pub min_queries: u64,
+    /// Consecutive rebuild failures after which a cell's circuit breaker
+    /// opens and the cell is quarantined (skipped instead of rebuilt).
+    pub quarantine_threshold: u32,
+    /// Rounds a quarantined cell sits out before a half-open probe rebuild
+    /// is allowed.  A successful probe closes the breaker; a failed probe
+    /// re-opens it for another cooldown.
+    pub quarantine_cooldown: u32,
+    /// A rebuilt fit is counted as failed when any replacement region's fit
+    /// error is non-finite or exceeds `max_error_factor` times the *larger*
+    /// of `fit.error_bound` and the replaced region's own error.  Refinement
+    /// legitimately accepts errors above the bound for minimum-size regions
+    /// (a discontinuity inside an unsplittable region), so the gate is
+    /// relative to the error precedent the cell already set: only fits
+    /// catastrophically worse than both the bound and what they replace —
+    /// the signature of corrupt measurements — trip the breaker.
+    pub max_error_factor: f64,
+    /// Build attempts per cell and round before the failure counts as a
+    /// strike.  The round's sample cache survives a failed build — every
+    /// point measured before the failure stays cached — so a reattempt pays
+    /// only for the points still missing.  Against independent per-
+    /// measurement faults this compounds fast: a cell needing dozens of grid
+    /// points is all-or-nothing within one attempt, but near-certain across
+    /// two.  Values below 1 behave as 1.
+    pub rebuild_attempts: usize,
 }
 
 impl Default for OnlineRefinerConfig {
@@ -62,12 +86,33 @@ impl Default for OnlineRefinerConfig {
             sample_budget: 512,
             max_cells: 16,
             min_queries: 1,
+            quarantine_threshold: 2,
+            quarantine_cooldown: 2,
+            max_error_factor: 10.0,
+            rebuild_attempts: 2,
         }
     }
 }
 
+/// Provenance of one quarantined `(routine, flags, region)` cell, reported in
+/// [`RefineOutcome::quarantined`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedCell {
+    /// The routine of the quarantined cell.
+    pub routine: Routine,
+    /// The flag combination (submodel key) of the quarantined cell.
+    pub flags: Vec<usize>,
+    /// The offending region.
+    pub region: Region,
+    /// Consecutive rebuild failures recorded for the cell.
+    pub failures: u32,
+    /// Rounds remaining before a half-open probe; `0` means the next report
+    /// of this cell triggers a probe rebuild.
+    pub cooldown_remaining: u32,
+}
+
 /// What one [`OnlineRefiner::refine`] round did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RefineOutcome {
     /// Report cells examined (in ranking order).
     pub cells_examined: usize,
@@ -78,7 +123,8 @@ pub struct RefineOutcome {
     /// Replacement regions produced (≥ `regions_rebuilt`; a rebuild may
     /// split the offending region).
     pub regions_added: usize,
-    /// Distinct sample points spent across all rebuilds.
+    /// Distinct sample points spent across all rebuilds (including rebuilds
+    /// that then failed — budget is spent whether or not the fit lands).
     pub samples_used: usize,
     /// Cells skipped because the snapshot no longer contains the reported
     /// region (the report outlived a swap/merge).
@@ -86,6 +132,24 @@ pub struct RefineOutcome {
     /// Cells skipped because no registered template covers their
     /// routine/flag combination.
     pub skipped_no_template: usize,
+    /// Rebuild attempts that failed this round (unrecoverable sample errors
+    /// or fits rejected by the validator/error bound); the failed cell keeps
+    /// its old regions and is **never** merged.
+    pub fit_failures: usize,
+    /// Cells whose circuit breaker newly opened this round.
+    pub cells_quarantined: usize,
+    /// Cells skipped because their breaker was open and still cooling down.
+    pub skipped_quarantined: usize,
+    /// Half-open probe rebuilds attempted on cooled-down quarantined cells.
+    pub probes: usize,
+    /// Quarantined cells whose probe rebuild succeeded (breaker closed).
+    pub cells_recovered: usize,
+    /// Sampler retry attempts performed during this round.
+    pub sample_retries: u64,
+    /// Measurements discarded during this round (non-finite + outliers).
+    pub samples_discarded: u64,
+    /// Every cell still quarantined after this round, with provenance.
+    pub quarantined: Vec<QuarantinedCell>,
 }
 
 /// Re-samples and rebuilds the regions a [`RefinementReport`] names, within
@@ -103,6 +167,35 @@ pub struct OnlineRefiner<E: Executor> {
     grid_step: usize,
     templates: Vec<Call>,
     config: OnlineRefinerConfig,
+    /// Circuit-breaker state per `(routine, flags, region)` cell, persisted
+    /// across rounds.  Keyed by the routine discriminant plus the flag and
+    /// region coordinates (all `Ord`); the state carries the original typed
+    /// cell for provenance reporting.
+    quarantine: BTreeMap<QuarantineKey, QuarantineState>,
+}
+
+type QuarantineKey = (u32, Vec<usize>, Vec<usize>, Vec<usize>);
+
+#[derive(Debug, Clone)]
+struct QuarantineState {
+    routine: Routine,
+    flags: Vec<usize>,
+    region: Region,
+    /// Consecutive rebuild failures; the breaker is open once this reaches
+    /// the configured threshold.
+    failures: u32,
+    /// Rounds left before a half-open probe is allowed (only meaningful
+    /// while the breaker is open).
+    cooldown: u32,
+}
+
+fn quarantine_key(routine: Routine, flags: &[usize], region: &Region) -> QuarantineKey {
+    (
+        routine as u32,
+        flags.to_vec(),
+        region.lo().to_vec(),
+        region.hi().to_vec(),
+    )
 }
 
 impl<E: Executor> OnlineRefiner<E> {
@@ -125,6 +218,7 @@ impl<E: Executor> OnlineRefiner<E> {
             grid_step: 8,
             templates: Vec::new(),
             config,
+            quarantine: BTreeMap::new(),
         }
     }
 
@@ -190,6 +284,15 @@ impl<E: Executor> OnlineRefiner<E> {
         if report.machine_id != self.machine_id() || report.locality != self.locality() {
             return (ModelRepository::new(), outcome);
         }
+        let telemetry_before = self.sampler.telemetry();
+        // One round has passed for every open breaker: tick the cooldowns.
+        // A cell quarantined with cooldown `k` is skipped for `k - 1` full
+        // rounds and probed (half-open) in the `k`-th.
+        for state in self.quarantine.values_mut() {
+            if state.failures >= self.config.quarantine_threshold && state.cooldown > 0 {
+                state.cooldown -= 1;
+            }
+        }
         // Working set of *rebuilt flag variants only*, keyed by routine: a
         // later cell of the same submodel must see the earlier cell's
         // rebuild, and the delta must carry nothing but what changed —
@@ -247,16 +350,34 @@ impl<E: Executor> OnlineRefiner<E> {
                 continue;
             };
 
+            // Circuit breaker: an open breaker skips the cell while cooling
+            // down, and turns the first rebuild after cooldown into a
+            // half-open probe (success closes the breaker, failure re-opens
+            // it for another cooldown).
+            let key = quarantine_key(cell.routine, &cell.flags, &cell.region);
+            let mut probing = false;
+            if let Some(state) = self.quarantine.get(&key) {
+                if state.failures >= self.config.quarantine_threshold {
+                    if state.cooldown > 0 {
+                        outcome.skipped_quarantined += 1;
+                        continue;
+                    }
+                    probing = true;
+                    outcome.probes += 1;
+                }
+            }
+
             // Re-sample and re-fit the offending region: a fresh Adaptive
-            // Refinement run over just this region, through the shared fit
-            // workspace and the round's shared per-submodel point cache.
+            // Refinement run over just this region, through the fallible
+            // retrying measurement path, the shared fit workspace and the
+            // round's shared per-submodel point cache.
             let revision = submodel.regions[position].revision + 1;
             let space = submodel.space.clone();
             let total_samples = submodel.total_samples;
             let mut regions = submodel.regions.clone();
             let cache_key = (cell.routine as u32, cell.flags.clone());
             let cache = caches.remove(&cache_key).unwrap_or_default();
-            let (fresh, samples) = {
+            let (built, samples) = {
                 let mut oracle = SampleOracle::with_cache(
                     &mut self.sampler,
                     template.clone(),
@@ -264,16 +385,65 @@ impl<E: Executor> OnlineRefiner<E> {
                     cache,
                 );
                 let already_measured = oracle.unique_samples();
-                let fresh =
+                let mut built =
                     self.config
                         .fit
-                        .build_with(&mut oracle, &mut self.workspace, &cell.region);
+                        .try_build_with(&mut oracle, &mut self.workspace, &cell.region);
+                // Failed builds keep their measured points in the oracle's
+                // cache, so each reattempt only pays for the missing ones.
+                for _ in 1..self.config.rebuild_attempts.max(1) {
+                    if built.is_ok() {
+                        break;
+                    }
+                    built = self.config.fit.try_build_with(
+                        &mut oracle,
+                        &mut self.workspace,
+                        &cell.region,
+                    );
+                }
                 let samples = oracle.unique_samples() - already_measured;
                 caches.insert(cache_key, oracle.into_cache());
-                (fresh, samples)
+                (built, samples)
             };
+            // Budget is spent whether or not the rebuild lands: failed
+            // attempts consumed real measurements.
             budget = budget.saturating_sub(samples);
             outcome.samples_used += samples;
+
+            let replaced_error = submodel.regions[position].error;
+            let acceptable = built
+                .as_ref()
+                .map(|fresh| self.fit_acceptable(fresh, replaced_error))
+                .unwrap_or(false);
+            let Some(fresh) = built.ok().filter(|_| acceptable) else {
+                // Rebuild failed — record a strike; the cell keeps its old
+                // regions and nothing of this attempt reaches the delta.
+                outcome.fit_failures += 1;
+                let threshold = self.config.quarantine_threshold;
+                let cooldown = self.config.quarantine_cooldown;
+                let state = self
+                    .quarantine
+                    .entry(key)
+                    .or_insert_with(|| QuarantineState {
+                        routine: cell.routine,
+                        flags: cell.flags.clone(),
+                        region: cell.region.clone(),
+                        failures: 0,
+                        cooldown: 0,
+                    });
+                state.failures += 1;
+                if state.failures >= threshold {
+                    if state.failures == threshold {
+                        outcome.cells_quarantined += 1;
+                    }
+                    state.cooldown = cooldown;
+                }
+                continue;
+            };
+            // Success: close the breaker (and clear sub-threshold strikes).
+            if self.quarantine.remove(&key).is_some() && probing {
+                outcome.cells_recovered += 1;
+            }
             outcome.cells_refined += 1;
             outcome.regions_rebuilt += 1;
             outcome.regions_added += fresh.region_count();
@@ -305,7 +475,70 @@ impl<E: Executor> OnlineRefiner<E> {
         for (_, model) in rebuilt {
             delta.insert(model);
         }
+        let round_telemetry = self.sampler.telemetry().since(&telemetry_before);
+        outcome.sample_retries = round_telemetry.retries;
+        outcome.samples_discarded = round_telemetry.discarded();
+        outcome.quarantined = self.quarantined_cells();
         (delta, outcome)
+    }
+
+    /// Whether a rebuilt submodel is fit to serve: structurally valid
+    /// (finite coefficients, full cover of the rebuilt region — see
+    /// [`RepositoryValidator`]) and with every region's fit error finite and
+    /// under `max_error_factor × max(fit.error_bound, replaced_error)` — the
+    /// replaced region's own error is the precedent a legitimate rebuild is
+    /// allowed to match (see [`OnlineRefinerConfig::max_error_factor`]).
+    fn fit_acceptable(&self, fresh: &PiecewiseModel, replaced_error: f64) -> bool {
+        if RepositoryValidator::new().validate_submodel(fresh).is_err() {
+            return false;
+        }
+        let baseline = if replaced_error.is_finite() {
+            self.config.fit.error_bound.max(replaced_error)
+        } else {
+            self.config.fit.error_bound
+        };
+        let bound = self.config.max_error_factor * baseline;
+        fresh
+            .regions
+            .iter()
+            .all(|r| r.error.is_finite() && r.error <= bound)
+    }
+
+    /// Every cell whose circuit breaker is currently open, with provenance.
+    pub fn quarantined_cells(&self) -> Vec<QuarantinedCell> {
+        self.quarantine
+            .values()
+            .filter(|s| s.failures >= self.config.quarantine_threshold)
+            .map(|s| QuarantinedCell {
+                routine: s.routine,
+                flags: s.flags.clone(),
+                region: s.region.clone(),
+                failures: s.failures,
+                cooldown_remaining: s.cooldown,
+            })
+            .collect()
+    }
+
+    /// The sampler's monotone fault-handling counters (see
+    /// [`SampleTelemetry`]); per-round deltas are already reported in
+    /// [`RefineOutcome`].
+    pub fn sample_telemetry(&self) -> SampleTelemetry {
+        self.sampler.telemetry()
+    }
+
+    /// Mutable access to the underlying executor — chaos scenarios use this
+    /// to change fault schedules between refinement rounds.
+    pub fn executor_mut(&mut self) -> &mut E {
+        self.sampler.executor_mut()
+    }
+
+    /// Raises (or lowers) the sampler's per-point retry budget.  A refiner
+    /// running against a fault-prone harness wants more attempts per point:
+    /// one transient failure anywhere in a measurement batch fails the whole
+    /// attempt, so the per-cell failure probability compounds quickly with
+    /// the number of grid points.
+    pub fn set_max_retries(&mut self, max_retries: usize) {
+        self.sampler.set_max_retries(max_retries);
     }
 
     /// Convenience probe: the refiner's current estimate of a call's cost,
@@ -627,6 +860,143 @@ mod tests {
         // warm-up 1 = 2 raw measurements per distinct point): if boundary
         // points were re-measured per cell, measurements would exceed this.
         assert_eq!(refiner.measurements_taken(), 2 * outcome.samples_used);
+    }
+
+    #[test]
+    fn failing_cells_are_quarantined_cooled_down_probed_and_recovered() {
+        use dla_machine::{ChaosConfig, ChaosExecutor};
+
+        let machine = harpertown_openblas();
+        let snapshot = build_snapshot(SimExecutor::noiseless(machine.clone()));
+        let machine_id = machine.id();
+        let mut report = report_for(&snapshot, &machine_id, 10);
+        report.cells.truncate(1);
+        let hot = report.cells[0].clone();
+
+        // Every measurement fails until the schedule is lifted below.
+        let chaos = ChaosExecutor::new(
+            SimExecutor::noiseless(machine.clone()),
+            ChaosConfig {
+                seed: 7,
+                transient_probability: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut refiner = OnlineRefiner::new(
+            chaos,
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig {
+                quarantine_threshold: 2,
+                quarantine_cooldown: 2,
+                ..Default::default()
+            },
+        )
+        .with_templates(&[trsm_template()]);
+
+        // Round 1: rebuild fails — first strike, breaker still closed.
+        let (delta, o1) = refiner.refine(&snapshot, &report);
+        assert_eq!(delta.len(), 0, "a failed rebuild must not reach the delta");
+        assert_eq!(o1.fit_failures, 1);
+        assert_eq!(o1.cells_quarantined, 0);
+        assert!(o1.quarantined.is_empty());
+        assert!(o1.sample_retries > 0, "retries must be accounted");
+
+        // Round 2: second strike opens the breaker with full provenance.
+        let (delta, o2) = refiner.refine(&snapshot, &report);
+        assert_eq!(delta.len(), 0);
+        assert_eq!(o2.fit_failures, 1);
+        assert_eq!(o2.cells_quarantined, 1);
+        assert_eq!(o2.quarantined.len(), 1);
+        let q = &o2.quarantined[0];
+        assert_eq!(q.routine, Routine::Trsm);
+        assert_eq!(q.flags, hot.flags);
+        assert_eq!(q.region, hot.region);
+        assert_eq!(q.failures, 2);
+        assert_eq!(q.cooldown_remaining, 2);
+        assert_eq!(refiner.quarantined_cells(), o2.quarantined);
+
+        // Round 3: breaker open — the cell is skipped without sampling.
+        let (delta, o3) = refiner.refine(&snapshot, &report);
+        assert_eq!(delta.len(), 0);
+        assert_eq!(o3.skipped_quarantined, 1);
+        assert_eq!(o3.fit_failures, 0);
+        assert_eq!(o3.probes, 0);
+        assert_eq!(o3.samples_used, 0);
+
+        // Round 4: cooldown expired — half-open probe fails and re-opens.
+        let (delta, o4) = refiner.refine(&snapshot, &report);
+        assert_eq!(delta.len(), 0);
+        assert_eq!(o4.probes, 1);
+        assert_eq!(o4.fit_failures, 1);
+        assert_eq!(o4.cells_quarantined, 0, "re-opening is not a new cell");
+        assert_eq!(o4.quarantined[0].failures, 3);
+        assert_eq!(o4.quarantined[0].cooldown_remaining, 2);
+
+        // Round 5: cooling down again.
+        let (_, o5) = refiner.refine(&snapshot, &report);
+        assert_eq!(o5.skipped_quarantined, 1);
+
+        // Lift the faults: the machine has recovered.
+        refiner.executor_mut().config_mut().transient_probability = 0.0;
+
+        // Round 6: the probe succeeds — breaker closes, the cell is rebuilt
+        // and the delta finally carries the refreshed submodel.
+        let (delta, o6) = refiner.refine(&snapshot, &report);
+        assert_eq!(o6.probes, 1);
+        assert_eq!(o6.cells_recovered, 1);
+        assert_eq!(o6.cells_refined, 1);
+        assert!(o6.quarantined.is_empty());
+        assert!(refiner.quarantined_cells().is_empty());
+        assert_eq!(delta.len(), 1);
+        let rebuilt = delta
+            .get(Routine::Trsm, &machine_id, Locality::InCache)
+            .unwrap();
+        assert!(rebuilt.submodel(&hot.flags).unwrap().covers_space(5));
+    }
+
+    #[test]
+    fn sub_threshold_strikes_clear_on_success() {
+        use dla_machine::{ChaosConfig, ChaosExecutor};
+
+        let machine = harpertown_openblas();
+        let snapshot = build_snapshot(SimExecutor::noiseless(machine.clone()));
+        let machine_id = machine.id();
+        let mut report = report_for(&snapshot, &machine_id, 10);
+        report.cells.truncate(1);
+
+        let chaos = ChaosExecutor::new(
+            SimExecutor::noiseless(machine.clone()),
+            ChaosConfig {
+                seed: 11,
+                transient_probability: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut refiner = OnlineRefiner::new(
+            chaos,
+            Locality::InCache,
+            1,
+            OnlineRefinerConfig {
+                quarantine_threshold: 2,
+                quarantine_cooldown: 2,
+                ..Default::default()
+            },
+        )
+        .with_templates(&[trsm_template()]);
+
+        // One strike, then a clean round: the strike record is cleared, so
+        // two later failures are needed to quarantine (no stale strikes).
+        let (_, o1) = refiner.refine(&snapshot, &report);
+        assert_eq!(o1.fit_failures, 1);
+        refiner.executor_mut().config_mut().transient_probability = 0.0;
+        let (_, o2) = refiner.refine(&snapshot, &report);
+        assert_eq!(o2.cells_refined, 1);
+        assert_eq!(o2.cells_recovered, 0, "closed breaker means no recovery");
+        refiner.executor_mut().config_mut().transient_probability = 1.0;
+        let (_, o3) = refiner.refine(&snapshot, &report);
+        assert_eq!(o3.fit_failures, 1);
+        assert_eq!(o3.cells_quarantined, 0, "strike count restarted from zero");
     }
 
     #[test]

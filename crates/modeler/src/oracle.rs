@@ -6,7 +6,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 use dla_blas::Call;
 use dla_machine::Executor;
 use dla_mat::stats::Summary;
-use dla_sampler::Sampler;
+use dla_sampler::{SampleError, Sampler};
 
 /// Leading dimension the paper fixes all operands to during model generation.
 pub const MODEL_LEADING_DIM: usize = 2500;
@@ -152,6 +152,48 @@ impl<'a, E: Executor> SampleOracle<'a, E> {
         *cache
             .entry(key)
             .or_insert_with(|| sampler.sample_ticks(&template.with_sizes(point)))
+    }
+
+    /// Fault-tolerant variant of [`SampleOracle::measure`]: drives the
+    /// sampler's fallible, retrying, robustly-aggregating path
+    /// ([`Sampler::try_sample_ticks`]).  Failed points are **not** cached, so
+    /// a later attempt re-measures them; cached successes answer without
+    /// touching the sampler, exactly like the infallible path.
+    pub fn try_measure(&mut self, point: &[usize]) -> Result<Summary, SampleError> {
+        assert_eq!(
+            point.len(),
+            self.dim,
+            "sample point arity does not match the template routine"
+        );
+        let mut key: PointKey = [0; Call::MAX_SIZES];
+        key[..point.len()].copy_from_slice(point);
+        use std::collections::hash_map::Entry;
+        match self.cache.entry(key) {
+            Entry::Occupied(e) => Ok(*e.get()),
+            Entry::Vacant(v) => {
+                let summary = self
+                    .sampler
+                    .try_sample_ticks(&self.template.with_sizes(point))?;
+                Ok(*v.insert(summary))
+            }
+        }
+    }
+
+    /// Fault-tolerant variant of [`SampleOracle::measure_into`]: stops at the
+    /// first point whose measurement fails (after the sampler's retries), so
+    /// a fit is either given a complete sample set or none at all.
+    pub fn try_measure_into(
+        &mut self,
+        points: &[Vec<usize>],
+        out: &mut Vec<Summary>,
+    ) -> Result<(), SampleError> {
+        out.clear();
+        out.reserve(points.len());
+        for p in points {
+            let s = self.try_measure(p)?;
+            out.push(s);
+        }
+        Ok(())
     }
 
     /// Measures a whole set of points, returning the summaries in point order.

@@ -3,6 +3,7 @@
 use dla_machine::Executor;
 use dla_mat::stats::Summary;
 use dla_model::{error_order, FitWorkspace, PiecewiseModel, Region, RegionModel};
+use dla_sampler::SampleError;
 
 use crate::SampleOracle;
 
@@ -111,6 +112,66 @@ impl RefinementConfig {
         // mid-sort in `partial_cmp(...).expect(...)`.
         regions.sort_by(|a, b| error_order(a.error, b.error));
         PiecewiseModel::new(space.clone(), regions, total)
+    }
+
+    /// Fault-tolerant variant of [`RefinementConfig::build_with`]: measures
+    /// through the oracle's fallible, retrying path and propagates the first
+    /// unrecoverable [`SampleError`] instead of panicking on bad samples.
+    ///
+    /// The split/accept loop is identical to the infallible path; only the
+    /// measurement calls differ, so on a fault-free executor both produce the
+    /// same model (modulo the robust path's outlier trimming).  On error,
+    /// everything measured so far stays in the oracle's cache — a retried
+    /// build pays only for the missing points.
+    pub fn try_build_with<E: Executor>(
+        &self,
+        oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
+        space: &Region,
+    ) -> Result<PiecewiseModel, SampleError> {
+        let mut stack = vec![space.clone()];
+        let mut regions: Vec<RegionModel> = Vec::new();
+        let step = oracle.grid_step();
+        let mut points: Vec<Vec<usize>> = Vec::new();
+        let mut summaries: Vec<Summary> = Vec::new();
+
+        while let Some(region) = stack.pop() {
+            let fitted =
+                self.try_fit_region(oracle, workspace, &mut points, &mut summaries, &region)?;
+            let splittable_children = region.split(self.min_region_size, step);
+            let can_split = splittable_children.len() > 1;
+            if fitted.error <= self.error_bound || !can_split {
+                regions.push(fitted);
+            } else {
+                stack.extend(splittable_children);
+            }
+        }
+
+        let total = oracle.unique_samples();
+        regions.sort_by(|a, b| error_order(a.error, b.error));
+        Ok(PiecewiseModel::new(space.clone(), regions, total))
+    }
+
+    fn try_fit_region<E: Executor>(
+        &self,
+        oracle: &mut SampleOracle<'_, E>,
+        workspace: &mut FitWorkspace,
+        points: &mut Vec<Vec<usize>>,
+        summaries: &mut Vec<Summary>,
+        region: &Region,
+    ) -> Result<RegionModel, SampleError> {
+        let step = oracle.grid_step();
+        region.sample_grid_into(self.grid_per_dim, step, points);
+        oracle.try_measure_into(points, summaries)?;
+        Ok(RegionModel::fit_with_fallback(
+            workspace,
+            region.clone(),
+            points,
+            summaries,
+            self.degree,
+        )
+        // lint: allow(unwrap): fit_with_fallback degrades to a constant fit, which cannot fail with >= 1 sample
+        .expect("constant fit succeeds with at least one sample"))
     }
 
     fn fit_region<E: Executor>(

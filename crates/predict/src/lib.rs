@@ -35,11 +35,13 @@
 //! go through the batched [`TraceEvaluator::predict_traces`] entry point.
 
 pub mod blocksize;
+pub mod health;
 pub mod modelset;
 pub mod predictor;
 pub mod ranking;
 pub mod service;
 pub mod workloads;
 
+pub use health::ServiceHealth;
 pub use predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
 pub use service::{CacheStats, ModelService};

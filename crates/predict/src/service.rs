@@ -56,9 +56,11 @@ use dla_model::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use dla_model::sync::{Arc, RwLock};
 use dla_model::{
     submodel_key, submodel_key_fixed, BatchPoints, FlagKey, HotRegion, ModelError, ModelRepository,
-    RefinementReport, Region, SharedRepository, TelemetryCounters, MAX_DIM,
+    RefinementReport, Region, RepositoryValidator, SharedRepository, TelemetryCounters, MAX_DIM,
 };
+use dla_modeler::RefineOutcome;
 
+use crate::health::{HealthCounters, ServiceHealth};
 use crate::predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
 
 /// Number of cache shards when none is given: enough to keep writer
@@ -228,6 +230,11 @@ pub struct ModelService {
     /// Gates the per-query telemetry counting (the slot bookkeeping itself is
     /// always maintained, so telemetry can be flipped on without a rebuild).
     telemetry_enabled: AtomicBool,
+    /// Pre-publication gate: every swap/merge validates the incoming models
+    /// before they can reach readers (see [`RepositoryValidator`]).
+    validator: RepositoryValidator,
+    /// The degraded-serving ledger behind [`health`](ModelService::health).
+    health: HealthCounters,
 }
 
 impl ModelService {
@@ -247,8 +254,14 @@ impl ModelService {
         locality: Locality,
         shards: usize,
     ) -> ModelService {
+        let shared = SharedRepository::new(repository);
+        // The constructor-supplied repository is trusted (it is typically the
+        // service's own offline build, and an intentionally empty service is
+        // legitimate); validation gates *publications* — see
+        // [`swap`](ModelService::swap).
+        let initial_generation = shared.generation();
         ModelService {
-            shared: SharedRepository::new(repository),
+            shared,
             machine,
             locality,
             shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
@@ -256,6 +269,8 @@ impl ModelService {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             telemetry_enabled: AtomicBool::new(true),
+            validator: RepositoryValidator::new(),
+            health: HealthCounters::new(initial_generation),
         }
     }
 
@@ -338,18 +353,39 @@ impl ModelService {
     /// racing query installs either carries the old generation (dead on
     /// arrival once the bump lands: the tag mismatch makes it a plain miss)
     /// or legitimately belongs to the new generation and survives.
-    pub fn swap(&self, repository: ModelRepository) -> Arc<ModelRepository> {
+    /// Every publication passes the [`RepositoryValidator`] first: a
+    /// repository carrying non-finite coefficients, empty submodels or a
+    /// degenerate region cover is **rejected** — the service keeps serving
+    /// the previous generation, the rejection is accounted in
+    /// [`health`](ModelService::health), and the caller gets the validation
+    /// error back.  (An intentionally *empty* repository is a valid
+    /// publication: it clears the service.)
+    pub fn swap(&self, repository: ModelRepository) -> dla_model::Result<Arc<ModelRepository>> {
+        if let Err(e) = self.validator.validate(&repository) {
+            self.health.record_rejected();
+            return Err(e);
+        }
         self.clear_cache();
-        self.shared.swap(repository)
+        let previous = self.shared.swap(repository);
+        self.health.record_accepted(self.shared.generation());
+        Ok(previous)
     }
 
     /// Merges freshly built models into the served repository (hot swap).
     ///
     /// Invalidation precedes the generation bump for the same reason as in
-    /// [`swap`](ModelService::swap).
-    pub fn merge(&self, other: ModelRepository) {
+    /// [`swap`](ModelService::swap), and the incoming delta passes the same
+    /// pre-publication validation: a rejected delta changes nothing — the
+    /// served generation, its cache and its telemetry all stay in place.
+    pub fn merge(&self, other: ModelRepository) -> dla_model::Result<()> {
+        if let Err(e) = self.validator.validate(&other) {
+            self.health.record_rejected();
+            return Err(e);
+        }
         self.clear_cache();
         self.shared.merge(other);
+        self.health.record_accepted(self.shared.generation());
+        Ok(())
     }
 
     /// Atomically replaces the repository with an **already compiled** one —
@@ -358,13 +394,37 @@ impl ModelService {
     /// [`dla_model::binfmt`]).  Returns the previous source repository.
     ///
     /// Invalidation precedes the generation bump for the same reason as in
-    /// [`swap`](ModelService::swap).
+    /// [`swap`](ModelService::swap), and the compiled repository's source is
+    /// validated like any other publication (binary shards come from disk —
+    /// exactly where corruption enters).
     pub fn swap_compiled(
         &self,
         compiled: Arc<dla_model::CompiledRepository>,
-    ) -> Arc<ModelRepository> {
+    ) -> dla_model::Result<Arc<ModelRepository>> {
+        if let Err(e) = self.validator.validate(compiled.source()) {
+            self.health.record_rejected();
+            return Err(e);
+        }
         self.clear_cache();
-        self.shared.swap_compiled(compiled)
+        let previous = self.shared.swap_compiled(compiled);
+        self.health.record_accepted(self.shared.generation());
+        Ok(previous)
+    }
+
+    /// A point-in-time snapshot of the service's fault-tolerance ledger:
+    /// the last accepted generation, accepted/rejected publication counts,
+    /// and the refinement loop's quarantine and sampling-fault statistics
+    /// (see [`record_refinement`](ModelService::record_refinement)).
+    pub fn health(&self) -> ServiceHealth {
+        self.health.snapshot()
+    }
+
+    /// Folds one refinement round's [`RefineOutcome`] into the health
+    /// ledger (quarantined-region count, recoveries, fit failures, sampler
+    /// retry/discard totals).  The refinement loop calls this once per round,
+    /// next to the merge of the round's delta.
+    pub fn record_refinement(&self, outcome: &RefineOutcome) {
+        self.health.record_refinement(outcome);
     }
 
     /// The current compiled snapshot, as a cheap `Arc` clone — what binary
@@ -893,7 +953,9 @@ mod tests {
         let call = gemm(80);
         let expected = service.predict_call(&call).unwrap();
         let old_predictor = service.predictor();
-        let old = service.swap(ModelRepository::new());
+        // An intentionally empty repository is a *valid* publication: it
+        // clears the service.
+        let old = service.swap(ModelRepository::new()).unwrap();
         assert!(!old.is_empty());
         assert_eq!(service.cached_evaluations(), 0);
         // The service now serves the empty repository...
@@ -902,7 +964,7 @@ mod tests {
         // ...but the predictor handed out before the swap still answers.
         assert_eq!(old_predictor.predict_call(&call).unwrap(), expected);
         // Swapping the old repository back restores service.
-        service.swap((*old).clone());
+        service.swap((*old).clone()).unwrap();
         assert_eq!(service.predict_call(&call).unwrap(), expected);
     }
 
@@ -916,7 +978,7 @@ mod tests {
             build_repository(&machine, Locality::InCache, 1, &cfg, &[Workload::Sylv]);
         let service = ModelService::new(trinv_repo, machine, Locality::InCache);
         let before = service.snapshot().len();
-        service.merge(sylv_repo);
+        service.merge(sylv_repo).unwrap();
         assert!(service.snapshot().len() > before);
         let sylv_call = Call::sylv_unb(64, 64);
         assert!(service.predict_call(&sylv_call).is_ok());
@@ -975,7 +1037,7 @@ mod tests {
 
         // A swap starts a new generation: counters restart at zero.
         let current = (*service.snapshot()).clone();
-        service.swap(current);
+        service.swap(current).unwrap();
         assert_eq!(service.refinement_report().total_queries, 0);
         let _ = service.predict_call(&gemm(96)).unwrap();
         assert_eq!(service.refinement_report().total_queries, 1);
@@ -990,6 +1052,86 @@ mod tests {
         service.set_telemetry_enabled(true);
         let _ = service.predict_call(&gemm(48)).unwrap();
         assert_eq!(service.refinement_report().total_queries, 2);
+    }
+
+    /// A gemm model whose only coefficient is NaN — invalid by construction.
+    fn nan_gemm_repo(machine_id: &str) -> ModelRepository {
+        use dla_model::{PiecewiseModel, Polynomial, RegionModel, RoutineModel, VectorPolynomial};
+        let space = Region::new(vec![8, 8, 8], vec![128, 128, 128]);
+        let nan_poly = Polynomial::new(3, vec![vec![0, 0, 0]], vec![f64::NAN]).unwrap();
+        let poly = VectorPolynomial::new(vec![nan_poly; 5]).unwrap();
+        let region = RegionModel {
+            region: space.clone(),
+            poly,
+            error: 0.0,
+            samples_used: 1,
+            revision: 0,
+        };
+        let piecewise = PiecewiseModel::new(space.clone(), vec![region], 1);
+        let mut model = RoutineModel::new(Routine::Gemm, machine_id, Locality::InCache, space);
+        model.insert_submodel(submodel_key(&gemm(8)), piecewise);
+        let mut repo = ModelRepository::new();
+        repo.insert(model);
+        repo
+    }
+
+    #[test]
+    fn health_ledger_accounts_every_publication() {
+        let service = quick_service();
+        let initial = service.health();
+        assert_eq!(initial.publishes_accepted, 0);
+        assert_eq!(initial.publishes_rejected, 0);
+
+        // An accepted swap advances the last good generation.
+        let current = (*service.snapshot()).clone();
+        service.swap(current).unwrap();
+        let after_swap = service.health();
+        assert_eq!(after_swap.publishes_accepted, 1);
+        assert!(after_swap.last_good_generation > initial.last_good_generation);
+
+        // A poisoned merge is rejected: the ledger records it and the served
+        // generation stays put.
+        let machine_id = service.machine().id();
+        let err = service.merge(nan_gemm_repo(&machine_id)).unwrap_err();
+        assert!(matches!(err, ModelError::Validation(_)));
+        let after_reject = service.health();
+        assert_eq!(after_reject.publishes_rejected, 1);
+        assert_eq!(
+            after_reject.last_good_generation,
+            after_swap.last_good_generation
+        );
+        // The poisoned models never became visible.
+        assert!(service
+            .snapshot()
+            .get(Routine::Gemm, &machine_id, Locality::InCache)
+            .map(|m| m
+                .submodels
+                .values()
+                .flat_map(|s| s.regions.iter())
+                .flat_map(|r| r.poly.polynomials())
+                .all(|p| p.coefficients().iter().all(|c| c.is_finite())))
+            .unwrap_or(true));
+
+        // A poisoned compiled swap is rejected through the same gate.
+        let compiled = Arc::new(nan_gemm_repo(&machine_id).compiled());
+        assert!(service.swap_compiled(compiled).is_err());
+        assert_eq!(service.health().publishes_rejected, 2);
+
+        // Refinement outcomes fold into the same ledger.
+        let outcome = RefineOutcome {
+            cells_recovered: 2,
+            fit_failures: 3,
+            sample_retries: 7,
+            samples_discarded: 11,
+            ..Default::default()
+        };
+        service.record_refinement(&outcome);
+        let after_round = service.health();
+        assert_eq!(after_round.cells_recovered, 2);
+        assert_eq!(after_round.fit_failures, 3);
+        assert_eq!(after_round.sample_retries, 7);
+        assert_eq!(after_round.samples_discarded, 11);
+        assert_eq!(after_round.quarantined_regions, 0);
     }
 
     #[test]

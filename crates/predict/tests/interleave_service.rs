@@ -130,7 +130,7 @@ fn swap_racing_predict_never_orphans_telemetry() {
         let swapper_service = Arc::clone(&service);
         let next = repo.clone();
         let swapper = interleave::thread::spawn(move || {
-            swapper_service.swap(next);
+            swapper_service.swap(next).unwrap();
         });
         service.predict_call(&trsm_call()).unwrap();
         swapper.join().unwrap();
@@ -174,7 +174,7 @@ fn merge_during_predict_linearizes() {
         let merger_service = Arc::clone(&service);
         let other = merged.clone();
         let merger = interleave::thread::spawn(move || {
-            merger_service.merge(other);
+            merger_service.merge(other).unwrap();
         });
         // Trsm is in every generation: the racing query must never observe a
         // state in which it is unserved.
@@ -228,5 +228,67 @@ fn telemetry_toggle_races_predict_and_report() {
         assert!(!service.telemetry_enabled());
         service.predict_call(&trsm_call()).unwrap();
         assert_eq!(service.refinement_report().total_queries, settled);
+    });
+}
+
+/// A repository whose only submodel carries a NaN coefficient — every
+/// publication gate must reject it.
+fn poisoned_repo(machine_id: &str) -> ModelRepository {
+    use dla_model::{Polynomial, VectorPolynomial};
+    let space = Region::new(vec![8, 8], vec![1024, 1024]);
+    let nan_poly = Polynomial::new(2, vec![vec![0, 0]], vec![f64::NAN]).unwrap();
+    let poly = VectorPolynomial::new(vec![nan_poly; 5]).unwrap();
+    let region = RegionModel {
+        region: space.clone(),
+        poly,
+        error: 0.0,
+        samples_used: 1,
+        revision: 0,
+    };
+    let pw = PiecewiseModel::new(space.clone(), vec![region], 1);
+    let mut model = RoutineModel::new(Routine::Trsm, machine_id, Locality::InCache, space);
+    model.insert_submodel(vec![0, 0, 0], pw);
+    let mut repo = ModelRepository::new();
+    repo.insert(model);
+    repo
+}
+
+/// Invariant: a rejected publication racing a query changes *nothing* the
+/// query can observe — the served generation stays, the prediction stays
+/// finite, and the health ledger accounts exactly one rejection with the
+/// last good generation unchanged, in every interleaving.
+#[test]
+fn rejected_publish_racing_predict_keeps_serving_last_good_generation() {
+    let machine = harpertown_openblas();
+    let repo = repo_with(Routine::Trsm, &machine.id());
+    let machine_id = machine.id();
+    interleave::model(move || {
+        let service = Arc::new(ModelService::with_shards(
+            repo.clone(),
+            machine.clone(),
+            Locality::InCache,
+            1,
+        ));
+        let baseline = service.predict_call(&trsm_call()).unwrap();
+        assert!(baseline.median.is_finite());
+        let good_generation = service.health().last_good_generation;
+        let publisher_service = Arc::clone(&service);
+        let poisoned = poisoned_repo(&machine_id);
+        let publisher = interleave::thread::spawn(move || {
+            publisher_service
+                .swap(poisoned)
+                .expect_err("the NaN repository must be rejected")
+        });
+        // The racing query must keep answering the last good generation,
+        // with the exact same finite summary.
+        let raced = service.predict_call(&trsm_call()).unwrap();
+        assert_eq!(raced, baseline, "a rejected publish leaked into serving");
+        publisher.join().unwrap();
+        // Settled: nothing was adopted, and the ledger accounts the refusal.
+        let health = service.health();
+        assert_eq!(health.publishes_rejected, 1);
+        assert_eq!(health.publishes_accepted, 0);
+        assert_eq!(health.last_good_generation, good_generation);
+        assert_eq!(service.predict_call(&trsm_call()).unwrap(), baseline);
     });
 }

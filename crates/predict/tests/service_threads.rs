@@ -149,7 +149,7 @@ fn swaps_race_serving_threads() {
         .collect();
 
     for _ in 0..30 {
-        service.swap(trsm_repo(&machine_id));
+        service.swap(trsm_repo(&machine_id)).unwrap();
         std::thread::yield_now();
     }
     for worker in workers {

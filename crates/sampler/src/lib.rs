@@ -23,4 +23,4 @@ mod sampler;
 
 pub mod script;
 
-pub use sampler::{SampleResult, Sampler, SamplerConfig};
+pub use sampler::{SampleError, SampleResult, SampleTelemetry, Sampler, SamplerConfig};

@@ -1,8 +1,107 @@
 //! The sampling engine.
 
 use dla_blas::Call;
-use dla_machine::{Executor, Locality, MachineConfig};
-use dla_mat::stats::Summary;
+use dla_machine::{ExecError, Executor, Locality, MachineConfig};
+use dla_mat::stats::{StatsError, Summary};
+
+/// Why a fallible sampling attempt produced no summary.
+///
+/// Measurement faults (transient harness failures, all-corrupt sample sets)
+/// surface here as structured errors after the sampler's bounded retry is
+/// exhausted, so the Modeler can quarantine the affected region instead of
+/// fitting garbage or panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleError {
+    /// Every attempt failed with a transient execution error.
+    RetriesExhausted {
+        /// Number of attempts performed (1 + retries).
+        attempts: usize,
+        /// The last execution error observed.
+        last: ExecError,
+    },
+    /// Measurements were delivered, but no attempt yielded a single usable
+    /// (finite) observation.
+    Degenerate {
+        /// Number of attempts performed (1 + retries).
+        attempts: usize,
+        /// The last statistics error observed.
+        last: StatsError,
+    },
+    /// Every attempt's observations were too dispersed to trust: the scaled
+    /// MAD exceeded the configured fraction of the median.  Median/MAD
+    /// trimming breaks down at 50 % contamination (e.g. two ×k latency
+    /// spikes among four kept observations inflate median and MAD together,
+    /// so nothing is trimmed), and this is how such a batch looks from the
+    /// outside — rejecting it turns a silently corrupted summary into a
+    /// retried measurement.
+    Dispersed {
+        /// Number of attempts performed (1 + retries).
+        attempts: usize,
+        /// Scaled MAD of the last attempt's finite observations.
+        scaled_mad: f64,
+        /// Median of the last attempt's finite observations.
+        median: f64,
+    },
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::RetriesExhausted { attempts, last } => {
+                write!(f, "sampling failed after {attempts} attempts: {last}")
+            }
+            SampleError::Degenerate { attempts, last } => {
+                write!(f, "no usable samples after {attempts} attempts: {last}")
+            }
+            SampleError::Dispersed {
+                attempts,
+                scaled_mad,
+                median,
+            } => {
+                write!(
+                    f,
+                    "samples too dispersed after {attempts} attempts \
+                     (scaled MAD {scaled_mad:.3} vs median {median:.3})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// Monotone counters describing the sampler's fault handling so far.
+///
+/// The online refiner snapshots these around a round to report per-round
+/// retry/discard telemetry in its outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleTelemetry {
+    /// Retry attempts performed (attempts beyond the first, per call).
+    pub retries: u64,
+    /// Measurements discarded because they were NaN or infinite.
+    pub discarded_non_finite: u64,
+    /// Finite measurements trimmed as outliers by the median/MAD rule.
+    pub discarded_outliers: u64,
+    /// Calls that exhausted every attempt and returned a [`SampleError`].
+    pub failures: u64,
+}
+
+impl SampleTelemetry {
+    /// Total discarded measurements (non-finite plus trimmed outliers).
+    pub fn discarded(&self) -> u64 {
+        self.discarded_non_finite + self.discarded_outliers
+    }
+
+    /// Field-wise difference against an earlier snapshot of the same counters.
+    pub fn since(&self, earlier: &SampleTelemetry) -> SampleTelemetry {
+        SampleTelemetry {
+            retries: self.retries - earlier.retries,
+            discarded_non_finite: self.discarded_non_finite - earlier.discarded_non_finite,
+            discarded_outliers: self.discarded_outliers - earlier.discarded_outliers,
+            failures: self.failures - earlier.failures,
+        }
+    }
+}
 
 /// Configuration of a sampling campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,9 +178,28 @@ pub struct Sampler<E: Executor> {
     samples_taken: usize,
     /// Reusable tick-measurement buffer for the repetition loop.
     scratch: Vec<f64>,
+    /// Maximum retries after a failed attempt of [`Sampler::try_sample_ticks`].
+    max_retries: usize,
+    /// Outlier-trimming aggressiveness of the robust path (MAD multiples).
+    mad_k: f64,
+    /// Largest tolerated `scaled MAD / |median|` of an aggregated batch.
+    max_dispersion: f64,
+    telemetry: SampleTelemetry,
 }
 
 impl<E: Executor> Sampler<E> {
+    /// Default retry bound of the fallible sampling path.
+    pub const DEFAULT_MAX_RETRIES: usize = 3;
+    /// Default MAD multiple for robust outlier trimming (≈5σ for Gaussian
+    /// noise — generous enough to never trim the simulator's honest noise,
+    /// tight enough to shed ×10 latency spikes).
+    pub const DEFAULT_MAD_K: f64 = 5.0;
+    /// Default bound on a batch's relative dispersion (scaled MAD over
+    /// |median|).  Honest measurement noise is a few percent of the median;
+    /// a batch at 50 % dispersion is contaminated past the breakdown point
+    /// of median/MAD trimming and gets retried instead of trusted.
+    pub const DEFAULT_MAX_DISPERSION: f64 = 0.5;
+
     /// Creates a sampler around an executor.
     pub fn new(executor: E, config: SamplerConfig) -> Sampler<E> {
         Sampler {
@@ -89,6 +207,10 @@ impl<E: Executor> Sampler<E> {
             config,
             samples_taken: 0,
             scratch: Vec::new(),
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            mad_k: Self::DEFAULT_MAD_K,
+            max_dispersion: Self::DEFAULT_MAX_DISPERSION,
+            telemetry: SampleTelemetry::default(),
         }
     }
 
@@ -129,6 +251,28 @@ impl<E: Executor> Sampler<E> {
         &mut self.executor
     }
 
+    /// Bounds the retries of [`Sampler::try_sample_ticks`].
+    pub fn set_max_retries(&mut self, max_retries: usize) {
+        self.max_retries = max_retries;
+    }
+
+    /// Sets the MAD multiple used for robust outlier trimming.
+    pub fn set_robust_mad_k(&mut self, mad_k: f64) {
+        self.mad_k = mad_k.max(0.0);
+    }
+
+    /// Sets the largest tolerated relative dispersion (scaled MAD over
+    /// |median|) of a robustly aggregated batch; batches above it are
+    /// rejected and retried as [`SampleError::Dispersed`].
+    pub fn set_max_dispersion(&mut self, max_dispersion: f64) {
+        self.max_dispersion = max_dispersion.max(0.0);
+    }
+
+    /// Monotone fault-handling counters (see [`SampleTelemetry`]).
+    pub fn telemetry(&self) -> SampleTelemetry {
+        self.telemetry
+    }
+
     /// Runs the measurement loop for one call into `self.scratch`; the first
     /// `warmup` entries are warm-up measurements, the rest are kept.
     ///
@@ -159,6 +303,82 @@ impl<E: Executor> Sampler<E> {
         let warmup = self.collect_ticks(call);
         // lint: allow(unwrap): collect_ticks always keeps at least one sample
         Summary::from_samples(&self.scratch[warmup..]).expect("at least one kept sample")
+    }
+
+    /// Fault-tolerant variant of [`Sampler::sample_ticks`]: fallible
+    /// execution, bounded retry, and robust aggregation.
+    ///
+    /// Each attempt runs the full measurement loop through the executor's
+    /// fallible surface.  A transient execution failure, or an attempt whose
+    /// measurements are all non-finite, triggers a retry — up to
+    /// `max_retries` times.  Backoff is deterministic and counted in
+    /// *samples*, not wall-clock: attempt `k` discards `k` extra leading
+    /// measurements, giving a transient machine phase that many more
+    /// executions to pass (the chaos schedules are seed-driven, so tests stay
+    /// reproducible).  Delivered measurements are aggregated robustly via
+    /// [`Summary::from_samples_robust`]: non-finite ticks are discarded and
+    /// latency outliers beyond `mad_k` scaled MADs from the median are
+    /// trimmed.  A batch that aggregates but remains over-dispersed (scaled
+    /// MAD above the configured fraction of the median — contamination past
+    /// the trimming rule's breakdown point) is rejected and retried as
+    /// [`SampleError::Dispersed`].  Every retry and discard is recorded in
+    /// [`SampleTelemetry`];
+    /// failed attempts still count toward [`Sampler::samples_taken`] (budget
+    /// is spent whether or not the harness delivers).
+    pub fn try_sample_ticks(&mut self, call: &Call) -> Result<Summary, SampleError> {
+        let attempts = self.max_retries + 1;
+        let mut last_failure = SampleError::Degenerate {
+            attempts,
+            last: StatsError::Empty,
+        };
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.telemetry.retries += 1;
+            }
+            // Deterministic attempt-count backoff: `attempt` extra warm-up
+            // discards per retry.
+            let total = (self.config.repetitions + self.config.warmup_discard + attempt).max(1);
+            let warmup = (self.config.warmup_discard + attempt).min(total - 1);
+            self.scratch.clear();
+            self.samples_taken += total;
+            if let Err(e) = self.executor.try_execute_ticks(
+                call,
+                self.config.locality,
+                total,
+                &mut self.scratch,
+            ) {
+                last_failure = SampleError::RetriesExhausted { attempts, last: e };
+                continue;
+            }
+            match Summary::from_samples_robust(&self.scratch[warmup..], self.mad_k) {
+                Ok((summary, trim)) => {
+                    self.telemetry.discarded_non_finite += trim.non_finite as u64;
+                    self.telemetry.discarded_outliers += trim.outliers as u64;
+                    // Dispersion guard: a batch whose scaled MAD is a large
+                    // fraction of its median is contaminated past the 50 %
+                    // breakdown point of the trimming rule (two spikes among
+                    // four kept observations trim nothing) — reject and
+                    // retry rather than hand a corrupted median to a fit.
+                    if trim.scaled_mad > self.max_dispersion * summary.median.abs() {
+                        last_failure = SampleError::Dispersed {
+                            attempts,
+                            scaled_mad: trim.scaled_mad,
+                            median: summary.median,
+                        };
+                        continue;
+                    }
+                    return Ok(summary);
+                }
+                Err(e) => {
+                    if let StatsError::NonFinite { non_finite, .. } = e {
+                        self.telemetry.discarded_non_finite += non_finite as u64;
+                    }
+                    last_failure = SampleError::Degenerate { attempts, last: e };
+                }
+            }
+        }
+        self.telemetry.failures += 1;
+        Err(last_failure)
     }
 
     /// Measures one call.
@@ -292,6 +512,139 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(full.samples_taken(), fast.samples_taken());
+    }
+
+    #[test]
+    fn try_sample_ticks_matches_plain_path_on_a_clean_executor() {
+        // Without noise or faults, the robust path must agree exactly with
+        // the plain path (nothing trimmed, no retries).
+        let mut plain = Sampler::new(
+            SimExecutor::noiseless(harpertown_openblas()),
+            SamplerConfig::in_cache(8),
+        );
+        let mut robust = Sampler::new(
+            SimExecutor::noiseless(harpertown_openblas()),
+            SamplerConfig::in_cache(8),
+        );
+        for n in [64usize, 128, 256] {
+            let a = plain.sample_ticks(&call(n));
+            let b = robust.try_sample_ticks(&call(n)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(robust.telemetry(), SampleTelemetry::default());
+        assert_eq!(plain.samples_taken(), robust.samples_taken());
+
+        // With the executor's honest noise, medians still track closely (the
+        // robust path may legitimately trim the simulator's own outliers).
+        let mut plain = sampler(8);
+        let mut robust = sampler(8);
+        for n in [64usize, 128, 256] {
+            let a = plain.sample_ticks(&call(n));
+            let b = robust.try_sample_ticks(&call(n)).unwrap();
+            assert!((b.median / a.median - 1.0).abs() < 0.05);
+        }
+        assert_eq!(robust.telemetry().retries, 0);
+        assert_eq!(robust.telemetry().failures, 0);
+    }
+
+    #[test]
+    fn try_sample_ticks_retries_transient_failures() {
+        use dla_machine::{ChaosConfig, ChaosExecutor};
+        // 8% per-measurement transient rate: each 9-measurement batch fails
+        // with p ≈ 0.53, so retries are certain across 8 calls while 4
+        // attempts keep per-call success above 90%.
+        let chaos = ChaosConfig {
+            transient_probability: 0.08,
+            ..ChaosConfig::default()
+        };
+        let mut s = Sampler::new(
+            ChaosExecutor::new(SimExecutor::new(harpertown_openblas(), 42), chaos),
+            SamplerConfig::in_cache(8),
+        );
+        let mut ok = 0;
+        for n in [32usize, 64, 96, 128, 160, 192, 224, 256] {
+            if let Ok(summary) = s.try_sample_ticks(&call(n)) {
+                assert!(summary.mean.is_finite());
+                ok += 1;
+            }
+        }
+        assert!(ok >= 6, "most calls should survive 8% transient faults");
+        let t = s.telemetry();
+        assert!(t.retries > 0, "batch failure rate ~50% must force retries");
+    }
+
+    #[test]
+    fn try_sample_ticks_trims_spikes_and_non_finite() {
+        use dla_machine::{ChaosConfig, ChaosExecutor};
+        let chaos = ChaosConfig {
+            spike_probability: 0.15,
+            spike_factor: 50.0,
+            non_finite_probability: 0.15,
+            ..ChaosConfig::default()
+        };
+        let mut s = Sampler::new(
+            ChaosExecutor::new(SimExecutor::new(harpertown_openblas(), 7), chaos),
+            SamplerConfig::in_cache(12),
+        );
+        let mut clean = sampler(12);
+        let mut worst = 0.0f64;
+        for n in [64usize, 128, 192, 256] {
+            let noisy = s.try_sample_ticks(&call(n)).unwrap();
+            let base = clean.sample_ticks(&call(n));
+            assert!(noisy.max.is_finite());
+            // Spikes are x50; robust trimming must keep the median within a
+            // few percent of the fault-free run.
+            worst = worst.max((noisy.median / base.median - 1.0).abs());
+        }
+        assert!(
+            worst < 0.1,
+            "robust medians should track clean ones: {worst}"
+        );
+        let t = s.telemetry();
+        assert!(t.discarded() > 0, "faults at 30% must discard something");
+        assert_eq!(t.failures, 0);
+    }
+
+    #[test]
+    fn try_sample_ticks_exhausts_retries_with_structured_error() {
+        use dla_machine::{ChaosConfig, ChaosExecutor};
+        let chaos = ChaosConfig {
+            transient_probability: 1.0,
+            ..ChaosConfig::default()
+        };
+        let mut s = Sampler::new(
+            ChaosExecutor::new(SimExecutor::new(harpertown_openblas(), 3), chaos),
+            SamplerConfig::in_cache(4),
+        );
+        s.set_max_retries(2);
+        match s.try_sample_ticks(&call(64)) {
+            Err(SampleError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected retries-exhausted, got {other:?}"),
+        }
+        let t = s.telemetry();
+        assert_eq!(t.retries, 2);
+        assert_eq!(t.failures, 1);
+        // Budget is charged for failed attempts: 3 attempts with increasing
+        // backoff (5 + 6 + 7 measurements).
+        assert_eq!(s.samples_taken(), 18);
+    }
+
+    #[test]
+    fn try_sample_ticks_all_non_finite_is_degenerate() {
+        use dla_machine::{ChaosConfig, ChaosExecutor};
+        let chaos = ChaosConfig {
+            non_finite_probability: 1.0,
+            ..ChaosConfig::default()
+        };
+        let mut s = Sampler::new(
+            ChaosExecutor::new(SimExecutor::new(harpertown_openblas(), 5), chaos),
+            SamplerConfig::in_cache(4),
+        );
+        match s.try_sample_ticks(&call(64)) {
+            Err(SampleError::Degenerate { .. }) => {}
+            other => panic!("expected degenerate, got {other:?}"),
+        }
+        assert!(s.telemetry().discarded_non_finite > 0);
     }
 
     #[test]

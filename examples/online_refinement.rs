@@ -152,6 +152,7 @@ fn main() {
             sample_budget: 4096,
             max_cells: 256,
             min_queries: 1,
+            ..Default::default()
         },
     )
     .with_templates(&dedupe_templates(&templates));
@@ -161,7 +162,7 @@ fn main() {
     let (delta, outcome) = refiner.refine(&snapshot, &report);
     let refine_time = refine_start.elapsed();
     let swap_start = Instant::now();
-    service.merge(delta);
+    service.merge(delta).unwrap();
     let swap_time = swap_start.elapsed();
     println!(
         "refined {} cells ({} regions -> {} regions, {} samples) in {:.1?}; \
