@@ -92,9 +92,10 @@ const HOT_PATH_BANNED: [(&str, &str); 13] = [
 /// The files required to take every concurrency primitive through the
 /// `dla_sync` facade (`dla_model::sync`) instead of `std::sync`, so the
 /// model checker sees the real serving code under `--cfg interleave`.
-const FACADE_FILES: [&str; 4] = [
+const FACADE_FILES: [&str; 5] = [
     "crates/model/src/shared.rs",
     "crates/model/src/telemetry.rs",
+    "crates/predict/src/fleet.rs",
     "crates/predict/src/health.rs",
     "crates/predict/src/service.rs",
 ];

@@ -41,6 +41,22 @@ pub struct ChaosConfig {
     /// Probability that a measurement's ticks are corrupted to a non-finite
     /// value (alternating NaN and +∞).
     pub non_finite_probability: f64,
+    /// Probability that a measurement overruns the harness deadline.  On the
+    /// infallible surface the measurement reports +∞ ticks (it "never came
+    /// back"); on the fallible surface it is a [`ExecError::Transient`] —
+    /// like a transient failure, a timed-out run delivers nothing and may
+    /// succeed on retry.  The serving-layer `ChaosShard` reuses this field to
+    /// inject distinguishable per-query timeouts.
+    pub timeout_probability: f64,
+    /// Probability that a measurement opens a **hard outage window**: this
+    /// measurement and the next `outage_draws - 1` all fail (the harness is
+    /// down, not merely unlucky).  Lost measurements inside the window report
+    /// NaN on the infallible surface and [`ExecError::Transient`] on the
+    /// fallible one, and consume no chaos draws — a down harness does not
+    /// advance the fault schedule.
+    pub outage_probability: f64,
+    /// Length, in measurements, of each outage window (0 behaves as 1).
+    pub outage_draws: u64,
     /// Period (in executions) of the stuck-slow phase pattern; 0 disables it.
     pub stuck_period: u64,
     /// Leading executions of each period that run stuck-slow.
@@ -57,6 +73,9 @@ impl Default for ChaosConfig {
             spike_probability: 0.0,
             spike_factor: 10.0,
             non_finite_probability: 0.0,
+            timeout_probability: 0.0,
+            outage_probability: 0.0,
+            outage_draws: 4,
             stuck_period: 0,
             stuck_len: 0,
             stuck_factor: 4.0,
@@ -80,9 +99,31 @@ impl ChaosConfig {
         }
     }
 
+    /// A mixed **serving-layer** schedule at the given total per-call fault
+    /// rate: 30 % transient failures, 30 % harness timeouts, 20 % ×8 latency
+    /// spikes and 20 % non-finite corruption.  This is the composition the
+    /// fleet chaos suite and `examples/fleet_degradation.rs` inject through
+    /// `ChaosShard`.
+    pub fn serving(seed: u64, fault_rate: f64) -> ChaosConfig {
+        let rate = fault_rate.clamp(0.0, 1.0);
+        ChaosConfig {
+            seed,
+            transient_probability: 0.3 * rate,
+            timeout_probability: 0.3 * rate,
+            spike_probability: 0.2 * rate,
+            spike_factor: 8.0,
+            non_finite_probability: 0.2 * rate,
+            ..ChaosConfig::default()
+        }
+    }
+
     /// Total per-measurement probability that *some* randomized fault fires.
     pub fn fault_rate(&self) -> f64 {
-        self.transient_probability + self.spike_probability + self.non_finite_probability
+        self.transient_probability
+            + self.spike_probability
+            + self.non_finite_probability
+            + self.timeout_probability
+            + self.outage_probability
     }
 }
 
@@ -95,15 +136,23 @@ pub struct FaultCounts {
     pub spikes: u64,
     /// Measurements corrupted to NaN/∞.
     pub non_finite: u64,
+    /// Measurements that overran the harness deadline.
+    pub timeouts: u64,
+    /// Hard outage windows opened.
+    pub outages: u64,
+    /// Measurements lost inside outage windows (the window-opening
+    /// measurement included).
+    pub outage_lost: u64,
     /// Measurements slowed by a stuck-slow phase.
     pub stuck: u64,
 }
 
 impl FaultCounts {
     /// Total randomized faults injected (stuck-slow phases excluded — they
-    /// perturb measurements but do not destroy them).
+    /// perturb measurements but do not destroy them).  Outages count one per
+    /// lost measurement, not one per window.
     pub fn total(&self) -> u64 {
-        self.transient + self.spikes + self.non_finite
+        self.transient + self.spikes + self.non_finite + self.timeouts + self.outage_lost
     }
 }
 
@@ -113,6 +162,27 @@ enum Fault {
     Transient,
     Spike,
     NonFinite,
+    /// The measurement overran the harness deadline (+∞ ticks / no delivery).
+    Timeout,
+    /// The measurement fell into a hard outage window of the given total
+    /// length (every measurement in the window reports this kind).
+    Outage {
+        #[allow(dead_code)] // carried for symmetry with the config knob
+        duration_draws: u64,
+    },
+}
+
+impl Fault {
+    /// Whether the fallible surface delivers nothing for this fault.
+    /// Transient failures, timeouts and outage losses all mean "no
+    /// measurement came back; retrying may succeed" — exactly
+    /// [`ExecError::Transient`]'s contract.
+    fn undelivered(&self) -> bool {
+        matches!(
+            self,
+            Fault::Transient | Fault::Timeout | Fault::Outage { .. }
+        )
+    }
 }
 
 /// An [`Executor`] wrapper that injects faults on a deterministic schedule.
@@ -131,6 +201,8 @@ pub struct ChaosExecutor<E> {
     config: ChaosConfig,
     rng: SmallRng,
     executions: u64,
+    /// Measurements left in the currently open outage window (0 = no window).
+    outage_left: u64,
     counts: FaultCounts,
 }
 
@@ -142,6 +214,7 @@ impl<E: Executor> ChaosExecutor<E> {
             rng: SmallRng::seed_from_u64(config.seed),
             config,
             executions: 0,
+            outage_left: 0,
             counts: FaultCounts::default(),
         }
     }
@@ -190,10 +263,25 @@ impl<E: Executor> ChaosExecutor<E> {
             t *= c.stuck_factor;
             self.counts.stuck += 1;
         }
+        // An open outage window swallows the measurement before any draw is
+        // consumed: a down harness does not advance the fault schedule.
+        if self.outage_left > 0 {
+            self.outage_left -= 1;
+            self.counts.outage_lost += 1;
+            let window = self.config.outage_draws.max(1);
+            return (
+                f64::NAN,
+                Fault::Outage {
+                    duration_draws: window,
+                },
+            );
+        }
         let p_transient = c.transient_probability.max(0.0);
         let p_spike = c.spike_probability.max(0.0);
         let p_non_finite = c.non_finite_probability.max(0.0);
-        if p_transient + p_spike + p_non_finite <= 0.0 {
+        let p_timeout = c.timeout_probability.max(0.0);
+        let p_outage = c.outage_probability.max(0.0);
+        if p_transient + p_spike + p_non_finite + p_timeout + p_outage <= 0.0 {
             return (t, Fault::None);
         }
         let u: f64 = self.rng.gen_range(0.0..1.0);
@@ -212,6 +300,22 @@ impl<E: Executor> ChaosExecutor<E> {
                 f64::INFINITY
             };
             (bad, Fault::NonFinite)
+        } else if u < p_transient + p_spike + p_non_finite + p_timeout {
+            self.counts.timeouts += 1;
+            // Overran the harness deadline: the run "never came back".
+            (f64::INFINITY, Fault::Timeout)
+        } else if u < p_transient + p_spike + p_non_finite + p_timeout + p_outage {
+            // Open a hard outage window; this measurement is its first loss.
+            let window = c.outage_draws.max(1);
+            self.counts.outages += 1;
+            self.counts.outage_lost += 1;
+            self.outage_left = window - 1;
+            (
+                f64::NAN,
+                Fault::Outage {
+                    duration_draws: window,
+                },
+            )
         } else {
             (t, Fault::None)
         }
@@ -234,7 +338,7 @@ impl<E: Executor> Executor for ChaosExecutor<E> {
     fn try_execute(&mut self, call: &Call, locality: Locality) -> Result<Measurement, ExecError> {
         let mut m = self.inner.execute(call, locality);
         let (ticks, fault) = self.transform(m.ticks);
-        if let Fault::Transient = fault {
+        if fault.undelivered() {
             return Err(ExecError::Transient {
                 execution: self.executions,
             });
@@ -268,7 +372,7 @@ impl<E: Executor> Executor for ChaosExecutor<E> {
         self.inner.execute_ticks(call, locality, count, out);
         for i in start..out.len() {
             let (ticks, fault) = self.transform(out[i]);
-            if let Fault::Transient = fault {
+            if fault.undelivered() {
                 out.truncate(start);
                 return Err(ExecError::Transient {
                     execution: self.executions,
@@ -455,5 +559,121 @@ mod tests {
     fn chaos_executor_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<ChaosExecutor<SimExecutor>>();
+    }
+
+    #[test]
+    fn timeouts_surface_as_infinity_and_transient_error() {
+        let config = ChaosConfig {
+            timeout_probability: 1.0,
+            ..ChaosConfig::default()
+        };
+        let mut ex = ChaosExecutor::new(SimExecutor::new(machine(), 8), config);
+        // Infallible surface: the run "never came back" — +∞ ticks.
+        assert_eq!(ex.execute(&call(), Locality::InCache).ticks, f64::INFINITY);
+        // Fallible surface: delivered nothing, retry may succeed.
+        assert!(matches!(
+            ex.try_execute(&call(), Locality::InCache),
+            Err(ExecError::Transient { .. })
+        ));
+        assert_eq!(ex.fault_counts().timeouts, 2);
+        assert_eq!(ex.fault_counts().total(), 2);
+    }
+
+    #[test]
+    fn outage_windows_lose_exactly_their_draws_then_recover() {
+        // Guarantee the very first draw opens the window, and no other
+        // randomized fault competes with it.
+        let config = ChaosConfig {
+            outage_probability: 1.0,
+            outage_draws: 5,
+            ..ChaosConfig::default()
+        };
+        let mut ex = ChaosExecutor::new(SimExecutor::noiseless(machine()), config);
+        let mut ticks = Vec::new();
+        // First execution opens a 5-measurement window; measurements 1–5 are
+        // lost.  Execution 6 draws again (probability 1) and opens the next
+        // window immediately, so with p = 1 everything is lost — assert the
+        // window accounting instead.
+        ex.execute_ticks(&call(), Locality::InCache, 12, &mut ticks);
+        assert!(ticks.iter().all(|t| t.is_nan()));
+        let counts = ex.fault_counts();
+        assert_eq!(counts.outage_lost, 12);
+        // Windows of 5: executions 1 and 6 and 11 opened one each.
+        assert_eq!(counts.outages, 3);
+
+        // A finite-probability window closes and lets measurements through.
+        let config = ChaosConfig {
+            seed: 3,
+            outage_probability: 0.05,
+            outage_draws: 4,
+            ..ChaosConfig::default()
+        };
+        let mut ex = ChaosExecutor::new(SimExecutor::noiseless(machine()), config);
+        let mut ticks = Vec::new();
+        ex.execute_ticks(&call(), Locality::InCache, 400, &mut ticks);
+        let counts = ex.fault_counts();
+        assert!(
+            counts.outages > 0,
+            "p=0.05 over 400 draws must open windows"
+        );
+        assert!(
+            ticks.iter().any(|t| t.is_finite()),
+            "the harness must recover between windows"
+        );
+        let lost = ticks.iter().filter(|t| t.is_nan()).count() as u64;
+        assert_eq!(lost, counts.outage_lost);
+    }
+
+    #[test]
+    fn outage_windows_do_not_advance_the_fault_schedule() {
+        // Two executors with the same seed: one whose first 6 measurements
+        // fall into an outage window, one without.  After the window, both
+        // must draw the identical fault schedule (the window consumed only
+        // its single opening draw).
+        let mixed = ChaosConfig::mixed(21, 0.4);
+        let windowed = ChaosConfig {
+            seed: 21,
+            outage_probability: 1.0,
+            outage_draws: 6,
+            ..ChaosConfig::default()
+        };
+        let mut a = ChaosExecutor::new(SimExecutor::noiseless(machine()), windowed);
+        let mut ta = Vec::new();
+        // Execution 1 opens the window (consuming one draw), 2–6 consume none.
+        a.execute_ticks(&call(), Locality::InCache, 6, &mut ta);
+        assert_eq!(a.fault_counts().outage_lost, 6);
+
+        let mut b = ChaosExecutor::new(SimExecutor::noiseless(machine()), mixed);
+        let mut tb = Vec::new();
+        b.execute_ticks(&call(), Locality::InCache, 1, &mut tb); // consume draw 1
+
+        // From here on, both streams must decide identically — switch the
+        // windowed executor onto the mixed schedule without reseeding.
+        *a.config_mut() = ChaosConfig { seed: 21, ..mixed };
+        let mut rest_a = Vec::new();
+        let mut rest_b = Vec::new();
+        a.execute_ticks(&call(), Locality::InCache, 64, &mut rest_a);
+        b.execute_ticks(&call(), Locality::InCache, 64, &mut rest_b);
+        for (x, y) in rest_a.iter().zip(&rest_b) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+    }
+
+    #[test]
+    fn serving_schedule_composes_the_rate() {
+        let config = ChaosConfig::serving(5, 0.2);
+        assert!((config.fault_rate() - 0.2).abs() < 1e-12);
+        assert!(config.timeout_probability > 0.0);
+        assert_eq!(config.spike_factor, 8.0);
+        let mut ex = ChaosExecutor::new(SimExecutor::new(machine(), 2), config);
+        let mut ticks = Vec::new();
+        ex.execute_ticks(&call(), Locality::InCache, 4000, &mut ticks);
+        let counts = ex.fault_counts();
+        let observed = counts.total() as f64 / 4000.0;
+        assert!(
+            (observed - 0.2).abs() < 0.03,
+            "observed fault rate {observed}, want ~0.2 ({counts:?})"
+        );
+        assert!(counts.timeouts > 0, "serving schedule must inject timeouts");
     }
 }

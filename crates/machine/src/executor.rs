@@ -108,7 +108,12 @@ pub trait Executor: Send {
 
 /// Mixes a base seed and a stream id into an independent child seed
 /// (splitmix64-style finalizer, so even adjacent streams are uncorrelated).
-pub(crate) fn derive_stream_seed(seed: u64, stream: u64) -> u64 {
+///
+/// This is the derivation every seed-forked subsystem shares — executor
+/// noise streams, chaos fault schedules, and the fleet serving tier's
+/// per-query retry/backoff streams — so "same seed, same stream id" always
+/// means "same decisions", independent of scheduling or worker counts.
+pub fn derive_stream_seed(seed: u64, stream: u64) -> u64 {
     let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

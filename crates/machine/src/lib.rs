@@ -55,5 +55,5 @@ pub use blasprofile::{BlasProfile, RoutineParams};
 pub use chaos::{ChaosConfig, ChaosExecutor, FaultCounts};
 pub use config::{Locality, MachineConfig, Measurement};
 pub use cpu::{CacheLevel, CpuSpec};
-pub use executor::{ExecError, Executor, SimExecutor};
+pub use executor::{derive_stream_seed, ExecError, Executor, SimExecutor};
 pub use native::NativeExecutor;

@@ -72,7 +72,7 @@ pub use poly::{monomial_exponents, Polynomial};
 pub use region::Region;
 pub use repo::{ModelKey, ModelRepository, RepositoryFormat};
 pub use routine_model::{submodel_key, submodel_key_fixed, FlagKey, RoutineModel};
-pub use shared::SharedRepository;
+pub use shared::{LastGoodSnapshot, SharedRepository};
 pub use telemetry::{HotRegion, RefinementReport, TelemetryCounters};
 pub use validate::RepositoryValidator;
 

@@ -148,6 +148,78 @@ impl Default for SharedRepository {
     }
 }
 
+/// A retention slot for the most recent **known-good** compiled snapshot of a
+/// serving shard — the degraded-serving fallback of the fleet tier.
+///
+/// The fleet's query path retains `(generation, snapshot)` after every
+/// successful fresh answer; when the shard later trips its circuit breaker or
+/// misses its deadline, queries are answered from the retained snapshot and
+/// explicitly tagged *stale*.  The slot is monotone in the generation:
+/// [`retain`](LastGoodSnapshot::retain) only replaces the held snapshot with
+/// one of a **newer** generation, so two racing retainers can never regress
+/// the slot to an older repository (the generation check runs under the write
+/// lock; model-checked under `--cfg interleave` in
+/// `dla-predict/tests/interleave_fleet.rs`).
+///
+/// Like the rest of the serving tier, the lock comes from the [`crate::sync`]
+/// facade and is non-poisoning: a panicking retainer can only abandon its
+/// replacement pair, never half-apply it, so readers keep getting a
+/// consistent — at worst slightly older — snapshot.
+#[derive(Debug, Default)]
+pub struct LastGoodSnapshot {
+    slot: RwLock<Option<(u64, Arc<CompiledRepository>)>>,
+}
+
+impl LastGoodSnapshot {
+    /// An empty slot (nothing known-good yet).
+    pub fn new() -> LastGoodSnapshot {
+        LastGoodSnapshot::default()
+    }
+
+    /// Retains `snapshot` as the last-good state of generation `generation`,
+    /// unless the slot already holds a snapshot of the same or a newer
+    /// generation.  Returns `true` when the slot was updated.
+    pub fn retain(&self, generation: u64, snapshot: Arc<CompiledRepository>) -> bool {
+        // Cheap fast path: most fresh answers come from an unchanged
+        // generation, which never needs the write lock.
+        if let Some((held, _)) = self.slot.read().as_ref() {
+            if *held >= generation {
+                return false;
+            }
+        }
+        let mut guard = self.slot.write();
+        // Re-check under the write lock: a racing retainer with a newer
+        // generation must win regardless of who gets the lock first.
+        if let Some((held, _)) = guard.as_ref() {
+            if *held >= generation {
+                return false;
+            }
+        }
+        *guard = Some((generation, snapshot));
+        true
+    }
+
+    /// The retained `(generation, snapshot)` pair, if any — a cheap `Arc`
+    /// clone, internally consistent (the pair is replaced wholesale).
+    pub fn get(&self) -> Option<(u64, Arc<CompiledRepository>)> {
+        self.slot
+            .read()
+            .as_ref()
+            .map(|(generation, snapshot)| (*generation, Arc::clone(snapshot)))
+    }
+
+    /// The generation of the retained snapshot, if any.
+    pub fn generation(&self) -> Option<u64> {
+        self.slot.read().as_ref().map(|(generation, _)| *generation)
+    }
+
+    /// Drops the retained snapshot (e.g. after the shard's model space
+    /// changed incompatibly and stale answers would mislead).
+    pub fn clear(&self) {
+        *self.slot.write() = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +276,34 @@ mod tests {
     fn shared_repository_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<SharedRepository>();
+        assert_sync::<LastGoodSnapshot>();
+    }
+
+    #[test]
+    fn last_good_slot_is_monotone_in_the_generation() {
+        let slot = LastGoodSnapshot::new();
+        assert!(slot.get().is_none());
+        assert_eq!(slot.generation(), None);
+
+        let old = Arc::new(CompiledRepository::compile(ModelRepository::new()));
+        let new = Arc::new(CompiledRepository::compile(ModelRepository::new()));
+        assert!(slot.retain(3, Arc::clone(&old)));
+        assert_eq!(slot.generation(), Some(3));
+
+        // Same and older generations are refused.
+        assert!(!slot.retain(3, Arc::clone(&new)));
+        assert!(!slot.retain(2, Arc::clone(&new)));
+        let (generation, held) = slot.get().expect("slot holds a snapshot");
+        assert_eq!(generation, 3);
+        assert!(Arc::ptr_eq(&held, &old));
+
+        // Newer generations replace.
+        assert!(slot.retain(4, Arc::clone(&new)));
+        let (generation, held) = slot.get().expect("slot holds a snapshot");
+        assert_eq!(generation, 4);
+        assert!(Arc::ptr_eq(&held, &new));
+
+        slot.clear();
+        assert!(slot.get().is_none());
     }
 }

@@ -79,6 +79,16 @@ pub struct OnlineRefinerConfig {
     pub rebuild_attempts: usize,
 }
 
+impl OnlineRefinerConfig {
+    /// The same configuration with the given per-round distinct-sample
+    /// budget — the builder the fleet's budget arbitration uses when
+    /// constructing per-shard refiners from one shared template.
+    pub fn with_sample_budget(mut self, samples: usize) -> OnlineRefinerConfig {
+        self.sample_budget = samples;
+        self
+    }
+}
+
 impl Default for OnlineRefinerConfig {
     fn default() -> Self {
         OnlineRefinerConfig {
@@ -245,6 +255,17 @@ impl<E: Executor> OnlineRefiner<E> {
     /// the budget/fit parameters may still vary per round).
     pub fn set_config(&mut self, config: OnlineRefinerConfig) {
         self.config = config;
+    }
+
+    /// Sets only the per-round distinct-sample budget, keeping every other
+    /// knob (and all cross-round state: quarantine breakers, sampler,
+    /// templates, fit workspace) in place.  This is the fleet tier's budget
+    /// arbitration hook: each round, the fleet splits one shared measurement
+    /// budget across its shards proportionally to drift × traffic
+    /// (`FleetService::arbitrate_refinement_budget`) and hands every shard's
+    /// refiner its slice through this method.
+    pub fn set_sample_budget(&mut self, samples: usize) {
+        self.config.sample_budget = samples;
     }
 
     /// The machine id of the refiner's executor.

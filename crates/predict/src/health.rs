@@ -45,6 +45,37 @@ pub struct ServiceHealth {
     /// Samples discarded as non-finite or robust-aggregation outliers
     /// (cumulative).
     pub samples_discarded: u64,
+    /// Per-query failures observed by the serving tier: shard calls that
+    /// errored, returned a corrupt (non-finite) reply, or found the harness
+    /// unavailable.  Recorded by the fleet's query path (see
+    /// [`ModelService::record_query_error`](crate::ModelService::record_query_error));
+    /// one of the inputs driving the fleet's per-shard circuit breakers.
+    pub query_errors: u64,
+    /// Per-query deadline overruns observed by the serving tier (see
+    /// [`ModelService::record_query_timeout`](crate::ModelService::record_query_timeout)).
+    pub query_timeouts: u64,
+}
+
+impl std::fmt::Display for ServiceHealth {
+    /// One summary line of the whole ledger — the form tests and examples
+    /// print instead of spelling the counters out field by field.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gen {} · publishes {}+/{}- · queries {} err / {} t/o · refine: {} quarantined, \
+             {} recovered, {} fit failures, {} retries, {} discarded",
+            self.last_good_generation,
+            self.publishes_accepted,
+            self.publishes_rejected,
+            self.query_errors,
+            self.query_timeouts,
+            self.quarantined_regions,
+            self.cells_recovered,
+            self.fit_failures,
+            self.sample_retries,
+            self.samples_discarded,
+        )
+    }
 }
 
 /// The live counters behind [`ServiceHealth`].  All increments and loads are
@@ -60,6 +91,8 @@ pub(crate) struct HealthCounters {
     fit_failures: AtomicU64,
     sample_retries: AtomicU64,
     samples_discarded: AtomicU64,
+    query_errors: AtomicU64,
+    query_timeouts: AtomicU64,
 }
 
 impl HealthCounters {
@@ -75,7 +108,21 @@ impl HealthCounters {
             fit_failures: AtomicU64::new(0),
             sample_retries: AtomicU64::new(0),
             samples_discarded: AtomicU64::new(0),
+            query_errors: AtomicU64::new(0),
+            query_timeouts: AtomicU64::new(0),
         }
+    }
+
+    /// Records a failed serving-tier query against this shard.
+    pub(crate) fn record_query_error(&self) {
+        // ordering: Relaxed — standalone statistic.
+        self.query_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a serving-tier query that overran its deadline.
+    pub(crate) fn record_query_timeout(&self) {
+        // ordering: Relaxed — standalone statistic.
+        self.query_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records an accepted publication of `generation`.
@@ -138,6 +185,10 @@ impl HealthCounters {
             sample_retries: self.sample_retries.load(Ordering::Relaxed),
             // ordering: Relaxed — statistics snapshot, staleness tolerated.
             samples_discarded: self.samples_discarded.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistics snapshot, staleness tolerated.
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+            // ordering: Relaxed — statistics snapshot, staleness tolerated.
+            query_timeouts: self.query_timeouts.load(Ordering::Relaxed),
         }
     }
 }

@@ -35,13 +35,22 @@
 //! go through the batched [`TraceEvaluator::predict_traces`] entry point.
 
 pub mod blocksize;
+pub mod fleet;
 pub mod health;
 pub mod modelset;
 pub mod predictor;
 pub mod ranking;
+pub mod router;
 pub mod service;
 pub mod workloads;
 
+pub use fleet::{
+    Admission, BreakerConfig, BreakerState, ChaosShard, CircuitBreaker, FleetBuilder, FleetConfig,
+    FleetError, FleetHealth, FleetQuery, FleetResponse, FleetService, Priority, RetryPolicy,
+    Served, ServiceClient, ShardBudget, ShardCall, ShardClient, ShardError, ShardHealth,
+    ShardReply, ShedReason,
+};
 pub use health::ServiceHealth;
 pub use predictor::{EfficiencyPrediction, Predictor, TraceEvaluator, TracePrediction};
+pub use router::Router;
 pub use service::{CacheStats, ModelService};

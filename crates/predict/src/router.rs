@@ -1,0 +1,108 @@
+//! Machine-id routing for the fleet serving tier.
+//!
+//! A fleet holds one serving shard per machine preset; the [`Router`] is the
+//! deterministic map from a query's machine id to its shard index.  It is
+//! deliberately dumb — an immutable id → index table built once at fleet
+//! construction — so that routing is trivially reproducible across runs and
+//! across worker counts: the same query always lands on the same shard, and
+//! no routing state ever mutates under traffic.  (Failover is *not* the
+//! router's job: the fleet's degraded path picks proxy shards from the
+//! calibrated cross-machine efficiency table, see
+//! [`fleet`](crate::fleet).)
+
+use std::collections::HashMap;
+
+/// An immutable machine-id → shard-index table.
+///
+/// Shard indices follow registration order, so the `n`-th registered shard
+/// is index `n`; duplicate ids keep the **first** registration (later ones
+/// are reported by [`Router::new`] so a misconfigured fleet fails loudly at
+/// build time instead of silently shadowing a shard).
+#[derive(Debug, Clone)]
+pub struct Router {
+    ids: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Router {
+    /// Builds a router over `ids` in registration order.
+    ///
+    /// Returns the router and the list of duplicate ids that were dropped
+    /// (empty in a well-formed fleet).
+    pub fn new(ids: Vec<String>) -> (Router, Vec<String>) {
+        let mut index = HashMap::with_capacity(ids.len());
+        let mut kept = Vec::with_capacity(ids.len());
+        let mut duplicates = Vec::new();
+        for id in ids {
+            if index.contains_key(&id) {
+                duplicates.push(id);
+                continue;
+            }
+            index.insert(id.clone(), kept.len());
+            kept.push(id);
+        }
+        (Router { ids: kept, index }, duplicates)
+    }
+
+    /// The shard index serving `machine_id`, if any.
+    pub fn route(&self, machine_id: &str) -> Option<usize> {
+        self.index.get(machine_id).copied()
+    }
+
+    /// The registered machine ids, in shard-index order.
+    pub fn ids(&self) -> &[String] {
+        &self.ids
+    }
+
+    /// The machine id of shard `index`, if in range.
+    pub fn id_of(&self, index: usize) -> Option<&str> {
+        self.ids.get(index).map(String::as_str)
+    }
+
+    /// Number of routable shards.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when no shard is registered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_registration_order() {
+        let (router, duplicates) = Router::new(vec!["a".into(), "b".into(), "c".into()]);
+        assert!(duplicates.is_empty());
+        assert_eq!(router.len(), 3);
+        assert!(!router.is_empty());
+        assert_eq!(router.route("a"), Some(0));
+        assert_eq!(router.route("b"), Some(1));
+        assert_eq!(router.route("c"), Some(2));
+        assert_eq!(router.route("d"), None);
+        assert_eq!(router.id_of(1), Some("b"));
+        assert_eq!(router.id_of(3), None);
+        assert_eq!(router.ids(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicates_keep_the_first_registration() {
+        let (router, duplicates) = Router::new(vec!["a".into(), "b".into(), "a".into()]);
+        assert_eq!(duplicates, ["a"]);
+        assert_eq!(router.len(), 2);
+        assert_eq!(router.route("a"), Some(0));
+        assert_eq!(router.route("b"), Some(1));
+    }
+
+    #[test]
+    fn empty_router_routes_nothing() {
+        let (router, duplicates) = Router::new(Vec::new());
+        assert!(duplicates.is_empty());
+        assert!(router.is_empty());
+        assert_eq!(router.route("a"), None);
+    }
+}

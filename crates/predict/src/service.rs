@@ -419,6 +419,28 @@ impl ModelService {
         self.health.snapshot()
     }
 
+    /// Records a failed serving-tier query against this service's health
+    /// ledger — a shard call that errored, returned a corrupt reply, or
+    /// found the shard unavailable.  The fleet's query path calls this; the
+    /// counter feeds the shard's circuit breaker alongside the publication
+    /// and quarantine statistics.
+    pub fn record_query_error(&self) {
+        self.health.record_query_error();
+    }
+
+    /// Records a serving-tier query that overran its deadline against this
+    /// service's health ledger.
+    pub fn record_query_timeout(&self) {
+        self.health.record_query_timeout();
+    }
+
+    /// The generation of the currently served repository — the tag fleet
+    /// callers pair with [`compiled_snapshot`](ModelService::compiled_snapshot)
+    /// when retaining a last-good fallback.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation()
+    }
+
     /// Folds one refinement round's [`RefineOutcome`] into the health
     /// ledger (quarantined-region count, recoveries, fit failures, sampler
     /// retry/discard totals).  The refinement loop calls this once per round,

@@ -1,0 +1,144 @@
+//! Model-checked concurrency invariants of the fleet tier's breaker state
+//! machine and last-good snapshot slot, explored exhaustively by the
+//! vendored `interleave` checker.
+//!
+//! Only compiled under `--cfg interleave` (the `dla_sync` facade then routes
+//! the breaker word and the snapshot slot's lock through the checker's shim
+//! types, so these tests explore the *real* fleet code):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg interleave" cargo test -p dla-predict --test interleave_fleet
+//! ```
+
+#![cfg(interleave)]
+
+use dla_model::sync::Arc;
+use dla_model::{CompiledRepository, LastGoodSnapshot, ModelRepository};
+use dla_predict::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+
+fn config() -> BreakerConfig {
+    BreakerConfig {
+        degraded_threshold: 2,
+        down_threshold: 2,
+        cooldown: 1,
+        ledger_quarantine_limit: 0,
+    }
+}
+
+/// Invariant: two failure recorders racing at the Healthy → Degraded
+/// threshold trip the breaker **exactly once** — the packed-word CAS makes
+/// one recorder the trip winner and the other a plain strike, in every
+/// interleaving.
+#[test]
+fn racing_failures_trip_exactly_once() {
+    interleave::model(|| {
+        let breaker = Arc::new(CircuitBreaker::new());
+        let cfg = config();
+        breaker.record_failure(&cfg); // one strike on the board
+        let racer = Arc::clone(&breaker);
+        let racer_cfg = cfg.clone();
+        let other = interleave::thread::spawn(move || {
+            racer.record_failure(&racer_cfg);
+        });
+        breaker.record_failure(&cfg);
+        other.join().unwrap();
+        // Three strikes against thresholds (2, 2): Degraded after the
+        // second, one more strike toward Down — never two Degraded trips,
+        // and the third strike alone can reach Down at most once.
+        let stats = breaker.stats();
+        assert_eq!(stats.trips_degraded, 1, "the Degraded trip must count once");
+        assert!(stats.trips_down <= 1);
+        assert!(matches!(
+            stats.state,
+            BreakerState::Degraded | BreakerState::Down
+        ));
+    });
+}
+
+/// Invariant: when a Down breaker's cooldown expires, concurrent admitters
+/// claim **exactly one** half-open probe — the probe CAS re-arms the
+/// cooldown, so the loser is rejected, in every interleaving.
+#[test]
+fn concurrent_admits_claim_one_probe() {
+    interleave::model(|| {
+        let breaker = Arc::new(CircuitBreaker::new());
+        let cfg = config();
+        // Healthy → Degraded → Down (thresholds 2/2), then burn the
+        // one-query cooldown so the probe slot is open.
+        for _ in 0..4 {
+            breaker.record_failure(&cfg);
+        }
+        assert_eq!(breaker.state(), BreakerState::Down);
+        assert_eq!(breaker.admit(&cfg), Admission::Reject);
+
+        let racer = Arc::clone(&breaker);
+        let racer_cfg = cfg.clone();
+        let other = interleave::thread::spawn(move || racer.admit(&racer_cfg));
+        let mine = breaker.admit(&cfg);
+        let theirs = other.join().unwrap();
+        let probes = [mine, theirs]
+            .iter()
+            .filter(|&&a| a == Admission::Probe)
+            .count();
+        assert_eq!(probes, 1, "exactly one admitter may win the probe slot");
+        assert!(!matches!(mine, Admission::Allow));
+        assert!(!matches!(theirs, Admission::Allow));
+        assert_eq!(breaker.stats().probes, 1);
+    });
+}
+
+/// Invariant: a success racing a failure on a Degraded breaker settles into
+/// a valid serialization — either the success landed last (Healthy, one
+/// recovery) or the failure did (still broken, no phantom recovery) — and
+/// the recovery is never double-counted.
+#[test]
+fn success_racing_failure_serializes() {
+    interleave::model(|| {
+        let breaker = Arc::new(CircuitBreaker::new());
+        let cfg = config();
+        breaker.record_failure(&cfg);
+        breaker.record_failure(&cfg);
+        assert_eq!(breaker.state(), BreakerState::Degraded);
+        let racer = Arc::clone(&breaker);
+        let racer_cfg = cfg.clone();
+        let other = interleave::thread::spawn(move || {
+            racer.record_failure(&racer_cfg);
+        });
+        breaker.record_success();
+        other.join().unwrap();
+        let stats = breaker.stats();
+        assert_eq!(stats.recoveries, 1, "the recovery must count exactly once");
+        // Failure-last leaves one strike on a Healthy board (or the failure
+        // ran first and the success wiped a Down board) — every
+        // serialization lands in one of these states.
+        assert!(matches!(
+            stats.state,
+            BreakerState::Healthy | BreakerState::Down
+        ));
+    });
+}
+
+/// Invariant: two retainers racing the last-good slot with different
+/// generations never tear it and never regress it — the slot always ends at
+/// the newer generation holding that generation's snapshot.
+#[test]
+fn racing_retainers_keep_the_slot_monotone() {
+    interleave::model(|| {
+        let slot = Arc::new(LastGoodSnapshot::new());
+        let older = Arc::new(CompiledRepository::compile(ModelRepository::new()));
+        let newer = Arc::new(CompiledRepository::compile(ModelRepository::new()));
+        let racer_slot = Arc::clone(&slot);
+        let racer_snapshot = Arc::clone(&newer);
+        let other = interleave::thread::spawn(move || {
+            racer_slot.retain(2, racer_snapshot);
+        });
+        slot.retain(1, Arc::clone(&older));
+        other.join().unwrap();
+        let (generation, held) = slot.get().expect("the slot must hold a snapshot");
+        assert_eq!(generation, 2, "the newer generation must win every race");
+        assert!(
+            Arc::ptr_eq(&held, &newer),
+            "the held snapshot must be the one retained with generation 2"
+        );
+    });
+}
