@@ -284,6 +284,7 @@ impl Call {
     /// This is the allocation-free counterpart of [`Call::flag_indices`]: no
     /// routine has more than [`Call::MAX_FLAGS`] flags, and every flag index
     /// fits in a `u8`, so per-call model lookups need not touch the heap.
+    // lint: allow(panic-free): constant indices below Call::MAX_FLAGS
     pub fn flag_indices_fixed(&self) -> ([u8; Call::MAX_FLAGS], usize) {
         let mut flags = [0u8; Call::MAX_FLAGS];
         let len = match self {
@@ -366,6 +367,7 @@ impl Call {
     /// the array and the number of valid entries (the allocation-free
     /// counterpart of [`Call::sizes`]; no routine has more than
     /// [`Call::MAX_SIZES`] sizes).
+    // lint: allow(panic-free): constant indices below Call::MAX_SIZES
     pub fn sizes_fixed(&self) -> ([usize; Call::MAX_SIZES], usize) {
         let mut sizes = [0usize; Call::MAX_SIZES];
         let len = match self {

@@ -1,0 +1,160 @@
+//! Allocation reachability out of hot-path regions.
+//!
+//! The legacy `hot-path` rule scans the lines *inside* a marked region; this
+//! analysis follows the calls those lines make and denies allocation (and
+//! the other banned constructs) anywhere in the transitive callee set.  A
+//! callee's own hot-region lines are left to the direct rule, so a finding
+//! here always means "this allocation is hidden behind a call".
+//!
+//! Waivers: `// lint: allow(hot-path): reason` at the allocation site (same
+//! walk-up semantics as every other line waiver), or in the comment block
+//! above a `fn` to vouch for the function and everything it calls.
+
+use super::{banned_at, chained_finding, fn_index, region_containers};
+use crate::callgraph::{CallGraph, FnId};
+use crate::syntax::SourceFile;
+use crate::Finding;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Runs the analysis over the parsed workspace.
+pub fn run(files: &[SourceFile], library: &[bool], graph: &CallGraph) -> Vec<Finding> {
+    let index = fn_index(graph);
+    let trusted = |id: FnId| {
+        let n = graph.node(id);
+        files[n.file].functions[n.def].trusted_alloc
+    };
+
+    let mut parents: HashMap<FnId, Option<(FnId, u32)>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let regions = region_containers(files, library, &index);
+    // Containers anchor chains without being BFS members themselves; they
+    // must never be re-inserted as someone's child, or a recursive call back
+    // into the container would make the parent map cyclic.
+    let anchors: HashSet<FnId> = regions.iter().map(|&(c, _, _)| c).collect();
+    for &(container, begin, end) in &regions {
+        // A fn-level waiver vouches for the region's calls too.
+        if trusted(container) {
+            continue;
+        }
+        for edge in graph.edges(container) {
+            if edge.line <= begin || edge.line >= end {
+                continue;
+            }
+            if trusted(edge.callee)
+                || parents.contains_key(&edge.callee)
+                || anchors.contains(&edge.callee)
+            {
+                continue;
+            }
+            parents.insert(edge.callee, Some((container, edge.line)));
+            queue.push_back(edge.callee);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for edge in graph.edges(id) {
+            if trusted(edge.callee)
+                || parents.contains_key(&edge.callee)
+                || anchors.contains(&edge.callee)
+            {
+                continue;
+            }
+            parents.insert(edge.callee, Some((id, edge.line)));
+            queue.push_back(edge.callee);
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut reported: HashSet<(String, u32, &'static str)> = HashSet::new();
+    let mut reached: Vec<FnId> = parents.keys().copied().collect();
+    reached.sort_unstable();
+    for id in reached {
+        let node = graph.node(id);
+        let file = &files[node.file];
+        let def = &file.functions[node.def];
+        for ci in def.body.clone() {
+            let Some((label, why)) = banned_at(file, ci) else {
+                continue;
+            };
+            let line = file.ct(ci).line;
+            // Sites on the callee's own hot-region lines belong to the
+            // direct rule (including its waiver semantics).
+            if file.line_in_hot_region(line) {
+                continue;
+            }
+            if file.justified(line as usize - 1, "lint: allow(hot-path):") {
+                continue;
+            }
+            if !reported.insert((file.rel.clone(), line, label)) {
+                continue;
+            }
+            findings.push(chained_finding(
+                &file.rel,
+                line,
+                "alloc-reach",
+                format!("`{label}` reachable from a hot-path region: {why}"),
+                graph.chain(files, &parents, id),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/a/src/lib.rs", src)];
+        let graph = CallGraph::build(&files, |_| true);
+        run(&files, &[true], &graph)
+    }
+
+    #[test]
+    fn allocation_behind_a_call_is_reported_with_the_chain() {
+        let findings = run_on(
+            "pub fn eval() {\n    // lint: hot-path begin\n    kernel();\n    \
+             // lint: hot-path end\n}\n\
+             fn kernel() -> Vec<f64> { scratch() }\n\
+             fn scratch() -> Vec<f64> { Vec::with_capacity(8) }\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, "alloc-reach");
+        assert!(f.message.contains("Vec::with_capacity"));
+        let names: Vec<&str> = f.chain.iter().map(|s| s.function.as_str()).collect();
+        assert_eq!(names, ["eval", "kernel", "scratch"]);
+    }
+
+    #[test]
+    fn calls_outside_the_region_do_not_seed() {
+        let findings = run_on(
+            "pub fn eval() {\n    build();\n    // lint: hot-path begin\n    \
+             let x = 1;\n    // lint: hot-path end\n}\n\
+             fn build() -> Vec<f64> { vec![1.0] }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn fn_level_hot_path_waivers_cut_the_subtree() {
+        let findings = run_on(
+            "pub fn eval() {\n    // lint: hot-path begin\n    kernel();\n    \
+             // lint: hot-path end\n}\n\
+             // lint: allow(hot-path): one-time lazily-initialized scratch\n\
+             fn kernel() -> Vec<f64> { vec![1.0] }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn site_waivers_apply_in_callees() {
+        let findings = run_on(
+            "pub fn eval() {\n    // lint: hot-path begin\n    kernel();\n    \
+             // lint: hot-path end\n}\n\
+             fn kernel() -> Vec<f64> {\n    \
+             // lint: allow(hot-path): cold slow path after a cache miss\n    vec![1.0]\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

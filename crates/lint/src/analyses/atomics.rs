@@ -1,0 +1,198 @@
+//! Atomic publish-protocol pairing.
+//!
+//! A `Release` store (or release-semantics RMW) publishes data that only
+//! becomes visible to another thread through a matching `Acquire` load (or
+//! acquire-semantics RMW) on the *same atomic field*.  A release with no
+//! acquire anywhere in the workspace is the orphan-publish bug class the
+//! interleave checker caught dynamically in the model crate: the writer
+//! pays for the fence, and no reader ever synchronizes with it.  The dual —
+//! an acquire on a field nothing releases — means the reader believes a
+//! protocol exists that no writer implements.
+//!
+//! Fields are keyed by receiver name workspace-wide (`self.generation.store`
+//! and `shared.generation.load` pair up), which matches how the serving tier
+//! names its protocol fields.  Only literal `Ordering::*` arguments
+//! participate; variable orderings (the `dla_sync` facade internals) are
+//! out of scope.  `Relaxed` traffic needs no pairing — the legacy
+//! `ordering` rule already demands its written justification.
+//!
+//! Waiver: `// lint: allow(atomic-pair): reason` at the orphan site.
+
+use crate::syntax::{Event, SourceFile};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// One side of a potential pairing.
+struct Site {
+    file: String,
+    line: u32,
+    op: String,
+    ord: String,
+    waived: bool,
+}
+
+fn release_semantics(ord: &str) -> bool {
+    matches!(ord, "Release" | "AcqRel" | "SeqCst")
+}
+
+fn acquire_semantics(ord: &str) -> bool {
+    matches!(ord, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+/// Runs the analysis over the parsed workspace.
+pub fn run(files: &[SourceFile], library: &[bool]) -> Vec<Finding> {
+    let mut publishes: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    let mut acquires: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !library[fi] {
+            continue;
+        }
+        for def in &file.functions {
+            if def.in_test {
+                continue;
+            }
+            for event in &def.events {
+                let Event::Atomic(a) = event else { continue };
+                if a.field == "<expr>" || a.orderings.is_empty() {
+                    continue;
+                }
+                let ord0 = a.orderings[0].as_str();
+                let rmw = a.op != "store" && a.op != "load";
+                let site = || Site {
+                    file: file.rel.clone(),
+                    line: a.line,
+                    op: a.op.clone(),
+                    ord: ord0.to_string(),
+                    waived: file.justified(a.line as usize - 1, "lint: allow(atomic-pair):"),
+                };
+                let is_publish = (a.op == "store" && release_semantics(ord0))
+                    || (rmw && release_semantics(ord0));
+                // A CAS observes on success with its first ordering and on
+                // failure with its second; either side can complete the
+                // acquire half of a protocol.
+                let is_acquire = (a.op == "load" && acquire_semantics(ord0))
+                    || (rmw && acquire_semantics(ord0))
+                    || a.orderings.get(1).is_some_and(|o| acquire_semantics(o));
+                if is_publish {
+                    publishes.entry(a.field.clone()).or_default().push(site());
+                }
+                if is_acquire {
+                    acquires.entry(a.field.clone()).or_default().push(site());
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (field, sites) in &publishes {
+        if acquires.contains_key(field) {
+            continue;
+        }
+        for site in sites.iter().filter(|s| !s.waived) {
+            findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line as usize,
+                rule: "atomic-pair",
+                message: format!(
+                    "`{}({})` publishes `{field}` with Release semantics, but no \
+                     Acquire load observes `{field}` anywhere in the workspace",
+                    site.op, site.ord
+                ),
+                chain: vec![],
+            });
+        }
+    }
+    for (field, sites) in &acquires {
+        if publishes.contains_key(field) {
+            continue;
+        }
+        for site in sites.iter().filter(|s| !s.waived) {
+            findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line as usize,
+                rule: "atomic-pair",
+                message: format!(
+                    "`{}({})` expects `{field}` to be published with Release \
+                     semantics, but no Release store/RMW on `{field}` exists in \
+                     the workspace",
+                    site.op, site.ord
+                ),
+                chain: vec![],
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src))
+            .collect();
+        let library = vec![true; files.len()];
+        run(&files, &library)
+    }
+
+    #[test]
+    fn orphan_release_store_is_reported() {
+        let findings = run_on(&[(
+            "crates/a/src/lib.rs",
+            "fn publish(&self) {\n    // ordering: Release - publish the built repo\n    \
+             self.generation.store(1, Ordering::Release);\n}\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "atomic-pair");
+        assert!(findings[0].message.contains("`generation`"));
+        assert!(findings[0].message.contains("no Acquire load"));
+    }
+
+    #[test]
+    fn paired_fields_across_files_are_clean() {
+        let findings = run_on(&[
+            (
+                "crates/a/src/writer.rs",
+                "fn publish(&self) { self.generation.store(1, Ordering::Release); }\n",
+            ),
+            (
+                "crates/a/src/reader.rs",
+                "fn observe(&self) -> u64 { self.generation.load(Ordering::Acquire) }\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn acqrel_rmw_pairs_with_itself_and_cas_failure_ordering_acquires() {
+        let findings = run_on(&[(
+            "crates/a/src/lib.rs",
+            "fn flip(&self) {\n    self.word.compare_exchange(a, b, Ordering::AcqRel, \
+             Ordering::Acquire);\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn orphan_acquire_load_is_reported() {
+        let findings = run_on(&[(
+            "crates/a/src/lib.rs",
+            "fn observe(&self) -> u64 { self.epoch.load(Ordering::Acquire) }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no Release store"));
+    }
+
+    #[test]
+    fn relaxed_traffic_and_waived_sites_stay_silent() {
+        let findings = run_on(&[(
+            "crates/a/src/lib.rs",
+            "fn stats(&self) {\n    self.hits.fetch_add(1, Ordering::Relaxed);\n    \
+             // lint: allow(atomic-pair): paired by the vendored executor, not us\n    \
+             self.flag.store(true, Ordering::Release);\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

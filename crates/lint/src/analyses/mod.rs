@@ -1,0 +1,210 @@
+//! The semantic analyses: call-graph-driven, deny-by-default checks layered
+//! on the [`lexer`](crate::lexer)/[`syntax`](crate::syntax) foundation.
+//!
+//! | rule          | what it denies                                          |
+//! |---------------|---------------------------------------------------------|
+//! | `panic-free`  | `unwrap`/`expect`/`panic!`/`assert!`/indexing reachable from hot-path regions or `// lint: panic-free` entry points |
+//! | `alloc-reach` | allocation reachable *through calls* out of a hot-path region |
+//! | `atomic-pair` | `Release` publishes without a matching `Acquire` observer on the same atomic field (and vice versa) |
+//! | `lock-order`  | cycles in the workspace lock-acquisition-order graph    |
+//!
+//! Every analysis reports the full offending call chain (entry → … →
+//! offending site) so a deep finding explains how the protected path
+//! reaches it.
+
+pub mod alloc_reach;
+pub mod atomics;
+pub mod lock_order;
+pub mod panic_free;
+
+use crate::callgraph::{ChainStep, FnId};
+use crate::syntax::SourceFile;
+use crate::Finding;
+use std::collections::HashMap;
+
+/// Banned-in-hot-path construct starting at code position `ci`, if any:
+/// `(token-label, why)` with the exact labels the original line-based rule
+/// used, so findings stay byte-comparable across the engine rewrite.
+pub fn banned_at(file: &SourceFile, ci: usize) -> Option<(&'static str, &'static str)> {
+    let t = file.ct(ci);
+    if t.kind != crate::lexer::TokenKind::Ident {
+        return None;
+    }
+    let next = |k: usize, ch: char| {
+        file.code
+            .get(ci + k)
+            .is_some_and(|&ti| file.tokens[ti].is_punct(ch))
+    };
+    let next_ident = |k: usize| {
+        file.code
+            .get(ci + k)
+            .map(|&ti| file.tokens[ti].text.as_str())
+            .filter(|_| file.tokens[file.code[ci + k]].kind == crate::lexer::TokenKind::Ident)
+    };
+    let after_dot = ci > 0
+        && file
+            .code
+            .get(ci - 1)
+            .is_some_and(|&ti| file.tokens[ti].is_punct('.'));
+    match t.text.as_str() {
+        "format" if next(1, '!') => Some(("format!", "string formatting allocates")),
+        "vec" if next(1, '!') => Some(("vec![", "vec! allocates")),
+        "powi" if after_dot && next(1, '(') => {
+            Some((".powi(", "powi is slower than incremental multiplication"))
+        }
+        "powf" if after_dot && next(1, '(') => {
+            Some((".powf(", "powf is slower than incremental multiplication"))
+        }
+        "clone" if after_dot && next(1, '(') && next(2, ')') => {
+            Some((".clone()", "clone on the hot path"))
+        }
+        "to_vec" if after_dot && next(1, '(') && next(2, ')') => {
+            Some((".to_vec()", "to_vec allocates"))
+        }
+        "to_string" if after_dot && next(1, '(') && next(2, ')') => {
+            Some((".to_string()", "to_string allocates"))
+        }
+        "to_owned" if after_dot && next(1, '(') && next(2, ')') => {
+            Some((".to_owned()", "to_owned allocates"))
+        }
+        "collect" if after_dot && next(1, '(') => Some((".collect(", "collect allocates")),
+        "Vec" if next(1, ':') && next(2, ':') => match next_ident(3) {
+            Some("new") => Some(("Vec::new", "Vec::new allocates on first push")),
+            Some("with_capacity") => Some(("Vec::with_capacity", "Vec::with_capacity allocates")),
+            _ => None,
+        },
+        "Box" if next(1, ':') && next(2, ':') && next_ident(3) == Some("new") => {
+            Some(("Box::new", "Box::new allocates"))
+        }
+        "String" if next(1, ':') && next(2, ':') => {
+            Some(("String::", "String construction allocates"))
+        }
+        _ => None,
+    }
+}
+
+/// A panic source inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSource {
+    /// 1-indexed line.
+    pub line: u32,
+    /// What panics there (`.unwrap()`, `panic!`, `indexing`, …).
+    pub what: String,
+}
+
+/// The panicking macros the `panic-free` analysis denies (`debug_assert*`
+/// compiles out of release builds and is allowed).
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// Collects the unwaived panic sources of a function: `unwrap`/`expect`
+/// calls, panicking macros, and indexing/slicing without `get`.  A site is
+/// waived by `// lint: allow(panic-free): reason` (walk-up aware), and
+/// `unwrap`/`expect` sites also honor the long-standing
+/// `// lint: allow(unwrap): reason` waiver — a reasoned unwrap waiver is an
+/// invariant statement, and the reachability analysis trusts it the same
+/// way the line rule does.
+pub fn panic_sources(file: &SourceFile, def: &crate::syntax::FnDef) -> Vec<PanicSource> {
+    use crate::syntax::Event;
+    let mut out = Vec::new();
+    let waived = |line: u32, also_unwrap: bool| {
+        let idx = line as usize - 1;
+        file.justified(idx, "lint: allow(panic-free):")
+            || (also_unwrap && file.justified(idx, "lint: allow(unwrap):"))
+    };
+    for event in &def.events {
+        match event {
+            Event::Call(c)
+                if c.method
+                    && (c.name == "unwrap" || c.name == "expect")
+                    && !waived(c.line, true) =>
+            {
+                out.push(PanicSource {
+                    line: c.line,
+                    what: format!(".{}()", c.name),
+                });
+            }
+            Event::Macro { name, line }
+                if PANIC_MACROS.contains(&name.as_str()) && !waived(*line, false) =>
+            {
+                out.push(PanicSource {
+                    line: *line,
+                    what: format!("{name}!"),
+                });
+            }
+            Event::Index { line } if !waived(*line, false) => {
+                out.push(PanicSource {
+                    line: *line,
+                    what: "indexing without get".to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Builds a finding with a call chain.
+pub fn chained_finding(
+    file: &str,
+    line: u32,
+    rule: &'static str,
+    message: String,
+    chain: Vec<ChainStep>,
+) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: line as usize,
+        rule,
+        message,
+        chain,
+    }
+}
+
+/// Maps `(file index, def index)` to the graph's node id, for the analyses
+/// that need to look functions up by position.
+pub fn fn_index(graph: &crate::callgraph::CallGraph) -> HashMap<(usize, usize), FnId> {
+    let mut map = HashMap::new();
+    for id in graph.ids() {
+        let n = graph.node(id);
+        map.insert((n.file, n.def), id);
+    }
+    map
+}
+
+/// Every hot-path region paired with the innermost function containing it:
+/// `(container id, begin line, end line)`.  Regions outside any graphed
+/// function (top-level, test-gated, or in excluded files) are skipped — they
+/// have no call events to follow.
+pub fn region_containers(
+    files: &[SourceFile],
+    library: &[bool],
+    index: &HashMap<(usize, usize), FnId>,
+) -> Vec<(FnId, u32, u32)> {
+    let mut out = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !library[fi] {
+            continue;
+        }
+        for region in &file.hot_regions {
+            let container = file
+                .functions
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.line <= region.begin && region.end <= d.end_line)
+                .max_by_key(|(_, d)| d.line)
+                .and_then(|(di, _)| index.get(&(fi, di)).copied());
+            if let Some(id) = container {
+                out.push((id, region.begin, region.end));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,451 @@
+//! A std-only Rust lexer: the token stream every `dla-lint` rule runs on.
+//!
+//! The point of lexing (rather than line-regex scanning) is that string
+//! literals, comments and doc attributes stop masquerading as code: a
+//! `format!` inside a string literal is a `StrLit` token, not a macro
+//! invocation, and a `// lint: hot-path begin` inside a raw-string fixture
+//! does not open a region.  The lexer handles the parts of the Rust grammar
+//! where naive scanners go wrong:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth) and byte strings;
+//! * nested block comments (`/* /* … */ */`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escapes;
+//! * doc comments (`///`, `//!`, `/** */`, `/*! */`) vs. plain comments;
+//! * raw identifiers (`r#type`).
+//!
+//! Tokens keep their 1-indexed source line so findings point at real code.
+//! Comments are kept in the stream (the waiver and region-marker syntax
+//! lives in them); downstream passes filter on [`TokenKind::is_comment`].
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (also raw identifiers, without the `r#`).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in [`Token::text`]).
+    Lifetime,
+    /// A character or byte literal, quotes included.
+    CharLit,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// A numeric literal (suffix included).
+    NumLit,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// A `//` comment; `doc` marks `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// A `/* */` comment (nesting folded in); `doc` marks `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+}
+
+impl TokenKind {
+    /// Whether the token is any kind of comment.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// One lexed token: kind, verbatim text, and 1-indexed starting line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The verbatim source text (comment markers and string quotes kept).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is this exact punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+}
+
+/// Lexes `source` into tokens.  The lexer never fails: unterminated
+/// literals or comments are closed at end-of-file (a lint must degrade
+/// gracefully on torn input rather than refuse to scan the rest of the
+/// tree).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run(source)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    // lint: allow(panic-free): start and pos are byte offsets the scanner only
+    // advances on character boundaries
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, source: &str) {
+        self.tokens.push(Token {
+            kind,
+            text: source[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn run(mut self, source: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => {
+                    let doc =
+                        (self.peek(2) == b'/' && self.peek(3) != b'/') || (self.peek(2) == b'!');
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment { doc }, start, line, source);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    let doc =
+                        (self.peek(2) == b'*' && self.peek(3) != b'*' && self.peek(3) != b'/')
+                            || (self.peek(2) == b'!');
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    while self.pos < self.src.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump();
+                            self.bump();
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokenKind::BlockComment { doc }, start, line, source);
+                }
+                b'r' if self.peek(1) == b'"'
+                    || (self.peek(1) == b'#' && self.raw_string_ahead(1)) =>
+                {
+                    self.bump(); // r
+                    self.raw_string_body();
+                    self.push(TokenKind::StrLit, start, line, source);
+                }
+                b'r' if self.peek(1) == b'#' && is_ident_start(self.peek(2)) => {
+                    // Raw identifier `r#type`.
+                    self.bump();
+                    self.bump();
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, source);
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.quoted_string();
+                    self.push(TokenKind::StrLit, start, line, source);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.char_literal();
+                    self.push(TokenKind::CharLit, start, line, source);
+                }
+                b'b' if self.peek(1) == b'r'
+                    && (self.peek(2) == b'"'
+                        || (self.peek(2) == b'#' && self.raw_string_ahead(2))) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body();
+                    self.push(TokenKind::StrLit, start, line, source);
+                }
+                b'"' => {
+                    self.quoted_string();
+                    self.push(TokenKind::StrLit, start, line, source);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.bump(); // '
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.push(TokenKind::Lifetime, start, line, source);
+                    } else {
+                        self.char_literal();
+                        self.push(TokenKind::CharLit, start, line, source);
+                    }
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::NumLit, start, line, source);
+                }
+                _ if is_ident_start(b) => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, source);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(b as char), start, line, source);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// At `r` + `offset` hashes-start: is this `r#…#"` (a raw string) rather
+    /// than a raw identifier?  Looks past the run of `#`s for a `"`.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut k = offset;
+        while self.peek(k) == b'#' {
+            k += 1;
+        }
+        self.peek(k) == b'"'
+    }
+
+    /// Consumes `#*"…"#*` (cursor is on the first `#` or the `"`).
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            if self.pos >= self.src.len() {
+                return;
+            }
+            if self.bump() == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == b'#' {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a `"…"` literal with escapes (cursor on the opening quote).
+    fn quoted_string(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a `'…'` literal with escapes (cursor on the opening quote).
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal): after the
+    /// quote, an identifier run *not* followed by a closing quote is a
+    /// lifetime.
+    fn lifetime_ahead(&self) -> bool {
+        if !is_ident_start(self.peek(1)) {
+            return false;
+        }
+        let mut k = 2;
+        while is_ident_continue(self.peek(k)) {
+            k += 1;
+        }
+        self.peek(k) != b'\''
+    }
+
+    /// Consumes a numeric literal: prefixes (`0x`), underscores, a decimal
+    /// point followed by a digit, exponents with signs (`1e-9`), suffixes.
+    fn number(&mut self) {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                let exponent = (b == b'e' || b == b'E')
+                    && (self.peek(1) == b'+' || self.peek(1) == b'-')
+                    && self.peek(2).is_ascii_digit();
+                self.bump();
+                if exponent {
+                    self.bump(); // the sign
+                }
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code_like_text() {
+        let toks = kinds(r#"let s = "x.unwrap() // lint: hot-path begin";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("unwrap")));
+        assert!(!toks.iter().any(|(k, _)| k.is_comment()));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_terminate_on_matching_hashes() {
+        let src = r###"let s = r#"inner "quoted" Ordering::Relaxed"#; let x = 1;"###;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("Relaxed")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+        // Byte and plain-r forms too.
+        assert!(kinds(r#"br"ab" b"cd" r"ef""#)
+            .iter()
+            .all(|(k, _)| *k == TokenKind::StrLit));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn nested_block_comments_fold_into_one_token() {
+        let toks = kinds("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment { doc: false });
+        assert!(toks[0].1.contains("inner"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let toks = lex(
+            "/// doc\n//! inner\n// plain\n//// not-doc\n/** block */\n/*! inner */\n/* plain */",
+        );
+        let docs: Vec<bool> = toks
+            .iter()
+            .map(|t| match t.kind {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => doc,
+                _ => panic!("comment expected"),
+            })
+            .collect();
+        assert_eq!(docs, [true, true, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let q = '\\''; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::CharLit)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn numbers_swallow_suffixes_and_exponents() {
+        let toks = kinds("1e-9 0xFF_u32 1.5f64 1..4 x.0");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["1e-9", "0xFF_u32", "1.5f64", "1", "4", "0"]);
+    }
+
+    #[test]
+    fn method_on_int_literal_keeps_the_dot_as_punct() {
+        let toks = kinds("1.max(2)");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Punct('.')));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let toks = lex("let a = \"one\ntwo\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b token");
+        assert_eq!(b.line, 3);
+    }
+}

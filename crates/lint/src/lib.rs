@@ -1,42 +1,90 @@
 //! `dla-lint`: the workspace's correctness analyzer, gating the serving hot
 //! path and the concurrency conventions in CI.
 //!
-//! A deliberately dependency-free, text-level analyzer (no syn, no rustc
-//! internals — the container and CI must need nothing but std).  It walks the
-//! workspace sources and enforces five deny-by-default rules:
+//! A deliberately dependency-free analyzer (no syn, no rustc internals —
+//! the container and CI must need nothing but std), built in layers:
 //!
-//! | rule            | what it denies                                               |
-//! |-----------------|--------------------------------------------------------------|
-//! | `hot-path`      | allocation, `powi`/`powf`, `format!`, `.clone()` inside `// lint: hot-path begin/end` regions |
-//! | `ordering`      | atomic `Ordering::*` uses without a `// ordering:` justification |
-//! | `unwrap`        | `.unwrap()` / `.expect(` in library code outside tests/bins   |
-//! | `sync-facade`   | direct `std::sync` use in the files routed through `dla_sync` |
-//! | `unsafe-crate`  | workspace crate roots without `#![forbid(unsafe_code)]`       |
+//! 1. [`lexer`] — a std-only Rust lexer (raw strings, nested block
+//!    comments, char/lifetime disambiguation, doc comments);
+//! 2. [`syntax`] — an item/brace-tree parser recovering `fn` items, impl
+//!    contexts, calls, indexing, atomic ops, and guard-scoped lock
+//!    acquisitions;
+//! 3. [`callgraph`] — a workspace-wide, name-resolved call graph with
+//!    witness chains;
+//! 4. the rules: five line-level legacy rules on the token stream, and four
+//!    call-graph-driven semantic analyses in [`analyses`].
+//!
+//! | rule           | what it denies                                               |
+//! |----------------|--------------------------------------------------------------|
+//! | `hot-path`     | allocation, `powi`/`powf`, `format!`, `.clone()` inside marked hot-path regions |
+//! | `ordering`     | atomic `Ordering::*` uses without a `// ordering:` justification |
+//! | `unwrap`       | `.unwrap()` / `.expect(` in library code outside tests/bins   |
+//! | `sync-facade`  | direct `std::sync` use in the files routed through `dla_sync` |
+//! | `unsafe-crate` | workspace crate roots without `#![forbid(unsafe_code)]`       |
+//! | `panic-free`   | panic sources transitively reachable from hot-path regions or `// lint: panic-free` entry points, with call chains |
+//! | `alloc-reach`  | banned constructs reachable through calls out of a hot-path region |
+//! | `atomic-pair`  | `Release` publishes with no matching `Acquire` observer on the same field (and vice versa) |
+//! | `lock-order`   | cycles in the workspace lock-acquisition-order graph          |
 //!
 //! Waivers are explicit and carry a reason, so every exception is grep-able:
 //!
-//! * `// lint: allow(hot-path): <reason>` — on the offending line;
-//! * `// lint: allow(unwrap): <reason>` — on the line or the line above;
+//! * `// lint: allow(hot-path): <reason>` — on the offending line (and, in
+//!   the comment block above a `fn`, vouching for it and its callees in the
+//!   reachability analysis);
+//! * `// lint: allow(unwrap): <reason>` — on the line or the line above
+//!   (also satisfies `panic-free` at that site);
+//! * `// lint: allow(panic-free): <reason>` — at a site, or above a `fn` to
+//!   trust its whole subtree;
+//! * `// lint: allow(atomic-pair): <reason>` / `// lint:
+//!   allow(lock-order): <reason>` — at the orphan or inner-acquisition
+//!   site;
 //! * `// lint: allow(unsafe-crate): <reason>` — in the crate root, next to
 //!   the lint level that *is* in force (e.g. `#![deny(unsafe_code)]` with
 //!   per-module `#[allow]`s).
 //!
+//! `// lint: panic-free` above a `fn` marks it as a serving entry point the
+//! panic-freedom analysis must verify end-to-end.
+//!
 //! Test code (`tests/`, `benches/`, `examples/`, `#[cfg(test)]` regions) is
-//! exempt from `ordering` and `unwrap`; binaries (`main.rs`, `src/bin/`) are
-//! exempt from `unwrap`.  Vendored crates (`vendor/`) are exempt from
-//! everything except the crate-root unsafe audit — they are stand-ins for
-//! external dependencies, not owned code, but they still must not smuggle
-//! `unsafe` into the build.
+//! exempt from everything except hot-path region scanning; binaries
+//! (`main.rs`, `src/bin/`) are additionally exempt from `unwrap`.  Vendored
+//! crates (`vendor/`) are exempt from everything except the crate-root
+//! unsafe audit — they are stand-ins for external dependencies, not owned
+//! code, but they still must not smuggle `unsafe` into the build.
+//! Everything runs on tokens, so string literals, doc comments, and
+//! `#[doc]` attributes can no longer impersonate code (or comments).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod analyses;
+pub mod callgraph;
+pub mod lexer;
+pub mod report;
+mod rules;
+pub mod syntax;
+
+use callgraph::{CallGraph, ChainStep};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use syntax::SourceFile;
 
-/// One rule violation at a file/line.
+/// The five token-ported legacy rules.
+pub const LEGACY_RULES: [&str; 5] = [
+    "hot-path",
+    "ordering",
+    "unwrap",
+    "sync-facade",
+    "unsafe-crate",
+];
+
+/// The four call-graph-driven semantic analyses.
+pub const SEMANTIC_RULES: [&str; 4] = ["panic-free", "alloc-reach", "atomic-pair", "lock-order"];
+
+/// One rule violation at a file/line, with the witness call chain when the
+/// rule is reachability-based.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Workspace-relative path of the offending file.
@@ -47,6 +95,8 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Entry → … → offending function, empty for line-local rules.
+    pub chain: Vec<ChainStep>,
 }
 
 impl fmt::Display for Finding {
@@ -55,212 +105,44 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        for (i, step) in self.chain.iter().enumerate() {
+            write!(
+                f,
+                "\n    {}. {} ({}:{})",
+                i + 1,
+                step.function,
+                step.file,
+                step.line
+            )?;
+        }
+        Ok(())
     }
 }
 
-/// The atomic ordering variants the `ordering` rule covers.  Matching on the
-/// qualified variant (not bare `Ordering::`) keeps `std::cmp::Ordering`
-/// (`Less`/`Equal`/`Greater`) out of scope.
-const ATOMIC_ORDERINGS: [&str; 5] = [
-    "Ordering::Relaxed",
-    "Ordering::Acquire",
-    "Ordering::Release",
-    "Ordering::AcqRel",
-    "Ordering::SeqCst",
-];
-
-/// Constructs denied inside `// lint: hot-path begin/end` regions: heap
-/// allocation, the slow `powi`/`powf` intrinsics (the fused evaluators use
-/// incremental multiplication), string formatting and clones.
-const HOT_PATH_BANNED: [(&str, &str); 13] = [
-    ("format!", "string formatting allocates"),
-    (".powi(", "powi is slower than incremental multiplication"),
-    (".powf(", "powf is slower than incremental multiplication"),
-    (".clone()", "clone on the hot path"),
-    (".to_vec()", "to_vec allocates"),
-    (".to_string()", "to_string allocates"),
-    (".to_owned()", "to_owned allocates"),
-    ("vec![", "vec! allocates"),
-    ("Vec::new", "Vec::new allocates on first push"),
-    ("Vec::with_capacity", "Vec::with_capacity allocates"),
-    ("Box::new", "Box::new allocates"),
-    ("String::", "String construction allocates"),
-    (".collect(", "collect allocates"),
-];
-
-/// The files required to take every concurrency primitive through the
-/// `dla_sync` facade (`dla_model::sync`) instead of `std::sync`, so the
-/// model checker sees the real serving code under `--cfg interleave`.
-const FACADE_FILES: [&str; 5] = [
-    "crates/model/src/shared.rs",
-    "crates/model/src/telemetry.rs",
-    "crates/predict/src/fleet.rs",
-    "crates/predict/src/health.rs",
-    "crates/predict/src/service.rs",
-];
-
-/// Per-line classification computed once per file.
-struct FileText {
-    lines: Vec<String>,
-    /// Line is entirely comment (line comment or inside a block comment).
-    comment: Vec<bool>,
-    /// Line is inside a `#[cfg(test)]`-gated region.
-    test: Vec<bool>,
-}
-
-impl FileText {
-    fn parse(content: &str) -> FileText {
-        let lines: Vec<String> = content.lines().map(str::to_string).collect();
-        let mut comment = vec![false; lines.len()];
-        let mut in_block = false;
-        for (i, line) in lines.iter().enumerate() {
-            let trimmed = line.trim();
-            if in_block {
-                comment[i] = true;
-                if trimmed.contains("*/") {
-                    in_block = false;
-                }
-                continue;
-            }
-            if trimmed.starts_with("//") {
-                comment[i] = true;
-            } else if trimmed.starts_with("/*") {
-                comment[i] = true;
-                if !trimmed.contains("*/") {
-                    in_block = true;
-                }
-            }
-        }
-        // `#[cfg(test)]` regions: from the attribute until the brace opened
-        // by the item it gates closes again.  Brace counting is textual —
-        // good enough for rustfmt-formatted sources, which this workspace
-        // enforces in CI.
-        let mut test = vec![false; lines.len()];
-        let mut depth: i32 = 0;
-        let mut region_floor: Option<i32> = None;
-        let mut pending_attr = false;
-        for (i, line) in lines.iter().enumerate() {
-            if comment[i] {
-                if region_floor.is_some() {
-                    test[i] = true;
-                }
-                continue;
-            }
-            let code = strip_line_comment(line);
-            if region_floor.is_none() && code.contains("#[cfg(test)]") {
-                pending_attr = true;
-            }
-            if pending_attr {
-                test[i] = true;
-            }
-            for ch in code.chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        if pending_attr && region_floor.is_none() {
-                            region_floor = Some(depth);
-                            pending_attr = false;
-                        }
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if let Some(floor) = region_floor {
-                            if depth < floor {
-                                region_floor = None;
-                            }
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            if region_floor.is_some() {
-                test[i] = true;
-            }
-        }
-        FileText {
-            lines,
-            comment,
-            test,
-        }
-    }
-
-    /// The code portion of a line (no trailing `// ...` comment), or `""`
-    /// for whole-line comments.
-    fn code(&self, i: usize) -> &str {
-        if self.comment[i] {
-            ""
-        } else {
-            strip_line_comment(&self.lines[i])
-        }
-    }
-
-    /// Whether the statement at line `i` carries `marker` — on the line
-    /// itself, or in the contiguous run of comment lines and statement
-    /// continuations directly above it.
-    fn justified(&self, i: usize, marker: &str) -> bool {
-        if self.lines[i].contains(marker) {
-            return true;
-        }
-        let mut j = i;
-        while j > 0 {
-            j -= 1;
-            let line = &self.lines[j];
-            if line.trim().is_empty() {
-                return false;
-            }
-            if line.contains(marker) {
-                return true;
-            }
-            if self.comment[j] {
-                continue;
-            }
-            // A preceding code line ending a statement (or opening a block)
-            // ends the search; anything else is a continuation of the same
-            // multi-line call and the walk continues past it.
-            let code = strip_line_comment(line);
-            let trimmed = code.trim_end();
-            if trimmed.ends_with(';') || trimmed.ends_with('{') || trimmed.ends_with('}') {
-                return false;
-            }
-        }
-        false
-    }
-}
-
-/// Strips a trailing `// ...` comment, respecting string literals well
-/// enough for this codebase (a `//` inside a string stays).
-fn strip_line_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1,
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
+/// One source file handed to [`scan_sources`]: a workspace-relative path
+/// (which determines rule scoping) and its contents.
+pub struct SourceSpec {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/model/src/eval.rs`).
+    pub rel: String,
+    /// The file's full contents.
+    pub content: String,
 }
 
 /// What kind of source a file is, for rule scoping.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum FileKind {
+pub(crate) enum FileKind {
     /// Library code: all rules apply.
     Library,
     /// Binary targets (`main.rs`, `src/bin/`): `unwrap` exempt.
     Binary,
-    /// Integration tests / benches / examples: `ordering` and `unwrap`
-    /// exempt.
+    /// Integration tests / benches / examples: only hot-path region
+    /// scanning applies.
     Test,
 }
 
-fn classify(rel: &str) -> FileKind {
+pub(crate) fn classify(rel: &str) -> FileKind {
     let is_test_tree = rel.contains("/tests/")
         || rel.contains("/benches/")
         || rel.contains("/examples/")
@@ -275,146 +157,61 @@ fn classify(rel: &str) -> FileKind {
     }
 }
 
-/// Runs every line-level rule over one file.
-fn scan_file(rel: &str, content: &str, findings: &mut Vec<Finding>) {
-    let kind = classify(rel);
-    let text = FileText::parse(content);
-    let vendored = rel.starts_with("vendor/");
+/// Scans a set of sources — every rule, legacy and semantic — and returns
+/// the findings sorted by (file, line, rule).  This is the engine under
+/// [`scan_workspace`]; the fixture corpus drives it directly.
+///
+/// Vendored files (`vendor/…`) only receive the crate-root unsafe audit;
+/// crate roots are recognized by their `src/lib.rs` suffix.
+pub fn scan_sources(specs: &[SourceSpec]) -> Vec<Finding> {
+    let mut findings = Vec::new();
 
-    let mut hot_since: Option<usize> = None;
-    for i in 0..text.lines.len() {
-        let line = &text.lines[i];
-
-        // Hot-path region bookkeeping runs on comment lines (the markers
-        // *are* comments).  Matching the exact comment prefix keeps doc
-        // prose that merely *mentions* the marker from opening a region.
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("// lint: hot-path begin") {
-            if let Some(open) = hot_since {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line: i + 1,
-                    rule: "hot-path",
-                    message: format!(
-                        "nested hot-path begin (region open since line {})",
-                        open + 1
-                    ),
-                });
-            }
-            hot_since = Some(i);
-            continue;
-        }
-        if trimmed.starts_with("// lint: hot-path end") {
-            if hot_since.take().is_none() {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line: i + 1,
-                    rule: "hot-path",
-                    message: "hot-path end without a matching begin".to_string(),
-                });
-            }
-            continue;
-        }
-
-        let code = text.code(i);
-        if code.is_empty() {
-            continue;
-        }
-
-        if hot_since.is_some() && !line.contains("lint: allow(hot-path):") {
-            for (token, why) in HOT_PATH_BANNED {
-                if code.contains(token) {
-                    findings.push(Finding {
-                        file: rel.to_string(),
-                        line: i + 1,
-                        rule: "hot-path",
-                        message: format!("`{token}` in a hot-path region: {why}"),
-                    });
-                }
-            }
-        }
-
-        if vendored {
-            continue;
-        }
-
-        if kind == FileKind::Library && !text.test[i] {
-            // ordering: every atomic ordering choice needs a written-down why.
-            if ATOMIC_ORDERINGS.iter().any(|v| code.contains(v))
-                && !text.justified(i, "// ordering:")
-            {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line: i + 1,
-                    rule: "ordering",
-                    message: "atomic Ordering without a `// ordering:` justification".to_string(),
-                });
-            }
-
-            // unwrap: library code must handle or waive, never assume.
-            if (code.contains(".unwrap()") || code.contains(".expect("))
-                && !text.justified(i, "lint: allow(unwrap):")
-            {
-                findings.push(Finding {
-                    file: rel.to_string(),
-                    line: i + 1,
-                    rule: "unwrap",
-                    message:
-                        "unwrap/expect in library code (waive with `// lint: allow(unwrap): why`)"
-                            .to_string(),
-                });
-            }
-        }
-
-        // sync-facade: the model-checked files take primitives through
-        // `dla_sync` only (tests inside those files may use std directly).
-        if FACADE_FILES.contains(&rel) && !text.test[i] && code.contains("std::sync") {
-            findings.push(Finding {
-                file: rel.to_string(),
-                line: i + 1,
-                rule: "sync-facade",
-                message: "direct std::sync use in a dla_sync-routed file".to_string(),
-            });
+    for spec in specs {
+        if spec.rel == "src/lib.rs" || spec.rel.ends_with("/src/lib.rs") {
+            rules::scan_crate_root(&spec.rel, &spec.content, &mut findings);
         }
     }
-    if let Some(open) = hot_since {
-        findings.push(Finding {
-            file: rel.to_string(),
-            line: open + 1,
-            rule: "hot-path",
-            message: "hot-path begin without a matching end".to_string(),
-        });
+
+    let mut files: Vec<SourceFile> = Vec::new();
+    let mut kinds: Vec<FileKind> = Vec::new();
+    for spec in specs {
+        if spec.rel.starts_with("vendor/") {
+            continue;
+        }
+        files.push(SourceFile::parse(&spec.rel, &spec.content));
+        kinds.push(classify(&spec.rel));
     }
+
+    for (file, kind) in files.iter().zip(&kinds) {
+        rules::scan_file(file, *kind, &mut findings);
+    }
+
+    let library: Vec<bool> = kinds.iter().map(|k| *k == FileKind::Library).collect();
+    let graph = CallGraph::build(&files, |i| library[i]);
+    findings.extend(analyses::panic_free::run(&files, &library, &graph));
+    findings.extend(analyses::alloc_reach::run(&files, &library, &graph));
+    findings.extend(analyses::atomics::run(&files, &library));
+    findings.extend(analyses::lock_order::run(&files, &library, &graph));
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
 }
 
-/// The crate-root unsafe audit: `#![forbid(unsafe_code)]`, or a documented
-/// lint level + waiver explaining why forbidding is impossible.
-fn scan_crate_root(rel: &str, content: &str, findings: &mut Vec<Finding>) {
-    if content.contains("#![forbid(unsafe_code)]") {
-        return;
-    }
-    if content.contains("lint: allow(unsafe-crate):") {
-        // The waiver must still pin down a lint level: a crate that cannot
-        // forbid must at least deny, scoping its `unsafe` to allow-listed
-        // modules.
-        if content.contains("#![deny(unsafe_code)]") {
-            return;
-        }
-        findings.push(Finding {
-            file: rel.to_string(),
-            line: 1,
-            rule: "unsafe-crate",
-            message: "unsafe-crate waiver without `#![deny(unsafe_code)]`".to_string(),
-        });
-        return;
-    }
-    findings.push(Finding {
-        file: rel.to_string(),
-        line: 1,
-        rule: "unsafe-crate",
-        message: "crate root lacks `#![forbid(unsafe_code)]` (waive with `// lint: allow(unsafe-crate): why` plus `#![deny(unsafe_code)]`)"
-            .to_string(),
-    });
+/// Keeps only the findings matching the `--set` and `--rule` filters.
+pub fn filter_findings(
+    findings: Vec<Finding>,
+    set: Option<&str>,
+    rule_filter: &[String],
+) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| match set {
+            Some("legacy") => LEGACY_RULES.contains(&f.rule),
+            Some("semantic") => SEMANTIC_RULES.contains(&f.rule),
+            _ => true,
+        })
+        .filter(|f| rule_filter.is_empty() || rule_filter.iter().any(|r| r == f.rule))
+        .collect()
 }
 
 /// Workspace member paths, parsed from the root `Cargo.toml` members list
@@ -446,7 +243,8 @@ fn workspace_members(root: &Path) -> Result<Vec<String>, String> {
 }
 
 /// Collects the `.rs` files under `dir`, recursively, sorted for
-/// deterministic output.
+/// deterministic output.  Skips build output and the lint crate's
+/// intentionally-dirty fixture corpus.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
@@ -455,8 +253,10 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     entries.sort();
     for path in entries {
         if path.is_dir() {
-            // Never descend into build output.
-            if path.file_name().is_some_and(|n| n == "target") {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == "fixtures")
+            {
                 continue;
             }
             rust_files(&path, out);
@@ -469,23 +269,20 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
 /// Scans the whole workspace rooted at `root` and returns every finding.
 pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let members = workspace_members(root)?;
-    let mut findings = Vec::new();
 
     // Owned code: every member outside vendor/, plus the root facade crate.
-    // The lint crate itself is excluded from the line rules: its source is
-    // wall-to-wall banned-token tables and rule fixtures, every one of which
-    // would self-match.  Its crate root stays in the unsafe audit below.
     let mut scan_dirs: Vec<PathBuf> = vec![root.join("src")];
     for member in &members {
-        if !member.starts_with("vendor/") && member != "crates/lint" {
+        if !member.starts_with("vendor/") {
             scan_dirs.push(root.join(member));
         }
     }
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for dir in &scan_dirs {
-        rust_files(dir, &mut files);
+        rust_files(dir, &mut paths);
     }
-    for path in &files {
+    let mut specs = Vec::new();
+    for path in &paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
@@ -493,45 +290,113 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
             .replace('\\', "/");
         let content =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        scan_file(&rel, &content, &mut findings);
+        specs.push(SourceSpec { rel, content });
     }
 
-    // The unsafe audit covers every member's crate root, vendor included.
-    let mut roots: Vec<String> = members.iter().map(|m| format!("{m}/src/lib.rs")).collect();
-    roots.push("src/lib.rs".to_string());
-    for rel in roots {
+    // Vendored members only contribute their crate root to the unsafe audit.
+    for member in members.iter().filter(|m| m.starts_with("vendor/")) {
+        let rel = format!("{member}/src/lib.rs");
         let path = root.join(&rel);
         if !path.is_file() {
             continue;
         }
         let content = fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        scan_crate_root(&rel, &content, &mut findings);
+        specs.push(SourceSpec { rel, content });
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    Ok(scan_sources(&specs))
 }
 
-/// CLI entry point: `dla-lint [workspace-root]` (defaults to the current
-/// directory).  Prints findings and exits non-zero when any rule fired.
+const USAGE: &str = "usage: dla-lint [workspace-root] [--set legacy|semantic|all] \
+                     [--rule <name>]... [--format text|json|github]";
+
+/// CLI entry point.  Prints findings in the requested format and exits
+/// non-zero when any rule fired after filtering.
 pub fn run_cli(mut args: impl Iterator<Item = String>) -> ExitCode {
-    let root = args.next().unwrap_or_else(|| ".".to_string());
-    if args.next().is_some() {
-        eprintln!("usage: dla-lint [workspace-root]");
-        return ExitCode::FAILURE;
-    }
-    match scan_workspace(Path::new(&root)) {
-        Ok(findings) if findings.is_empty() => {
-            println!("dla-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for finding in &findings {
-                println!("{finding}");
+    let mut root: Option<String> = None;
+    let mut format = "text".to_string();
+    let mut set: Option<String> = None;
+    let mut rule_filter: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if matches!(f.as_str(), "text" | "json" | "github") => format = f,
+                _ => {
+                    eprintln!("dla-lint: --format takes text|json|github\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--set" => match args.next() {
+                Some(s) if matches!(s.as_str(), "legacy" | "semantic" | "all") => {
+                    set = Some(s);
+                }
+                _ => {
+                    eprintln!("dla-lint: --set takes legacy|semantic|all\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rule" => match args.next() {
+                Some(r)
+                    if LEGACY_RULES.contains(&r.as_str())
+                        || SEMANTIC_RULES.contains(&r.as_str()) =>
+                {
+                    rule_filter.push(r);
+                }
+                Some(r) => {
+                    eprintln!(
+                        "dla-lint: unknown rule `{r}` (known: {} {})",
+                        LEGACY_RULES.join(" "),
+                        SEMANTIC_RULES.join(" ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("dla-lint: --rule takes a rule name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ if arg.starts_with("--") => {
+                eprintln!("dla-lint: unknown flag `{arg}`\n{USAGE}");
+                return ExitCode::FAILURE;
             }
-            println!("dla-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            _ if root.is_none() => root = Some(arg),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    match scan_workspace(Path::new(&root)) {
+        Ok(findings) => {
+            let findings = filter_findings(findings, set.as_deref(), &rule_filter);
+            match format.as_str() {
+                "json" => print!("{}", report::to_json(&findings)),
+                "github" => {
+                    print!("{}", report::to_github(&findings));
+                    if findings.is_empty() {
+                        println!("dla-lint: clean");
+                    } else {
+                        println!("dla-lint: {} finding(s)", findings.len());
+                    }
+                }
+                _ => {
+                    if findings.is_empty() {
+                        println!("dla-lint: clean");
+                    } else {
+                        for finding in &findings {
+                            println!("{finding}");
+                        }
+                        println!("dla-lint: {} finding(s)", findings.len());
+                    }
+                }
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(message) => {
             eprintln!("dla-lint: {message}");
@@ -544,200 +409,91 @@ pub fn run_cli(mut args: impl Iterator<Item = String>) -> ExitCode {
 mod tests {
     use super::*;
 
-    fn scan(rel: &str, content: &str) -> Vec<Finding> {
-        let mut findings = Vec::new();
-        scan_file(rel, content, &mut findings);
-        findings
-    }
-
-    fn rules(findings: &[Finding]) -> Vec<&'static str> {
-        findings.iter().map(|f| f.rule).collect()
+    fn spec(rel: &str, content: &str) -> SourceSpec {
+        SourceSpec {
+            rel: rel.to_string(),
+            content: content.to_string(),
+        }
     }
 
     #[test]
-    fn hot_path_rule_fires_on_each_banned_construct() {
-        let fixture = r#"
-fn eval() {
-    // lint: hot-path begin
-    let v = vec![1.0];
-    let s = format!("{v:?}");
-    let p = x.powi(3);
-    let c = coeffs.clone();
-    // lint: hot-path end
-}
-"#;
-        let findings = scan("crates/model/src/eval.rs", fixture);
-        assert_eq!(findings.len(), 4, "{findings:?}");
-        assert!(findings.iter().all(|f| f.rule == "hot-path"));
+    fn scan_sources_runs_legacy_and_semantic_rules_together() {
+        let findings = scan_sources(&[spec(
+            "crates/a/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+                 // lint: panic-free\npub fn query() { helper(); }\n\
+                 pub fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )]);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        // The unwrap fires the line rule AND the reachability analysis.
+        assert_eq!(rules, ["panic-free", "unwrap"], "{findings:?}");
+        assert_eq!(findings[0].chain.len(), 2);
     }
 
     #[test]
-    fn hot_path_rule_is_silent_outside_regions_and_on_waived_lines() {
-        let fixture = r#"
-fn build() {
-    let v = vec![1.0]; // fine: not a hot-path region
-    // lint: hot-path begin
-    let w = scratch.to_vec(); // lint: allow(hot-path): one-time setup
-    let y = horner(x);
-    // lint: hot-path end
-}
-"#;
-        assert!(scan("crates/model/src/eval.rs", fixture).is_empty());
+    fn findings_are_sorted_by_file_line_rule() {
+        let findings = scan_sources(&[
+            spec(
+                "crates/b/src/lib.rs",
+                "#![forbid(unsafe_code)]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            ),
+            spec(
+                "crates/a/src/lib.rs",
+                "#![forbid(unsafe_code)]\nfn g(y: Option<u32>) -> u32 { y.unwrap() }\n",
+            ),
+        ]);
+        let files: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+        assert_eq!(files, ["crates/a/src/lib.rs", "crates/b/src/lib.rs"]);
     }
 
     #[test]
-    fn hot_path_rule_reports_unbalanced_markers() {
-        let unclosed = "// lint: hot-path begin\nfn f() {}\n";
-        assert_eq!(rules(&scan("a.rs", unclosed)), ["hot-path"]);
-        let unopened = "fn f() {}\n// lint: hot-path end\n";
-        assert_eq!(rules(&scan("a.rs", unopened)), ["hot-path"]);
+    fn vendored_files_only_get_the_root_audit() {
+        let findings = scan_sources(&[
+            spec(
+                "vendor/fake/src/util.rs",
+                "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            ),
+            spec("vendor/fake/src/lib.rs", "//! Vendored.\npub fn f() {}\n"),
+        ]);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["unsafe-crate"], "{findings:?}");
+        assert_eq!(findings[0].file, "vendor/fake/src/lib.rs");
     }
 
     #[test]
-    fn ordering_rule_requires_a_justification() {
-        let bare = r#"
-fn bump(c: &AtomicU64) {
-    c.fetch_add(1, Ordering::Relaxed);
-}
-"#;
-        assert_eq!(rules(&scan("crates/x/src/a.rs", bare)), ["ordering"]);
-
-        let same_line = r#"
-fn bump(c: &AtomicU64) {
-    c.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed - standalone stat
-}
-"#;
-        assert!(scan("crates/x/src/a.rs", same_line).is_empty());
-
-        let preceding = r#"
-fn bump(c: &AtomicU64) {
-    // ordering: Relaxed - standalone statistic, nothing published through it
-    c.fetch_add(1, Ordering::Relaxed);
-}
-"#;
-        assert!(scan("crates/x/src/a.rs", preceding).is_empty());
+    fn filtering_by_set_and_rule_partitions_findings() {
+        let findings = scan_sources(&[spec(
+            "crates/a/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // lint: panic-free\npub fn query() { helper(); }\n\
+             pub fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )]);
+        let legacy = filter_findings(findings.clone(), Some("legacy"), &[]);
+        assert!(legacy.iter().all(|f| f.rule == "unwrap"));
+        let semantic = filter_findings(findings.clone(), Some("semantic"), &[]);
+        assert!(semantic.iter().all(|f| f.rule == "panic-free"));
+        let by_rule = filter_findings(findings, None, &["panic-free".to_string()]);
+        assert_eq!(by_rule.len(), 1);
     }
 
     #[test]
-    fn ordering_rule_sees_through_multiline_calls() {
-        let continued = r#"
-fn bump(c: &AtomicU64) {
-    // ordering: Relaxed on both halves - lossy by design
-    c.store(
-        c.load(Ordering::Relaxed) + 1,
-        Ordering::Relaxed,
-    );
-}
-"#;
-        assert!(scan("crates/x/src/a.rs", continued).is_empty());
-    }
-
-    #[test]
-    fn ordering_rule_skips_tests_and_cmp_ordering() {
-        let fixture = r#"
-fn compare(a: u32, b: u32) -> bool {
-    a.cmp(&b) == std::cmp::Ordering::Less // not an atomic ordering
-}
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn atomics_in_tests_are_free() {
-        c.fetch_add(1, Ordering::SeqCst);
-    }
-}
-"#;
-        assert!(scan("crates/x/src/a.rs", fixture).is_empty());
-    }
-
-    #[test]
-    fn unwrap_rule_fires_in_library_code_only() {
-        let fixture = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
-        assert_eq!(rules(&scan("crates/x/src/a.rs", fixture)), ["unwrap"]);
-        // Bins, tests directories and #[cfg(test)] regions are exempt.
-        assert!(scan("crates/x/src/main.rs", fixture).is_empty());
-        assert!(scan("crates/x/tests/a.rs", fixture).is_empty());
-        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n{fixture}}}\n");
-        assert!(scan("crates/x/src/a.rs", &in_test_mod).is_empty());
-        // unwrap_or_else is not unwrap.
-        let recovered = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 0)\n}\n";
-        assert!(scan("crates/x/src/a.rs", recovered).is_empty());
-    }
-
-    #[test]
-    fn unwrap_rule_accepts_reasoned_waivers() {
-        let waived = "fn f(x: Option<u32>) -> u32 {\n    \
-                      // lint: allow(unwrap): x is Some by construction above\n    \
-                      x.unwrap()\n}\n";
-        assert!(scan("crates/x/src/a.rs", waived).is_empty());
-        let expect = "fn f(x: Option<u32>) -> u32 {\n    \
-                      x.expect(\"always present\") // lint: allow(unwrap): invariant\n}\n";
-        assert!(scan("crates/x/src/a.rs", expect).is_empty());
-    }
-
-    #[test]
-    fn sync_facade_rule_guards_the_model_checked_files() {
-        let offending = "use std::sync::RwLock;\nfn f() {}\n";
-        assert_eq!(
-            rules(&scan("crates/model/src/shared.rs", offending)),
-            ["sync-facade"]
+    fn display_prints_the_chain_as_numbered_steps() {
+        let findings = scan_sources(&[spec(
+            "crates/a/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // lint: panic-free\npub fn query() { helper(); }\n\
+             fn helper() { panic!(\"nope\"); }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let text = findings[0].to_string();
+        assert!(text.contains("[panic-free]"), "{text}");
+        assert!(
+            text.contains("\n    1. query (crates/a/src/lib.rs:3)"),
+            "{text}"
         );
-        // Other files may use std::sync freely.
-        assert!(scan("crates/model/src/repo.rs", offending).is_empty());
-        // And tests inside a facade file may too.
-        let in_tests = "#[cfg(test)]\nmod tests {\n    use std::sync::Barrier;\n}\n";
-        assert!(scan("crates/predict/src/service.rs", in_tests).is_empty());
-    }
-
-    #[test]
-    fn unsafe_crate_rule_requires_forbid_or_documented_exception() {
-        let mut findings = Vec::new();
-        scan_crate_root(
-            "crates/x/src/lib.rs",
-            "//! Docs.\npub fn f() {}\n",
-            &mut findings,
-        );
-        assert_eq!(rules(&findings), ["unsafe-crate"]);
-
-        let mut findings = Vec::new();
-        scan_crate_root(
-            "crates/x/src/lib.rs",
-            "//! Docs.\n#![forbid(unsafe_code)]\n",
-            &mut findings,
-        );
-        assert!(findings.is_empty());
-
-        // A waiver alone is not enough: the crate must still deny by default.
-        let mut findings = Vec::new();
-        scan_crate_root(
-            "crates/x/src/lib.rs",
-            "// lint: allow(unsafe-crate): raw-pointer views\n",
-            &mut findings,
-        );
-        assert_eq!(rules(&findings), ["unsafe-crate"]);
-
-        let mut findings = Vec::new();
-        scan_crate_root(
-            "crates/x/src/lib.rs",
-            "// lint: allow(unsafe-crate): raw-pointer views\n#![deny(unsafe_code)]\n",
-            &mut findings,
-        );
-        assert!(findings.is_empty());
-    }
-
-    #[test]
-    fn vendored_code_is_exempt_from_owned_code_rules() {
-        let fixture = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
-                       fn g(c: &A) { c.load(Ordering::SeqCst); }\n";
-        assert!(scan("vendor/rand/src/lib.rs", fixture).is_empty());
-    }
-
-    #[test]
-    fn line_comment_stripping_respects_strings() {
-        assert_eq!(strip_line_comment("let x = 1; // tail"), "let x = 1; ");
-        assert_eq!(
-            strip_line_comment(r#"let url = "https://example.com";"#),
-            r#"let url = "https://example.com";"#
+        assert!(
+            text.contains("\n    2. helper (crates/a/src/lib.rs:4)"),
+            "{text}"
         );
     }
 }

@@ -1,0 +1,191 @@
+//! Output serializers for `dla-lint` findings.
+//!
+//! * [`to_json`] — a stable machine-readable schema for tooling:
+//!   `{"version": 1, "count": N, "findings": [{file, line, rule, message,
+//!   chain: [{file, line, function}]}]}`.  The schema is versioned; fields
+//!   are only ever added.
+//! * [`to_github`] — one `::error file=…,line=…,title=…::…` workflow
+//!   command per finding, so CI failures annotate the offending lines in
+//!   the pull-request diff.  Call chains ride along in the message body as
+//!   `%0A`-separated lines.
+
+use crate::Finding;
+use std::fmt::Write;
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes findings to the versioned JSON schema (one finding per line,
+/// so diffs and greps stay readable).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"version\": 1,\n  \"count\": {},\n  \"findings\": [",
+        findings.len()
+    );
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let mut chain = String::new();
+        for (j, step) in f.chain.iter().enumerate() {
+            let csep = if j == 0 { "" } else { ", " };
+            let _ = write!(
+                chain,
+                "{csep}{{\"file\": \"{}\", \"line\": {}, \"function\": \"{}\"}}",
+                json_escape(&step.file),
+                step.line,
+                json_escape(&step.function)
+            );
+        }
+        let _ = write!(
+            out,
+            "{sep}    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"chain\": [{chain}]}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.message)
+        );
+    }
+    out.push_str(if findings.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
+    out
+}
+
+/// Escapes a GitHub workflow-command *property* value (`file=`, `title=`).
+fn github_property(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Escapes a GitHub workflow-command message body.
+fn github_message(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Serializes findings as GitHub Actions error annotations.
+pub fn to_github(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let mut message = f.message.clone();
+        if !f.chain.is_empty() {
+            message.push_str("\ncall chain:");
+            for (i, step) in f.chain.iter().enumerate() {
+                let _ = write!(
+                    message,
+                    "\n  {}. {} ({}:{})",
+                    i + 1,
+                    step.function,
+                    step.file,
+                    step.line
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "::error file={},line={},title=dla-lint({})::{}",
+            github_property(&f.file),
+            f.line,
+            github_property(f.rule),
+            github_message(&message)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::ChainStep;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/a/src/lib.rs".to_string(),
+            line: 7,
+            rule: "panic-free",
+            message: "`.unwrap()` reachable on the panic-free path from `query`".to_string(),
+            chain: vec![
+                ChainStep {
+                    file: "crates/a/src/lib.rs".to_string(),
+                    line: 2,
+                    function: "query".to_string(),
+                },
+                ChainStep {
+                    file: "crates/a/src/lib.rs".to_string(),
+                    line: 7,
+                    function: "deep".to_string(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable_and_parseable_shaped() {
+        let out = to_json(&[finding()]);
+        assert!(out.contains("\"version\": 1"));
+        assert!(out.contains("\"count\": 1"));
+        assert!(out.contains("\"rule\": \"panic-free\""));
+        assert!(out.contains("\"line\": 7"));
+        assert!(out.contains("\"function\": \"query\""));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the dependency-free crate).
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+    }
+
+    #[test]
+    fn json_empty_input_serializes_to_an_empty_list() {
+        let out = to_json(&[]);
+        assert!(out.contains("\"count\": 0"));
+        assert!(out.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_backslashes_and_newlines() {
+        let mut f = finding();
+        f.message = "say \"hi\"\\ and\nbreak".to_string();
+        let out = to_json(&[f]);
+        assert!(out.contains(r#"say \"hi\"\\ and\nbreak"#));
+    }
+
+    #[test]
+    fn github_annotations_carry_the_chain_with_encoded_newlines() {
+        let out = to_github(&[finding()]);
+        let line = out.lines().next().unwrap_or("");
+        assert!(line
+            .starts_with("::error file=crates/a/src/lib.rs,line=7,title=dla-lint(panic-free)::"));
+        assert!(line.contains("%0Acall chain:%0A  1. query (crates/a/src/lib.rs:2)"));
+        // One annotation per finding, one line each.
+        assert_eq!(out.lines().count(), 1);
+    }
+
+    #[test]
+    fn github_property_escaping_keeps_commands_unbreakable() {
+        assert_eq!(github_property("a,b:c%d\n"), "a%2Cb%3Ac%25d%0A");
+        assert_eq!(github_message("50%\ndone"), "50%25%0Adone");
+    }
+}

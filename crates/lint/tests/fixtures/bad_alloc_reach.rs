@@ -1,0 +1,17 @@
+//! An allocation hidden behind a call out of a hot-path region: invisible
+//! to the line-level `hot-path` rule, caught by the reachability analysis.
+
+pub fn eval() -> f64 {
+    // lint: hot-path begin
+    let s = kernel();
+    // lint: hot-path end
+    s
+}
+
+fn kernel() -> f64 {
+    scratch().len() as f64
+}
+
+fn scratch() -> Vec<f64> {
+    Vec::with_capacity(8)
+}

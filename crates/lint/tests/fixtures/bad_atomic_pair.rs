@@ -1,0 +1,21 @@
+//! Seeded publish-protocol orphans: a Release store no Acquire ever
+//! observes, and an Acquire load no Release ever publishes to.  The
+//! `// ordering:` comments keep the legacy rule silent so the corpus sees
+//! the pairing analysis alone.
+
+pub struct Handoff {
+    ready: AtomicBool,
+    ghost_epoch: AtomicU64,
+}
+
+impl Handoff {
+    pub fn publish(&self) {
+        // ordering: Release - publishes the payload, but no reader pairs with it
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn observe(&self) -> u64 {
+        // ordering: Acquire - expects a publish protocol no writer implements
+        self.ghost_epoch.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded legacy-rule violations.  `corpus.rs` pins the exact finding set;
+//! if a rule regresses, the golden assertions say which one.
+
+pub fn eval(coeffs: &[f64], x: f64) -> f64 {
+    // lint: hot-path begin
+    let scratch = vec![0.0; 8];
+    let label = format!("x = {x}");
+    // lint: hot-path end
+    drop((scratch, label));
+    coeffs.first().copied().unwrap_or(0.0) * x
+}
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn take(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}

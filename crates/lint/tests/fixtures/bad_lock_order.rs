@@ -1,0 +1,16 @@
+//! Two locks acquired in conflicting orders across two methods: the
+//! classic deadlock recipe the lock-order analysis denies.
+
+impl Fixture {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop((a, b));
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop((a, b));
+    }
+}

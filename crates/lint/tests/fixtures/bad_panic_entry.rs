@@ -1,0 +1,15 @@
+//! A serving entry point that transitively reaches a panic source two
+//! calls down.  The corpus pins the full witness chain.
+
+// lint: panic-free
+pub fn query() {
+    step();
+}
+
+fn step() {
+    deep();
+}
+
+fn deep() {
+    panic!("seeded: a panic hiding two calls below the entry");
+}

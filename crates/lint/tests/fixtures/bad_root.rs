@@ -1,0 +1,5 @@
+//! A crate root that forgot the unsafe audit attribute — the forbid is
+//! missing, and so is the documented waiver.  (The audit is string-based,
+//! so this prose must not spell the attribute out.)
+
+pub mod legacy;

@@ -1,0 +1,19 @@
+//! Trigger text that must stay inert: `Ordering::Acquire`, `.unwrap()`,
+//! `vec![]`, `format!`, and `std::sync` in prose are documentation, not
+//! code.  This is the false-positive class the token-based engine
+//! eliminates; the corpus asserts zero findings here.
+
+/// Prose about `.unwrap()` and `Vec::new` — words, not calls.  Even
+/// `self.flag.store(true, Ordering::Release)` spelled out in a doc comment
+/// is inert.
+#[doc = "more prose: Ordering::SeqCst, std::sync::Mutex, panic!(now)"]
+pub fn advice() -> &'static str {
+    let a = "Ordering::Relaxed in a string is data, not an atomic op";
+    let b = "never call .unwrap() on the serving path, says the review";
+    let c = r#"raw strings keep vec![Box::new(0)] and format!("x") as data"#;
+    // lint: hot-path begin
+    let hot = "inside a region too: Vec::with_capacity(8) and .clone() are words";
+    // lint: hot-path end
+    drop((b, c, hot));
+    a
+}

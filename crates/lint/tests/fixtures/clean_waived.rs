@@ -1,0 +1,42 @@
+//! Every waiver form, exercised once: the corpus pins that each one
+//! silences exactly its rule and nothing leaks through.
+
+pub fn eval(xs: &[f64]) -> f64 {
+    // lint: hot-path begin
+    let scratch = xs.to_vec(); // lint: allow(hot-path): one-time warmup fill
+    // lint: allow(panic-free): the entry validates arity before indexing
+    let head = xs[0];
+    // lint: hot-path end
+    scratch.len() as f64 + head
+}
+
+// lint: panic-free
+pub fn query(slot: Option<u32>) -> u32 {
+    // lint: allow(unwrap): the slot is populated at startup, before serving
+    slot.unwrap()
+}
+
+pub struct Shared {
+    flag: AtomicBool,
+}
+
+impl Shared {
+    pub fn publish(&self) {
+        // ordering: Release - handshake with a reader outside this corpus
+        // lint: allow(atomic-pair): the acquire half lives outside the corpus
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop((a, b));
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        // lint: allow(lock-order): alpha is a read-only recheck, never blocks here
+        let a = self.alpha.lock();
+        drop((a, b));
+    }
+}

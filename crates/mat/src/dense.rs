@@ -44,6 +44,7 @@ impl Matrix {
     }
 
     /// Creates a matrix by evaluating `f(i, j)` for every element.
+    // lint: allow(panic-free): i < rows and j < cols by loop bounds
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut m = Matrix::zeros(rows, cols);
         for j in 0..cols {
@@ -141,6 +142,7 @@ impl Matrix {
     }
 
     /// Reads element `(i, j)`; panics if out of bounds.
+    // lint: allow(panic-free): the bounds assert is the documented contract
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(
@@ -151,6 +153,7 @@ impl Matrix {
     }
 
     /// Writes element `(i, j)`; panics if out of bounds.
+    // lint: allow(panic-free): the bounds assert is the documented contract
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
         assert!(
@@ -356,6 +359,7 @@ impl Matrix {
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
+    // lint: allow(panic-free): the bounds assert is the documented contract
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
         assert!(

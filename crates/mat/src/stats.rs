@@ -319,6 +319,7 @@ impl Summary {
     }
 
     /// Builds a summary from explicit per-quantity values (count is synthetic).
+    // lint: allow(panic-free): Quantity::index() is bounded by the five-quantity array
     pub fn from_quantities(values: &[f64; 5]) -> Summary {
         Summary {
             min: values[Quantity::Min.index()],

@@ -92,6 +92,7 @@ impl<'a> MatRef<'a> {
     }
 
     /// Reads element `(i, j)`.
+    // lint: allow(panic-free): the bounds assert is the documented contract
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(
@@ -191,6 +192,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Reads element `(i, j)`.
+    // lint: allow(panic-free): the bounds assert is the documented contract
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(
@@ -202,6 +204,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Writes element `(i, j)`.
+    // lint: allow(panic-free): the bounds assert is the documented contract
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
         assert!(

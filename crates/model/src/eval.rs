@@ -126,6 +126,8 @@ impl BatchPoints {
     ///
     /// Panics when `point.len()` differs from the batch dimension (the same
     /// contract as [`Region::new`]'s arity check).
+    // lint: allow(panic-free): the arity assert is the documented contract;
+    // serving batches are built with the model's dimension
     pub fn push(&mut self, point: &[usize]) {
         assert_eq!(
             point.len(),
@@ -319,6 +321,9 @@ impl CompiledVectorPolynomial {
     /// Evaluates all five quantities at a normalised point, with the same
     /// non-negativity clamp and NaN preservation as
     /// [`VectorPolynomial::eval`].
+    // lint: allow(panic-free): dim and max_exp are clamped to MAX_DIM/MAX_EXP at
+    // compile time, and the exponent/coefficient slices are sized term_count*dim
+    // and term_count*5 by construction
     #[inline]
     pub fn eval(&self, x: &[f64; MAX_DIM]) -> [f64; 5] {
         // lint: hot-path begin
@@ -392,12 +397,16 @@ impl CompiledRegion {
         r
     }
 
+    // lint: allow(panic-free): d < dim <= MAX_DIM bounds the fixed arrays, and
+    // point arity is validated at the public entry
     #[inline]
     fn contains(&self, dim: usize, point: &[usize]) -> bool {
         (0..dim).all(|d| point[d] >= self.lo[d] && point[d] <= self.hi[d])
     }
 
     /// Same arithmetic as the reference `region_distance`.
+    // lint: allow(panic-free): d < dim <= MAX_DIM bounds the fixed arrays, and
+    // point arity is validated at the public entry
     #[inline]
     fn distance(&self, dim: usize, point: &[usize]) -> f64 {
         let mut acc = 0.0;
@@ -417,6 +426,8 @@ impl CompiledRegion {
 
     /// Normalises into fixed scratch (same arithmetic as
     /// [`Region::normalize`]) and evaluates the fused polynomial.
+    // lint: allow(panic-free): the scratch array is MAX_DIM-sized, d < dim <=
+    // MAX_DIM, and point arity is validated at the public entry
     #[inline]
     fn eval(&self, dim: usize, point: &[usize]) -> Summary {
         // lint: hot-path begin
@@ -685,6 +696,7 @@ impl CompiledPiecewise {
     /// no work beyond returning the index the evaluator already holds.
     pub fn eval_traced(&self, point: &[usize]) -> Result<(Summary, u32)> {
         if point.len() != self.dim {
+            // lint: allow(hot-path): arity-error branch, never taken by in-contract callers
             return Err(ModelError::OutOfDomain(format!(
                 "point arity {} does not match model dimension {}",
                 point.len(),
@@ -692,7 +704,9 @@ impl CompiledPiecewise {
             )));
         }
         Ok(match self.locate(point) {
+            // lint: allow(panic-free): locate only returns indices into self.regions
             PointLoc::Region(r) => (self.regions[r].eval(self.dim, point), r as u32),
+            // lint: allow(panic-free): locate only returns indices into self.fallbacks
             PointLoc::NearestAmong(f) => self.nearest(point, Some(&self.fallbacks[f])),
             PointLoc::NearestAll => self.nearest(point, None),
         })
@@ -701,6 +715,9 @@ impl CompiledPiecewise {
     /// Locates the region that answers `point`: the cell table's precomputed
     /// winner on the indexed path, the in-order scan otherwise, or a
     /// nearest-region fallback directive for uncovered points.
+    // lint: allow(panic-free): point arity is validated by eval_traced, d < dim
+    // bounds the cut/stride tables, and the cell index stays inside the table
+    // because every dimension's contribution is clamped by partition_point
     #[inline]
     fn locate(&self, point: &[usize]) -> PointLoc {
         // lint: hot-path begin
@@ -880,6 +897,9 @@ impl CompiledPiecewise {
     /// The per-point operation order matches the scalar evaluator exactly
     /// (skipped `x^0` factors multiply by literal `1.0` there, which is
     /// bit-exact), so batch results equal pointwise results bit-for-bit.
+    // lint: allow(panic-free): tile lanes are bounded by TILE, ladder levels by
+    // MAX_EXP/MAX_DIM, `ids` holds validated point indices, and term slices are
+    // sized at compile time
     fn eval_region_batch(
         &self,
         region: usize,
@@ -969,6 +989,8 @@ impl CompiledPiecewise {
 
     /// Nearest-region fallback over a candidate subset (or all regions),
     /// with the same first-minimum semantics as the reference evaluator.
+    // lint: allow(panic-free): candidate indices come from the fallback table or
+    // 0..regions.len(), and compile() rejects models with no regions
     fn nearest(&self, point: &[usize], candidates: Option<&[u32]>) -> (Summary, u32) {
         // lint: hot-path begin
         let mut best = 0usize;
@@ -991,6 +1013,7 @@ impl CompiledPiecewise {
 
 /// The best (minimum-error, NaN-last, first-wins) region containing `point`,
 /// iterating in stored order exactly like the reference evaluator.
+// lint: allow(panic-free): `b` indexes the same slice enumerate produced it from
 fn best_containing(regions: &[CompiledRegion], dim: usize, point: &[usize]) -> Option<usize> {
     // lint: hot-path begin
     let mut best: Option<usize> = None;
@@ -1184,9 +1207,11 @@ impl CompiledRoutineModel {
         let (sizes, len) = call.sizes_fixed();
         let mut clamped = [0usize; MAX_DIM];
         for d in 0..len.min(MAX_DIM) {
+            // lint: allow(panic-free): d < len.min(MAX_DIM) bounds every array
             clamped[d] = sizes[d].clamp(self.space_lo[d], self.space_hi[d]);
         }
         submodel
+            // lint: allow(panic-free): len <= Call::MAX_SIZES, which never exceeds MAX_DIM
             .eval_traced(&clamped[..len])
             .map(|(summary, region)| (summary, key, region))
     }
@@ -1352,6 +1377,8 @@ impl CompiledRepository {
     /// For binary-loaded repositories the first call rebuilds the source
     /// from the retained bytes (concurrent callers are serialised by the
     /// cell); every other constructor fills the cell up front.
+    // lint: allow(panic-free): lazy re-decode of bytes that already passed the
+    // full decode validation when this repository was built
     pub fn source(&self) -> &Arc<ModelRepository> {
         self.source.get_or_init(|| {
             // lint: allow(unwrap): every constructor either fills the cell or stores the bytes
@@ -1398,6 +1425,8 @@ impl CompiledRepository {
 
     /// Pre-resolves one machine/locality combination into a per-routine
     /// routing table, so per-call lookups are a plain array index.
+    // lint: allow(panic-free): routine.index() is bounded by Routine::ALL, the
+    // slots array's length
     pub fn resolve(&self, machine_id: &str, locality: Locality) -> RoutineTable {
         let mut table = RoutineTable::default();
         for routine in Routine::ALL {
@@ -1415,6 +1444,8 @@ impl CompiledRepository {
     }
 
     /// The compiled model at a [`RoutineTable`] slot.
+    // lint: allow(panic-free): slots come from resolve()'s position() over the
+    // same entries vec
     pub fn model_at(&self, slot: usize) -> &CompiledRoutineModel {
         &self.entries[slot].1
     }
@@ -1429,6 +1460,8 @@ pub struct RoutineTable {
 
 impl RoutineTable {
     /// The repository slot of `routine`'s model, if present.
+    // lint: allow(panic-free): routine.index() is bounded by Routine::ALL, the
+    // slots array's length
     pub fn slot(&self, routine: Routine) -> Option<usize> {
         self.slots[routine.index()].map(|i| i as usize)
     }

@@ -192,12 +192,15 @@ impl FitWorkspace {
         // Fit error from the already-available A·c predictions (median fit).
         // lint: hot-path begin
         let qm = Quantity::Median.index();
+        // lint: allow(panic-free): prepare() sizes values to QUANTITIES * m
         let medians = &self.values[qm * m..(qm + 1) * m];
+        // lint: allow(panic-free): prepare() sizes coeffs to QUANTITIES * n
         let c_med = &self.coeffs[qm * n..(qm + 1) * n];
         let mut error = 0.0f64;
         for (i, &median) in medians.iter().enumerate() {
             let mut pred = 0.0;
             for (t, &c) in c_med.iter().enumerate() {
+                // lint: allow(panic-free): saved holds n * m entries from prepare()
                 pred += c * self.saved[t * m + i];
             }
             error = error.max(relative_error(pred, median));

@@ -73,6 +73,7 @@ impl VectorPolynomial {
     /// values are preserved (`f64::max` would silently turn them into `0.0`,
     /// i.e. a degenerate fit would masquerade as a zero-cost prediction);
     /// downstream ranking sorts `NaN` predictions last.
+    // lint: allow(panic-free): Quantity::index() is bounded by the five-quantity layout
     pub fn eval(&self, point: &[f64]) -> Summary {
         let mut values = [0.0; 5];
         for (q, poly) in Quantity::ALL.iter().zip(self.polys.iter()) {

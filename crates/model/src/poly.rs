@@ -117,6 +117,8 @@ impl Polynomial {
     /// Evaluates the polynomial at `point`.
     ///
     /// Panics if the point has the wrong dimension.
+    // lint: allow(panic-free): the arity assert is the documented contract and
+    // bounds the indexing
     pub fn eval(&self, point: &[f64]) -> f64 {
         assert_eq!(point.len(), self.dim, "polynomial evaluated at wrong arity");
         let mut acc = 0.0;

@@ -41,6 +41,7 @@ impl Region {
     }
 
     /// Side length along dimension `d` (inclusive extent).
+    // lint: allow(panic-free): callers pass d < dim(), the arity Region::new validated
     pub fn extent(&self, d: usize) -> usize {
         self.hi[d] - self.lo[d]
     }
@@ -51,6 +52,8 @@ impl Region {
     }
 
     /// Returns `true` if the point lies inside the region (inclusive bounds).
+    // lint: allow(panic-free): the arity conjunct guarantees d < dim before the
+    // bounds are read
     pub fn contains(&self, point: &[usize]) -> bool {
         point.len() == self.dim()
             && point
@@ -197,6 +200,8 @@ impl Region {
     }
 
     /// Normalises a point to `[0, 1]^dim` coordinates relative to this region.
+    // lint: allow(panic-free): the arity assert is the documented contract and
+    // bounds the indexing
     pub fn normalize(&self, point: &[usize]) -> Vec<f64> {
         assert_eq!(point.len(), self.dim());
         (0..self.dim())

@@ -70,6 +70,7 @@ impl FlagKey {
     }
 
     /// The key as a heap-allocated [`submodel_key`]-style vector.
+    // lint: allow(panic-free): len never exceeds MAX_FLAGS by construction
     pub fn to_vec(&self) -> Vec<usize> {
         self.flags[..self.len()]
             .iter()
@@ -81,6 +82,7 @@ impl FlagKey {
 /// The submodel key of a call as a fixed-size [`FlagKey`] — the
 /// allocation-free counterpart of [`submodel_key`], used by the compiled
 /// evaluation engine's per-call lookups.
+// lint: allow(panic-free): kept <= len <= MAX_FLAGS bounds the tail slice
 pub fn submodel_key_fixed(call: &Call) -> FlagKey {
     let (mut flags, len) = call.flag_indices_fixed();
     let kept = len.min(submodel_flag_count(call.routine()));
@@ -215,6 +217,7 @@ impl RoutineModel {
         let clamped: Vec<usize> = sizes
             .iter()
             .enumerate()
+            // lint: allow(panic-free): size arity matches the model space's dimension for the routine
             .map(|(d, &s)| s.clamp(self.space.lo()[d], self.space.hi()[d]))
             .collect();
         submodel.eval(&clamped)

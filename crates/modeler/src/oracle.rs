@@ -26,6 +26,7 @@ type PointKey = [usize; Call::MAX_SIZES];
 struct PointHasher(u64);
 
 impl Hasher for PointHasher {
+    // lint: allow(panic-free): chunks(8) yields at most 8 bytes, the scratch word's size
     fn write(&mut self, bytes: &[u8]) {
         // Fixed-size integer keys arrive here as one raw-byte write; fold
         // them a word at a time.

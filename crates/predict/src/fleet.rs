@@ -1192,6 +1192,8 @@ impl Calibration {
     /// The scale for standing in for shard `a` with shard `b`'s answer to
     /// `call`: the routine's calibrated surface interpolated at the call's
     /// sizes, else the global geometric mean.
+    // lint: allow(panic-free): a and b are router-validated shard indices; the
+    // square tables cover every shard
     fn ratio(&self, a: usize, b: usize, call: &Call) -> f64 {
         let Some(curve) = self.curves[a][b].get(&call.routine()) else {
             return self.global[a][b];
@@ -1266,6 +1268,9 @@ impl SizeCurve {
     }
 
     /// Interpolates the log-ratio at log-size `coords`.
+    // lint: allow(panic-free): grid and axes are built together — every
+    // per-dimension index is clamped to axis.len() - 1 and the mixed-radix
+    // corner index stays below the grid length
     fn eval(&self, coords: &[f64]) -> f64 {
         if self.grid.is_empty() || coords.len() != self.axes.len() {
             return self.eval_nearest(coords);
@@ -1460,10 +1465,12 @@ impl FleetService {
     /// Answers one query; see the [module docs](self) for the degradation
     /// ladder.  Only an unroutable machine id is an error — everything else
     /// is a tagged [`FleetResponse`].
+    // lint: panic-free
     pub fn query(&self, query: &FleetQuery) -> Result<FleetResponse, FleetError> {
         let Some(target) = self.router.route(&query.machine_id) else {
             return Err(FleetError::UnknownMachine(query.machine_id.clone()));
         };
+        // lint: allow(panic-free): Router::route only returns in-range shard indices
         let shard = &self.shards[target];
         // ordering: Relaxed — standalone statistic.
         shard.counters.queries.fetch_add(1, Ordering::Relaxed);
@@ -1525,6 +1532,7 @@ impl FleetService {
         }
 
         // 3. Proxy path: nearest healthy machine, efficiency-scaled.
+        // lint: allow(panic-free): fallback lists are built with one entry per shard
         for &via in &self.fallbacks[target] {
             if stats.elapsed + self.config.local_eval_cost > query.deadline {
                 break;
@@ -1542,6 +1550,7 @@ impl FleetService {
                     shard,
                     Some(summary.scale(ratio)),
                     Served::Proxied {
+                        // lint: allow(panic-free): via comes from the per-shard fallback list
                         via: self.shards[via].machine_id.clone(),
                         ratio,
                     },
@@ -1569,6 +1578,7 @@ impl FleetService {
         backoff_seed: u64,
         stats: &mut QueryStats,
     ) -> CallOutcome {
+        // lint: allow(panic-free): callers pass router-validated shard indices
         let shard = &self.shards[index];
         let admission = shard.breaker.admit(&self.config.breaker);
         if admission == Admission::Reject {

@@ -173,7 +173,9 @@ impl Telemetry {
                 let Some(fixed) = FlagKey::from_slice(flags) else {
                     continue;
                 };
+                // lint: allow(panic-free): the key was just drawn from this map's keys
                 let submodel = &model.submodels[flags];
+                // lint: allow(panic-free): routine.index() < Routine::ALL.len(), the vec's length
                 index[routine.index()].push((
                     fixed,
                     cells.len() as u32,
@@ -200,6 +202,7 @@ impl Telemetry {
 
     /// The counter of a traced evaluation's cell, if the layout covers it.
     fn counter(&self, routine: Routine, key: FlagKey, region: u32) -> Option<&Arc<AtomicU64>> {
+        // lint: allow(panic-free): routine.index() < Routine::ALL.len(), the vec's length
         self.index[routine.index()]
             .iter()
             .find(|(k, _, count)| *k == key && region < *count)
@@ -466,8 +469,10 @@ impl ModelService {
     }
 
     /// Predicts the performance of a single call, memoized.
+    // lint: panic-free
     pub fn predict_call(&self, call: &Call) -> dla_model::Result<Summary> {
         let key = CallKey::new(call);
+        // lint: allow(panic-free): CallKey::shard reduces modulo the shard count
         let shard = &self.shards[key.shard(self.shards.len())];
         let generation = self.shared.generation();
         if let Some(cached) = shard.read().get(&key) {
